@@ -1,0 +1,44 @@
+"""Ablation: the value of the 8-way workload taxonomy.
+
+The paper's claim: "this simple classification into eight categories
+works surprisingly well".  This ablation collapses the curve table to
+a single curve (every category mapped to the balanced long-running
+compute curve, then the memory one) and compares against the full
+8-way table.
+"""
+
+from repro.core.categories import all_categories, category_from_codes
+from repro.core.characterization import PlatformCharacterization
+from repro.harness.suite import get_characterization
+from repro.soc.spec import haswell_desktop
+
+from benchmarks._ablation_common import mean_efficiency
+
+
+def collapsed(curve_code: str) -> PlatformCharacterization:
+    full = get_characterization(haswell_desktop())
+    single = full.curve_for(category_from_codes(curve_code))
+    return PlatformCharacterization(
+        platform_name=full.platform_name,
+        curves={category: single for category in all_categories()})
+
+
+def test_ablation_category_count(benchmark):
+    def run():
+        return {
+            "8 categories": mean_efficiency(),
+            "only C-LL": mean_efficiency(characterization=collapsed("C-LL")),
+            "only M-LL": mean_efficiency(characterization=collapsed("M-LL")),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The full taxonomy is at least as good as any single-curve
+    # collapse on the mixed workload subset.
+    assert results["8 categories"] >= max(
+        results["only C-LL"], results["only M-LL"]) - 2.0
+    assert results["8 categories"] > 85.0
+
+    for name, eff in results.items():
+        benchmark.extra_info[name] = round(eff, 1)
+        print(f"{name:14s}: EAS efficiency {eff:5.1f}%")

@@ -1,0 +1,36 @@
+"""Ablation: repeated profiling (the size-based strategy of [12]).
+
+Fig. 7 repeats OnlineProfile with growing chunks for up to half the
+iterations, with our convergence-based early stop.  This ablation
+compares: one fixed-size round only, the default (converging rounds),
+and exhaustive profiling of the full half with no early stop.
+"""
+
+from repro.core.scheduler import EasConfig
+
+from benchmarks._ablation_common import mean_efficiency
+
+
+def test_ablation_repeat_profiling(benchmark):
+    def run():
+        one_round = EasConfig(profile_fraction=0.01, chunk_growth=1.0)
+        default = EasConfig()
+        exhaustive = EasConfig(convergence_tolerance=-1.0)
+        return {
+            "single round": mean_efficiency(config=one_round),
+            "converging (default)": mean_efficiency(config=default),
+            "full half, no stop": mean_efficiency(config=exhaustive),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Repeated profiling beats a single fixed-size round.
+    assert results["converging (default)"] >= results["single round"] - 2.0
+    # Early stopping does not cost much against exhaustive profiling.
+    assert (results["converging (default)"]
+            >= results["full half, no stop"] - 6.0)
+    assert results["converging (default)"] > 85.0
+
+    for name, eff in results.items():
+        benchmark.extra_info[name] = round(eff, 1)
+        print(f"{name:22s}: EAS efficiency {eff:5.1f}%")

@@ -1,0 +1,57 @@
+"""Extension: the ED^2 metric the paper defines but never evaluates.
+
+Section 1 introduces the energy-delay-squared product for "data-center
+and HPC applications [where] execution time is so important", yet the
+evaluation only covers energy and EDP.  EAS claims to optimize *any*
+metric expressible from power and time - so here is the missing
+experiment: the desktop strategy comparison under ED^2.
+
+Expected structure: weighting time quadratically pushes every optimum
+toward the performance-optimal split, so PERF closes most of its
+Fig. 9 gap, CPU-alone gets even worse, and EAS remains near the
+Oracle.
+"""
+
+from repro.core.metrics import ED2
+from repro.harness.figures import _cached_sweep
+from repro.harness.suite import evaluate_suite
+from repro.soc.spec import haswell_desktop
+from repro.workloads.registry import suite_workloads
+
+#: Subset keeps the bench under a minute while spanning the taxonomy.
+WORKLOADS = ("CC", "BS", "NB", "SL", "SM", "FD")
+
+
+def test_extension_ed2(benchmark):
+    spec = haswell_desktop()
+    workloads = [w for w in suite_workloads(tablet=False)
+                 if w.abbrev in WORKLOADS]
+
+    def run():
+        sweeps = {w.abbrev: _cached_sweep(spec, w, tablet=False)
+                  for w in workloads}
+        return evaluate_suite(spec, workloads, ED2, sweeps=sweeps)
+
+    evaluation = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    eas = evaluation.average_efficiency_pct("EAS")
+    perf = evaluation.average_efficiency_pct("PERF")
+    cpu = evaluation.average_efficiency_pct("CPU")
+    gpu = evaluation.average_efficiency_pct("GPU")
+
+    assert eas > 80.0
+    assert eas > cpu
+    assert cpu < 40.0          # quadratic time weighting punishes CPU-alone
+    # EAS must remain competitive with the best baseline under the
+    # paper's third metric.
+    assert eas >= max(perf, gpu) - 8.0
+
+    benchmark.extra_info.update({
+        "CPU": round(cpu, 1), "GPU": round(gpu, 1),
+        "PERF": round(perf, 1), "EAS": round(eas, 1),
+    })
+    print(f"ED^2 efficiency vs Oracle: CPU {cpu:.1f}%, GPU {gpu:.1f}%, "
+          f"PERF {perf:.1f}%, EAS {eas:.1f}%")
+    for w in evaluation.workloads():
+        print(f"  {w}: EAS {evaluation.outcome(w, 'EAS').efficiency_pct:.1f}%"
+              f" (alpha {evaluation.outcome(w, 'EAS').alpha:.2f})")

@@ -1,0 +1,58 @@
+"""Extension: runtime->PCU power hints (the paper's concluding future work).
+
+"In future, we would like to incorporate feedback from our user-level
+runtime in power management techniques."  The simulated PCU exposes an
+efficiency-hint knob; :class:`HintedEnergyAwareScheduler` paces the
+co-executing CPU when the energy model says the pace pays for itself.
+This benchmark measures the payoff across the desktop workloads whose
+energy optimum is hybrid.
+"""
+
+from repro.core.hinted import HintedEnergyAwareScheduler
+from repro.core.metrics import ENERGY
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness.experiment import run_application
+from repro.harness.suite import get_characterization
+from repro.soc.spec import haswell_desktop
+from repro.workloads.registry import workload_by_abbrev
+
+WORKLOADS = ("SL", "CC", "BS", "SM", "MB")
+
+
+def test_extension_pcu_hints(benchmark):
+    spec = haswell_desktop()
+    characterization = get_characterization(spec)
+
+    def run():
+        results = {}
+        for abbrev in WORKLOADS:
+            workload = workload_by_abbrev(abbrev)
+            plain = run_application(
+                spec, workload,
+                EnergyAwareScheduler(characterization, ENERGY), "eas")
+            hinted = run_application(
+                spec, workload,
+                HintedEnergyAwareScheduler(characterization, ENERGY),
+                "hinted")
+            results[abbrev] = (plain.energy_j, hinted.energy_j,
+                               plain.time_s, hinted.time_s)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    savings = []
+    for abbrev, (e_plain, e_hinted, t_plain, t_hinted) in results.items():
+        saving = 100.0 * (1.0 - e_hinted / e_plain)
+        savings.append(saving)
+        # The joint search includes the stock hint, so a material
+        # regression means the adjustment model is broken.
+        assert e_hinted <= e_plain * 1.05, abbrev
+        benchmark.extra_info[abbrev] = f"{saving:+.1f}% energy"
+        print(f"{abbrev}: energy {e_plain:8.1f} J -> {e_hinted:8.1f} J "
+              f"({saving:+5.1f}%), time {t_plain:6.3f} s -> {t_hinted:6.3f} s")
+
+    mean_saving = sum(savings) / len(savings)
+    print(f"mean energy saving from PCU hints: {mean_saving:+.1f}%")
+    benchmark.extra_info["mean_saving"] = f"{mean_saving:+.1f}%"
+    # At least one hybrid workload must show a real saving.
+    assert max(savings) > 1.0

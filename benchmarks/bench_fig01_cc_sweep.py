@@ -1,0 +1,30 @@
+"""Figure 1: Connected Components energy/runtime vs GPU offload percent.
+
+Paper shape: minimum energy at a high offload ratio (90%), best
+performance at a balanced one (60%) - demonstrating that neither the
+energy- nor the performance-optimal distribution is single-device.
+"""
+
+from repro.harness.figures import regenerate_figure_1
+
+
+def test_fig01_cc_sweep(benchmark):
+    result = benchmark.pedantic(regenerate_figure_1, rounds=1, iterations=1)
+
+    # Best performance at a balanced split (paper: 60%).
+    assert 0.3 <= result.best_perf_alpha <= 0.8
+    # Minimum energy GPU-heavy, at or above the performance optimum
+    # (paper: 90% vs 60%).
+    assert result.min_energy_alpha >= result.best_perf_alpha
+    assert result.min_energy_alpha >= 0.8
+    # The sweep is a genuine trade-off curve: single-device endpoints
+    # are strictly worse than the interior optimum on both axes.
+    assert min(result.times_s) < result.times_s[0]
+    assert min(result.times_s) < result.times_s[-1]
+    assert min(result.energies_j) < result.energies_j[0]
+
+    benchmark.extra_info.update({
+        "min_energy_alpha (paper 0.9)": result.min_energy_alpha,
+        "best_perf_alpha (paper 0.6)": result.best_perf_alpha,
+    })
+    print(result.render())

@@ -1,0 +1,26 @@
+"""Figure 2: package power over time, memory-bound 90/10 GPU-CPU split.
+
+Paper shape: when only the CPU remains active, package power *drops*
+on the Bay Trail (its GPU is the big consumer) but *rises* on the
+Haswell (whose PCU had been holding the CPU down during GPU activity).
+"""
+
+from repro.harness.figures import regenerate_figure_2
+
+
+def test_fig02_power_timeline(benchmark):
+    result = benchmark.pedantic(regenerate_figure_2, rounds=1, iterations=1)
+
+    notes = {note.split(":")[0]: note for note in result.notes}
+    assert "drops" in notes["Bay Trail tablet"]
+    assert "rises" in notes["Haswell desktop"]
+    # Both series actually contain a timeline.
+    for label, (times, watts) in result.series.items():
+        assert len(times) > 10, label
+        assert max(watts) > min(watts), label
+
+    benchmark.extra_info.update({
+        "baytrail_tail": "drops (paper: drops)",
+        "haswell_tail": "rises (paper: rises)",
+    })
+    print(result.render())

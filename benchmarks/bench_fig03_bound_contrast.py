@@ -1,0 +1,30 @@
+"""Figure 3: desktop co-execution power, compute- vs memory-bound.
+
+Paper shape: during CPU+GPU co-execution the memory-bound
+micro-benchmark draws ~63 W against the compute-bound one's ~55 W -
+memory-bound work is the *more* power-hungry kind on this desktop.
+"""
+
+import re
+
+from repro.harness.figures import regenerate_figure_3
+
+
+def test_fig03_bound_contrast(benchmark):
+    result = benchmark.pedantic(regenerate_figure_3, rounds=1, iterations=1)
+
+    watts = {}
+    for note in result.notes[:2]:
+        label = note.split(":")[0]
+        watts[label] = float(re.search(r"([\d.]+) W", note).group(1))
+
+    assert watts["memory-bound"] > watts["compute-bound"]
+    # Within the paper's ballpark (~55 W and ~63 W).
+    assert 45.0 < watts["compute-bound"] < 62.0
+    assert 52.0 < watts["memory-bound"] < 70.0
+
+    benchmark.extra_info.update({
+        "compute_coexec_w (paper ~55)": watts["compute-bound"],
+        "memory_coexec_w (paper ~63)": watts["memory-bound"],
+    })
+    print(result.render())

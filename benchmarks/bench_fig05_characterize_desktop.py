@@ -1,0 +1,46 @@
+"""Figure 5: desktop power characterization (8 categories, 6th-order fits).
+
+Paper shape: CPU-short categories produce convex curves (power drops
+fast from the CPU level, then flattens near the GPU level); CPU-long
+ones stay high before falling; memory curves sit above compute curves;
+and the fitted sixth-order polynomials track the sweeps closely.
+"""
+
+from repro.core.categories import category_from_codes
+from repro.harness.figures import regenerate_figure_5
+
+
+def test_fig05_characterize_desktop(benchmark):
+    result = benchmark.pedantic(regenerate_figure_5, rounds=1, iterations=1)
+    curves = result.characterization
+
+    cll = curves.curve_for(category_from_codes("C-LL"))
+    css = curves.curve_for(category_from_codes("C-SS"))
+    mll = curves.curve_for(category_from_codes("M-LL"))
+
+    # CPU-alone compute ~45 W, GPU-alone ~30 W (Section 2).
+    assert 40.0 < cll.power(0.0) < 52.0
+    assert 26.0 < cll.power(1.0) < 37.0
+    # Memory-bound co-execution peaks above compute-bound (63 vs 55 W).
+    assert mll.power(0.4) > cll.power(0.4)
+    # CPU-short shape: dips below the CPU-alone endpoint early and
+    # lands well below it at full offload.  (The paper's single-run
+    # probes show a stronger convex dip; we characterize short kernels
+    # in their repeated steady state, which softens the mid-sweep -
+    # see EXPERIMENTS.md.)
+    assert css.power(0.3) < css.power(0.0)
+    assert css.power(1.0) < css.power(0.0) - 8.0
+    # All eight fits are tight.
+    for code in ("C-SS", "C-SL", "C-LS", "C-LL",
+                 "M-SS", "M-SL", "M-LS", "M-LL"):
+        curve = curves.curve_for(category_from_codes(code))
+        assert curve.order == 6
+        assert curve.fit_residual_rms() < 4.0, code
+
+    benchmark.extra_info.update({
+        "cpu_alone_w (paper ~45)": round(cll.power(0.0), 1),
+        "gpu_alone_w (paper ~30)": round(cll.power(1.0), 1),
+        "memory_peak_w (paper ~63)": round(max(
+            mll.power(a / 20) for a in range(21)), 1),
+    })
+    print(result.render())

@@ -1,0 +1,37 @@
+"""Figure 6: Bay Trail power characterization.
+
+Paper shape: curves are mostly concave because the tablet's GPU draws
+more power than its CPU; compute-bound work draws ~1.5 W CPU-alone and
+~2 W GPU-alone; memory-bound work draws *less* than compute-bound
+(0.7 W / 1.3 W) - the reverse of the desktop.
+"""
+
+from repro.core.categories import category_from_codes
+from repro.harness.figures import regenerate_figure_6
+
+
+def test_fig06_characterize_tablet(benchmark):
+    result = benchmark.pedantic(regenerate_figure_6, rounds=1, iterations=1)
+    curves = result.characterization
+
+    cll = curves.curve_for(category_from_codes("C-LL"))
+    mll = curves.curve_for(category_from_codes("M-LL"))
+
+    # Paper's endpoint calibration.
+    assert 1.2 < cll.power(0.0) < 1.9     # ~1.5 W CPU compute
+    assert 1.6 < cll.power(1.0) < 2.5     # ~2 W GPU compute
+    assert 0.45 < mll.power(0.0) < 1.0    # ~0.7 W CPU memory
+    assert 1.0 < mll.power(1.0) < 1.7     # ~1.3 W GPU memory
+    # Memory below compute everywhere at the endpoints.
+    assert mll.power(0.0) < cll.power(0.0)
+    assert mll.power(1.0) < cll.power(1.0)
+    # Concavity: mid-sweep co-execution above the CPU-alone endpoint.
+    assert cll.power(0.5) > cll.power(0.0)
+
+    benchmark.extra_info.update({
+        "cpu_compute_w (paper ~1.5)": round(cll.power(0.0), 2),
+        "gpu_compute_w (paper ~2.0)": round(cll.power(1.0), 2),
+        "cpu_memory_w (paper ~0.7)": round(mll.power(0.0), 2),
+        "gpu_memory_w (paper ~1.3)": round(mll.power(1.0), 2),
+    })
+    print(result.render())

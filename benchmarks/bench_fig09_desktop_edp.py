@@ -1,0 +1,39 @@
+"""Figure 9: desktop energy-delay-product efficiency vs Oracle.
+
+Paper averages: GPU 79.6%, PERF 83.9%, EAS 96.2% (Oracle = 100%).
+Reproduction targets are shape-level: the strategy ordering
+CPU << {GPU, PERF} < EAS and averages within several points.
+"""
+
+from repro.harness.figures import regenerate_figure_9
+
+
+def test_fig09_desktop_edp(benchmark):
+    result = benchmark.pedantic(regenerate_figure_9, rounds=1, iterations=1)
+
+    cpu = result.average("CPU")
+    gpu = result.average("GPU")
+    perf = result.average("PERF")
+    eas = result.average("EAS")
+
+    # Ordering: EAS is the best strategy, far ahead of CPU-alone.
+    assert eas > gpu
+    assert eas > perf
+    assert cpu < 50.0
+    # Magnitudes near the paper's.
+    assert 70.0 < gpu < 95.0       # paper 79.6
+    assert 70.0 < perf < 95.0      # paper 83.9
+    assert eas > 88.0              # paper 96.2
+    # The CC anomaly: EAS over-offloads the highly irregular CC
+    # relative to PERF's split (the paper's one documented miss shows
+    # the same mechanism: profiling over-estimates the GPU on CC).
+    cc_eas_alpha = result.evaluation.outcome("CC", "EAS").alpha
+    cc_perf_alpha = result.evaluation.outcome("CC", "BEST-TIME").alpha
+    assert cc_eas_alpha >= cc_perf_alpha
+
+    benchmark.extra_info.update({
+        "GPU_avg (paper 79.6)": round(gpu, 1),
+        "PERF_avg (paper 83.9)": round(perf, 1),
+        "EAS_avg (paper 96.2)": round(eas, 1),
+    })
+    print(result.render())

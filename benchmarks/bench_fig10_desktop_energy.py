@@ -1,0 +1,35 @@
+"""Figure 10: desktop total-energy efficiency vs Oracle.
+
+Paper averages: GPU 95.8%, PERF 70.4%, EAS 97.2%.  The signature
+inversion versus Fig. 9: for pure energy, GPU-alone is near-optimal
+while best-performance partitioning pays a heavy power premium.
+"""
+
+from repro.harness.figures import regenerate_figure_10
+
+
+def test_fig10_desktop_energy(benchmark):
+    result = benchmark.pedantic(regenerate_figure_10, rounds=1, iterations=1)
+
+    cpu = result.average("CPU")
+    gpu = result.average("GPU")
+    perf = result.average("PERF")
+    eas = result.average("EAS")
+
+    # The inversion: GPU beats PERF for energy (opposite of nothing -
+    # but the gap versus Fig. 9 is the story).
+    assert gpu > perf
+    assert eas > gpu               # EAS still the best strategy
+    assert eas > 90.0              # paper 97.2
+    assert 85.0 < gpu < 100.0      # paper 95.8
+    assert perf < 90.0             # paper 70.4
+    assert cpu < 60.0
+    # FD: EAS keeps the CPU-biased workload at alpha 0 (Section 5).
+    assert result.evaluation.outcome("FD", "EAS").alpha == 0.0
+
+    benchmark.extra_info.update({
+        "GPU_avg (paper 95.8)": round(gpu, 1),
+        "PERF_avg (paper 70.4)": round(perf, 1),
+        "EAS_avg (paper 97.2)": round(eas, 1),
+    })
+    print(result.render())

@@ -1,0 +1,51 @@
+"""Table 1: benchmark statistics and online classification.
+
+Paper columns reproduced: invocation counts, regular/irregular, and
+the measured compute/memory classification.  The short/long columns
+come from the online classifier on the simulated desktop and are
+compared workload by workload.
+"""
+
+from repro.harness.figures import regenerate_table_1
+
+PAPER = {
+    # abbrev: (invocations, reg, C/M, cpu S/L, gpu S/L)
+    "BH": (1, "IR", "M", "L", "L"),
+    "BFS": (1748, "IR", "M", "S", "S"),
+    "CC": (2147, "IR", "M", "S", "S"),
+    "FD": (132, "IR", "C", "S", "S"),
+    "MB": (1, "IR", "M", "L", "L"),
+    "SL": (1, "IR", "M", "L", "L"),
+    "SP": (2577, "IR", "M", "S", "S"),
+    "BS": (2000, "R", "C", "S", "S"),
+    "MM": (1, "R", "C", "L", "L"),
+    "NB": (101, "R", "C", "L", "S"),
+    "RT": (1, "R", "C", "L", "L"),
+    "SM": (100, "R", "M", "S", "S"),
+}
+
+
+def test_table1_workload_stats(benchmark):
+    result = benchmark.pedantic(regenerate_table_1, rounds=1, iterations=1)
+
+    mismatched_durations = []
+    for row in result.rows:
+        (_, abbrev, _, _, invocations, reg, bound, cpu_sl, gpu_sl) = row
+        paper_inv, paper_reg, paper_bound, paper_cpu, paper_gpu = PAPER[abbrev]
+        # Compile-time statistics match the paper exactly.
+        assert invocations == paper_inv, abbrev
+        assert reg == paper_reg, abbrev
+        # Measured boundedness matches the paper for every workload.
+        assert bound == paper_bound, abbrev
+        # Short/long comes from online measurement and may disagree on
+        # borderline workloads; count the disagreements.
+        if (cpu_sl, gpu_sl) != (paper_cpu, paper_gpu):
+            mismatched_durations.append(abbrev)
+
+    # At most two borderline short/long mismatches across 12 workloads.
+    assert len(mismatched_durations) <= 2, mismatched_durations
+
+    benchmark.extra_info.update({
+        "duration_mismatches": ",".join(mismatched_durations) or "none",
+    })
+    print(result.render())

@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) exactly once per session and asserts its shape-level
+reproduction properties.  Key paper-vs-measured numbers are attached to
+each benchmark's ``extra_info`` so they appear in the report table of
+``pytest benchmarks/ --benchmark-only``.
+
+Alpha sweeps are cached at module level inside
+:mod:`repro.harness.figures`, so the EDP and energy benchmarks of one
+platform share their (expensive) Oracle sweeps.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a regenerator exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+    return _run

@@ -1,0 +1,73 @@
+"""GPU contention and the A26 busy-fallback (Section 5).
+
+The paper's runtime checks GPU performance counter A26 before each
+invocation: "we test GPU performance counter A26 on both platforms to
+check if it is busy.  In that case, we execute the application entirely
+on the CPU."  This example runs the N-Body workload while a co-resident
+process (think: a compositor or video encoder) intermittently owns the
+GPU, and shows EAS degrading gracefully to CPU execution for exactly
+the contended invocations.
+
+Run:  python examples/gpu_contention.py
+"""
+
+from repro.core.metrics import EDP
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness.report import format_table, heading
+from repro.harness.suite import get_characterization
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import haswell_desktop
+from repro.workloads.registry import workload_by_abbrev
+
+
+def run_with_contention(contended_every: int):
+    """Run NB with every Nth invocation finding the GPU busy.
+
+    ``contended_every=0`` disables contention.
+    """
+    platform = haswell_desktop()
+    processor = IntegratedProcessor(platform)
+    runtime = ConcordRuntime(processor)
+    workload = workload_by_abbrev("NB")
+    kernel = workload.make_kernel()
+    scheduler = EnergyAwareScheduler(get_characterization(platform), EDP)
+
+    fallbacks = 0
+    t0 = processor.now
+    msr0 = processor.read_energy_msr()
+    for index, invocation in enumerate(workload.invocations()):
+        if contended_every and index % contended_every == 0 and index > 0:
+            # The co-resident process grabs the GPU right before our
+            # launch; A26 reads busy.
+            processor.counters.account_gpu_busy(True, 0.0)
+        result = runtime.parallel_for(kernel, invocation.n_items, scheduler)
+        if "gpu-busy-fallback" in result.notes:
+            fallbacks += 1
+    elapsed = processor.now - t0
+    energy = processor.energy_joules_between(msr0,
+                                             processor.read_energy_msr())
+    return fallbacks, elapsed, energy
+
+
+def main() -> None:
+    print(heading("N-Body under intermittent GPU contention (desktop)"))
+    rows = []
+    for contended_every, label in ((0, "GPU always free"),
+                                   (10, "every 10th launch contended"),
+                                   (3, "every 3rd launch contended"),
+                                   (2, "every 2nd launch contended")):
+        fallbacks, elapsed, energy = run_with_contention(contended_every)
+        rows.append((label, fallbacks, elapsed, energy,
+                     energy * elapsed))
+    print(format_table(
+        ["scenario", "CPU fallbacks", "time (s)", "energy (J)",
+         "EDP (J*s)"], rows))
+    print(
+        "\nEach contended launch runs entirely on the CPU (the paper's A26\n"
+        "rule), so the application keeps making progress - at a cost that\n"
+        "grows smoothly with the contention rate instead of stalling.")
+
+
+if __name__ == "__main__":
+    main()

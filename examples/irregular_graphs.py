@@ -1,0 +1,93 @@
+"""Irregular graph workloads: real algorithms + energy-aware scheduling.
+
+The paper's hardest customers are the road-network graph kernels: BFS,
+Connected Components and Shortest Path launch thousands of small,
+irregular kernels, and CC is the one workload where EAS's profiling
+over-estimates the GPU (the paper's documented alpha=1.0-vs-0.9 miss).
+
+This example:
+
+1. runs the *real* algorithms on a generated road network and verifies
+   them against each other;
+2. schedules the paper-scale counterparts with EAS on the simulated
+   desktop and reports the chosen offload ratios;
+3. shows the CC effect: EAS's alpha versus the exhaustive Oracle's.
+
+Run:  python examples/irregular_graphs.py
+"""
+
+import numpy as np
+
+from repro.core.metrics import EDP
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness.experiment import run_application
+from repro.harness.report import format_table, heading
+from repro.harness.suite import get_characterization, sweep_alphas
+from repro.soc.spec import haswell_desktop
+from repro.workloads.registry import workload_by_abbrev
+from repro.workloads.roadnet import (
+    bfs_levels,
+    connected_components_labels,
+    generate_road_network,
+    sssp_distances,
+)
+
+
+def real_algorithms() -> None:
+    print(heading("Real graph algorithms on a generated road network"))
+    graph = generate_road_network(80, 50, seed=11)
+    print(f"graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} directed edges")
+
+    level, frontiers = bfs_levels(graph, source=0)
+    print(f"BFS:  {len(frontiers)} levels (= kernel launches), "
+          f"largest frontier {max(frontiers)}")
+
+    labels, rounds = connected_components_labels(graph)
+    print(f"CC:   {len(rounds)} label-propagation rounds, "
+          f"{len(set(labels.tolist()))} component(s)")
+
+    dist, sp_rounds = sssp_distances(graph, source=0)
+    print(f"SSSP: {len(sp_rounds)} relaxation rounds, "
+          f"max distance {dist.max():.0f}")
+
+    # Cross-checks between the algorithms.
+    assert (dist[level == 1] <= graph.weights.max()).all()
+    hop_vs_weight = dist / np.maximum(level, 1)
+    print(f"mean edge-weight along shortest paths: "
+          f"{hop_vs_weight[level > 0].mean():.2f} "
+          f"(edge weights are 1..19)")
+
+
+def scheduled_counterparts() -> None:
+    print()
+    print(heading("Scheduling the paper-scale graph workloads (simulated "
+                  "desktop)"))
+    platform = haswell_desktop()
+    characterization = get_characterization(platform)
+
+    rows = []
+    for abbrev in ("BFS", "CC", "SP"):
+        workload = workload_by_abbrev(abbrev)
+        scheduler = EnergyAwareScheduler(characterization, EDP)
+        run = run_application(platform, workload, scheduler, "EAS")
+        sweep = sweep_alphas(platform, workload)
+        oracle_alpha = sweep.oracle_alpha(EDP)
+        oracle_value = sweep.oracle(EDP).metric_value(EDP)
+        efficiency = 100.0 * oracle_value / run.metric_value(EDP)
+        rows.append((abbrev, workload.num_invocations,
+                     f"{run.final_alpha:.2f}", f"{oracle_alpha:.1f}",
+                     efficiency))
+    print(format_table(
+        ["workload", "kernel launches", "EAS alpha", "Oracle alpha",
+         "EDP efficiency %"], rows, float_digits=1))
+    print(
+        "\nIrregular graphs are the stress case: long-range cost structure\n"
+        "makes the profiled prefix unrepresentative, so EAS can over- or\n"
+        "under-offload relative to the Oracle (the paper documents exactly\n"
+        "this miss on CC, where its EAS chose 1.0 against the Oracle's 0.9).")
+
+
+if __name__ == "__main__":
+    real_algorithms()
+    scheduled_counterparts()

@@ -1,0 +1,58 @@
+"""Scheduling the same workload under different energy objectives.
+
+The paper's scheduler optimizes "any user-defined energy-related metric
+that can be expressed as a function of power consumption and program
+execution time".  This example schedules the SkipList workload under:
+
+* total energy (battery life),
+* energy-delay product (balanced),
+* ED^2 (performance-leaning HPC metric),
+* a custom "battery + idle drain" objective,
+
+and shows how the chosen GPU offload ratio shifts with the objective.
+
+Run:  python examples/metric_comparison.py
+"""
+
+from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness.experiment import run_application
+from repro.harness.report import format_table, heading
+from repro.harness.suite import get_characterization
+from repro.soc.spec import haswell_desktop
+from repro.workloads.registry import workload_by_abbrev
+
+
+def main() -> None:
+    platform = haswell_desktop()
+    workload = workload_by_abbrev("CC")
+    characterization = get_characterization(platform)
+
+    # A custom objective: while this job runs, the rest of the system
+    # drains an extra 3 W (screen, radios) - so finishing sooner saves
+    # that drain too.  Lower is better, like every metric here.
+    battery = EnergyMetric(
+        name="battery+3W",
+        custom_fn=lambda power_w, time_s: (power_w + 3.0) * time_s)
+
+    rows = []
+    for metric in (ENERGY, EDP, ED2, battery):
+        scheduler = EnergyAwareScheduler(characterization, metric)
+        run = run_application(platform, workload, scheduler, metric.name)
+        rows.append((metric.name, f"{run.final_alpha:.2f}",
+                     run.time_s, run.energy_j,
+                     metric.value(run.average_power_w, run.time_s)))
+
+    print(heading(f"{workload.name} ({workload.input_desktop}) under four "
+                  f"objectives"))
+    print(format_table(
+        ["objective", "alpha", "time (s)", "energy (J)", "objective value"],
+        rows))
+    print(
+        "\nPerformance-leaning objectives (ED^2) pull alpha toward the\n"
+        "performance-optimal split; energy-leaning ones pull it toward\n"
+        "the power-efficient GPU - exactly the paper's Fig. 1 trade-off.")
+
+
+if __name__ == "__main__":
+    main()

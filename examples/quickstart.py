@@ -1,0 +1,97 @@
+"""Quickstart: schedule one kernel with the energy-aware runtime.
+
+Builds the paper's pipeline end to end on the simulated desktop:
+
+1. one-time platform power characterization (eight micro-benchmarks,
+   sixth-order polynomial fits);
+2. an application kernel described by a cost model;
+3. EAS scheduling (online profiling -> classification -> alpha search)
+   versus the CPU-only, GPU-only and best-performance baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+)
+from repro.core.metrics import EDP
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness.experiment import run_application
+from repro.harness.report import format_table, heading
+from repro.harness.suite import get_characterization
+from repro.runtime.kernel import Kernel
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.spec import haswell_desktop
+from repro.workloads.base import InvocationSpec, Workload
+
+
+class FeatureExtraction(Workload):
+    """A user-defined workload: gather-heavy feature extraction over a
+    large photo collection (random access into per-image descriptor
+    tables - memory-latency-bound, the integrated GPU's latency hiding
+    gives it a moderate edge)."""
+
+    name = "Photo feature extraction"
+    abbrev = "FX"
+    regular = True
+    input_desktop = "80M descriptors"
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        return KernelCostModel(
+            name="feature-extract",
+            instructions_per_item=150.0,
+            loadstore_fraction=0.20,
+            l3_miss_rate=0.36,            # dependent scattered gathers
+            cpu_simd_efficiency=0.040,    # latency-bound effective IPC
+            gpu_simd_efficiency=0.034,    # SIMT latency hiding
+            gpu_divergence=0.30,
+            gpu_traffic_factor=0.80,      # coalesced gathers
+        )
+
+    def invocations(self, tablet: bool = False):
+        return [InvocationSpec(n_items=8.0e7)]
+
+    def validate(self) -> None:  # pragma: no cover - example stub
+        pass
+
+
+def main() -> None:
+    platform = haswell_desktop()
+    workload = FeatureExtraction()
+
+    print(heading(f"Quickstart on {platform.name}"))
+    print("Characterizing platform power (one-time, cached)...")
+    characterization = get_characterization(platform)
+
+    rows = []
+    schedulers = [
+        ("CPU-only", CpuOnlyScheduler()),
+        ("GPU-only", GpuOnlyScheduler()),
+        ("PERF", ProfiledPerfScheduler()),
+        ("EAS (EDP)", EnergyAwareScheduler(characterization, EDP)),
+    ]
+    for label, scheduler in schedulers:
+        run = run_application(platform, workload, scheduler, label)
+        rows.append((label,
+                     f"{run.final_alpha:.2f}" if run.final_alpha is not None
+                     else "-",
+                     run.time_s, run.energy_j, run.metric_value(EDP)))
+
+    print()
+    print(format_table(
+        ["strategy", "alpha", "time (s)", "energy (J)", "EDP (J*s)"], rows))
+    best = min(rows, key=lambda r: r[4])
+    eas_row = rows[-1]
+    print(f"\nBest energy-delay product: {best[0]}")
+    print(f"EAS reaches {100 * best[4] / eas_row[4]:.0f}% of the best "
+          f"strategy's EDP from one profiling pass - no exhaustive "
+          f"search, no vendor documentation.")
+    worst = max(rows, key=lambda r: r[4])
+    print(f"(Picking wrong would cost {worst[4] / best[4]:.1f}x: "
+          f"{worst[0]} at {worst[4]:.0f} J*s.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Black-box energy-aware scheduling for integrated CPU-GPU systems.
+
+A complete reproduction of Barik et al., *A Black-Box Approach to
+Energy-Aware Scheduling on Integrated CPU-GPU Systems* (CGO 2016):
+the EAS scheduler, its Concord-style runtime, a calibrated simulator
+of the paper's two platforms, the twelve evaluation benchmarks, and a
+harness regenerating every table and figure.
+
+Typical usage::
+
+    from repro import (
+        EDP, EnergyAwareScheduler, get_characterization,
+        haswell_desktop, run_application,
+    )
+
+    platform = haswell_desktop()
+    curves = get_characterization(platform)     # one-time per processor
+    scheduler = EnergyAwareScheduler(curves, EDP)
+    result = run_application(platform, workload, scheduler, "EAS")
+
+Subpackages:
+
+* :mod:`repro.soc` - the simulated integrated CPU-GPU package;
+* :mod:`repro.runtime` - the work-stealing ``parallel_for`` runtime;
+* :mod:`repro.core` - the paper's contribution (characterization,
+  classification, T(alpha), the EAS algorithm, baselines);
+* :mod:`repro.workloads` - benchmarks and micro-benchmarks;
+* :mod:`repro.harness` - experiments, sweeps and figure regenerators.
+"""
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+    StaticAlphaScheduler,
+)
+from repro.core.characterization import PlatformCharacterization
+from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric, metric_by_name
+from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.errors import ReproError
+from repro.harness.experiment import ApplicationRun, run_application
+from repro.harness.suite import evaluate_suite, get_characterization, sweep_alphas
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import PlatformSpec, baytrail_tablet, haswell_desktop
+from repro.workloads.base import InvocationSpec, Workload
+from repro.workloads.registry import all_workloads, workload_by_abbrev
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # metrics
+    "EnergyMetric", "ENERGY", "EDP", "ED2", "metric_by_name",
+    # platforms & simulator
+    "PlatformSpec", "haswell_desktop", "baytrail_tablet",
+    "IntegratedProcessor", "KernelCostModel",
+    # runtime
+    "Kernel", "ConcordRuntime",
+    # schedulers
+    "EnergyAwareScheduler", "EasConfig", "CpuOnlyScheduler",
+    "GpuOnlyScheduler", "StaticAlphaScheduler", "ProfiledPerfScheduler",
+    # characterization
+    "PlatformCharacterization", "get_characterization",
+    # workloads
+    "Workload", "InvocationSpec", "all_workloads", "workload_by_abbrev",
+    # harness
+    "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
+]

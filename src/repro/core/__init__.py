@@ -1,0 +1,64 @@
+"""The paper's contribution: black-box energy-aware scheduling.
+
+* :mod:`repro.core.metrics` - energy-related objective functions
+  (energy, energy-delay product, ED^2, user-defined);
+* :mod:`repro.core.time_model` - the execution-time model T(alpha),
+  Eqs. 1-4 of the paper;
+* :mod:`repro.core.power_curve` - sixth-order polynomial power
+  characterization functions P(alpha);
+* :mod:`repro.core.categories` - the 8-way workload taxonomy
+  ({memory, compute} x {CPU short, long} x {GPU short, long});
+* :mod:`repro.core.classification` - the online classifier (0.33
+  miss-ratio threshold, 100 ms short/long threshold);
+* :mod:`repro.core.characterization` - one-time platform power
+  characterization from the eight micro-benchmarks;
+* :mod:`repro.core.optimizer` - grid search for the alpha minimizing
+  OBJ(P(alpha), T(alpha));
+* :mod:`repro.core.profiling` - lightweight online profiling
+  (OnlineProfile of Fig. 7) and sample-weighted aggregation;
+* :mod:`repro.core.scheduler` - the EAS algorithm (Fig. 7);
+* :mod:`repro.core.baselines` - CPU, GPU, PERF and Oracle comparison
+  schedulers from Section 5.
+"""
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+    StaticAlphaScheduler,
+)
+from repro.core.categories import Boundedness, DeviceDuration, WorkloadCategory
+from repro.core.characterization import (
+    PlatformCharacterization,
+    PowerCharacterizer,
+)
+from repro.core.classification import OnlineClassifier
+from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric
+from repro.core.optimizer import AlphaOptimizer
+from repro.core.power_curve import PowerCurve
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.core.time_model import ExecutionTimeModel
+from repro.core.validation import ValidationIssue, validate_characterization
+
+__all__ = [
+    "EnergyMetric",
+    "ENERGY",
+    "EDP",
+    "ED2",
+    "ExecutionTimeModel",
+    "PowerCurve",
+    "Boundedness",
+    "DeviceDuration",
+    "WorkloadCategory",
+    "OnlineClassifier",
+    "PowerCharacterizer",
+    "PlatformCharacterization",
+    "AlphaOptimizer",
+    "EnergyAwareScheduler",
+    "CpuOnlyScheduler",
+    "validate_characterization",
+    "ValidationIssue",
+    "GpuOnlyScheduler",
+    "StaticAlphaScheduler",
+    "ProfiledPerfScheduler",
+]

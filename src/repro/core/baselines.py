@@ -1,0 +1,121 @@
+"""Comparison schedulers from Section 5.
+
+* :class:`CpuOnlyScheduler` - multi-core CPU execution (the paper's
+  TBB-based **CPU** strategy);
+* :class:`GpuOnlyScheduler` - GPU-alone execution through the vendor
+  driver (**GPU**);
+* :class:`StaticAlphaScheduler` - fixed GPU offload ratio for every
+  invocation; the harness's exhaustive **Oracle** and **PERF**
+  searches are sweeps over this scheduler;
+* :class:`ProfiledPerfScheduler` - the *online* performance-oriented
+  scheduler: profiles like EAS but always picks alpha_PERF
+  (Eq. 2), ignoring power.  Used in ablations to separate "EAS's
+  profiling" from "EAS's energy objective".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.profiling import KernelTable, ProfileAggregate
+from repro.core.time_model import ExecutionTimeModel
+from repro.errors import SchedulingError
+from repro.runtime.runtime import KernelLaunch, SchedulerRecord
+
+
+class CpuOnlyScheduler:
+    """Run everything on the multi-core CPU."""
+
+    def execute(self, launch: KernelLaunch) -> SchedulerRecord:
+        launch.run_cpu_only()
+        return SchedulerRecord(alpha=0.0)
+
+
+class GpuOnlyScheduler:
+    """Offload everything to the GPU."""
+
+    def execute(self, launch: KernelLaunch) -> SchedulerRecord:
+        launch.run_gpu_only()
+        return SchedulerRecord(alpha=1.0)
+
+
+@dataclass
+class StaticAlphaScheduler:
+    """Fixed alpha for every invocation (exhaustive-search building block)."""
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise SchedulingError(f"alpha {self.alpha} outside [0, 1]")
+
+    def execute(self, launch: KernelLaunch) -> SchedulerRecord:
+        launch.run_partitioned(self.alpha)
+        return SchedulerRecord(alpha=self.alpha)
+
+
+class ProfiledPerfScheduler:
+    """Online best-performance partitioning: profile, then alpha_PERF.
+
+    Structurally identical to EAS (same profiling, same table-G reuse)
+    but the objective is execution time alone - the adaptive scheduler
+    of the paper's reference [12].
+    """
+
+    def __init__(self, profile_fraction: float = 0.5,
+                 chunk_growth: float = 2.0,
+                 gpu_profile_size: Optional[int] = None) -> None:
+        self.profile_fraction = profile_fraction
+        self.chunk_growth = chunk_growth
+        self.gpu_profile_size = gpu_profile_size
+        self.table = KernelTable()
+
+    def execute(self, launch: KernelLaunch) -> SchedulerRecord:
+        key = launch.kernel.key
+        profile_size = (self.gpu_profile_size
+                        or launch.processor.spec.gpu_profile_size)
+        entry = self.table.lookup(key)
+        if entry is not None and launch.n_items >= profile_size:
+            outgrown = launch.n_items > 4.0 * max(entry.derived_at_items, 1.0)
+            if entry.provisional or outgrown:
+                entry = None
+        if entry is not None:
+            launch.run_partitioned(entry.alpha)
+            return SchedulerRecord(alpha=entry.alpha)
+
+        if launch.n_items < profile_size:
+            launch.run_cpu_only()
+            self.table.record(key, alpha=0.0, weight=launch.n_items,
+                              provisional=True)
+            return SchedulerRecord(alpha=0.0, notes=["small-n-cpu-only"])
+
+        aggregate = ProfileAggregate()
+        profiling_time = 0.0
+        chunk = float(profile_size)
+        keep_above = launch.n_items * (1.0 - self.profile_fraction)
+        while launch.remaining_items > keep_above:
+            chunk_now = min(chunk, launch.remaining_items * 0.5)
+            if chunk_now < 64.0:
+                break
+            observation = launch.profile_chunk(chunk_now)
+            profiling_time += observation.cpu_time_s
+            aggregate.add(observation)
+            chunk *= self.chunk_growth
+        if aggregate.num_rounds == 0:
+            observation = launch.profile_chunk(
+                min(chunk, launch.remaining_items * 0.5))
+            profiling_time += observation.cpu_time_s
+            aggregate.add(observation)
+
+        model = ExecutionTimeModel(
+            cpu_throughput=aggregate.cpu_throughput,
+            gpu_throughput=aggregate.gpu_throughput,
+            n_items=max(launch.remaining_items, 0.25 * launch.n_items, 1.0))
+        alpha = model.alpha_perf
+        if launch.remaining_items > 0:
+            launch.run_partitioned(alpha)
+        self.table.record(key, alpha=alpha, weight=launch.n_items)
+        return SchedulerRecord(alpha=alpha, profiled=True,
+                               profile_rounds=aggregate.num_rounds,
+                               profiling_time_s=profiling_time)

@@ -1,0 +1,76 @@
+"""The 8-way workload taxonomy of Section 2.
+
+Categories are the cross-product of three execution characteristics:
+
+1. memory-bound or compute-bound,
+2. short or long execution on the CPU alone,
+3. short or long execution on the GPU alone.
+
+One power characterization function is computed per category; online
+classification maps a running workload to a category and thereby to
+its curve.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Boundedness(enum.Enum):
+    COMPUTE = "compute"
+    MEMORY = "memory"
+
+    @property
+    def short_code(self) -> str:
+        return "C" if self is Boundedness.COMPUTE else "M"
+
+
+class DeviceDuration(enum.Enum):
+    SHORT = "short"
+    LONG = "long"
+
+    @property
+    def short_code(self) -> str:
+        return "S" if self is DeviceDuration.SHORT else "L"
+
+
+@dataclass(frozen=True)
+class WorkloadCategory:
+    """One cell of the 2x2x2 taxonomy."""
+
+    boundedness: Boundedness
+    cpu_duration: DeviceDuration
+    gpu_duration: DeviceDuration
+
+    def __str__(self) -> str:
+        return (f"{self.boundedness.value}"
+                f"/cpu-{self.cpu_duration.value}"
+                f"/gpu-{self.gpu_duration.value}")
+
+    @property
+    def short_code(self) -> str:
+        """Compact form, e.g. ``M-SL`` = memory, CPU short, GPU long."""
+        return (f"{self.boundedness.short_code}-"
+                f"{self.cpu_duration.short_code}"
+                f"{self.gpu_duration.short_code}")
+
+
+def all_categories() -> Tuple[WorkloadCategory, ...]:
+    """The eight categories, in a stable presentation order."""
+    cats = []
+    for bound in (Boundedness.COMPUTE, Boundedness.MEMORY):
+        for cpu in (DeviceDuration.SHORT, DeviceDuration.LONG):
+            for gpu in (DeviceDuration.SHORT, DeviceDuration.LONG):
+                cats.append(WorkloadCategory(bound, cpu, gpu))
+    return tuple(cats)
+
+
+def category_from_codes(code: str) -> WorkloadCategory:
+    """Parse a compact code like ``M-SL`` back into a category."""
+    bound_code, rest = code.split("-")
+    bound = Boundedness.MEMORY if bound_code == "M" else Boundedness.COMPUTE
+    cpu = DeviceDuration.SHORT if rest[0] == "S" else DeviceDuration.LONG
+    gpu = DeviceDuration.SHORT if rest[1] == "S" else DeviceDuration.LONG
+    return WorkloadCategory(bound, cpu, gpu)

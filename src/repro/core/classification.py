@@ -1,0 +1,90 @@
+"""Online workload classification (Sections 3.1 and 5).
+
+From the profiling round's hardware-counter readings and throughput
+estimates, decide which of the eight power-characterization categories
+the running workload belongs to:
+
+* **memory- vs compute-bound**: the ratio of L3 cache misses to
+  load/store instructions retired, thresholded at 0.33 (the paper found
+  this single threshold sufficient on both platforms);
+* **short vs long, per device**: the paper classifies a workload Short
+  "if the estimated execution time for the remaining iterations
+  (N_rem) after profiling is less than 100 ms".  The taxonomy is
+  per-device ("short or long execution on the CPU alone / GPU alone"),
+  so we estimate each device's *alone* time for the remainder:
+  CPU time = N_rem / R_C, GPU time = N_rem / R_G.  (Estimating each
+  device's share at alpha_PERF instead would make the two estimates
+  identical by construction - both devices finish together at
+  alpha_PERF - and collapse the taxonomy; see DESIGN.md, decision 3.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.categories import Boundedness, DeviceDuration, WorkloadCategory
+from repro.errors import ClassificationError
+from repro.units import ms
+
+#: Memory-bound threshold on (L3 misses / load-store instructions).
+MEMORY_INTENSITY_THRESHOLD = 0.33
+
+#: Short/long threshold on estimated remaining execution time.
+SHORT_LONG_THRESHOLD_S = ms(100.0)
+
+
+@dataclass(frozen=True)
+class ClassificationInputs:
+    """Everything the classifier needs from one profiling round."""
+
+    l3_misses: float
+    loadstore_instructions: float
+    cpu_throughput: float   # R_C
+    gpu_throughput: float   # R_G
+    remaining_items: float  # N_rem
+
+
+@dataclass(frozen=True)
+class OnlineClassifier:
+    """Threshold-based classifier; thresholds are ablatable parameters."""
+
+    memory_threshold: float = MEMORY_INTENSITY_THRESHOLD
+    short_long_threshold_s: float = SHORT_LONG_THRESHOLD_S
+
+    def memory_intensity(self, inputs: ClassificationInputs) -> float:
+        if inputs.loadstore_instructions < 0 or inputs.l3_misses < 0:
+            raise ClassificationError("negative counter reading")
+        if inputs.loadstore_instructions == 0:
+            return 0.0
+        return inputs.l3_misses / inputs.loadstore_instructions
+
+    def boundedness(self, inputs: ClassificationInputs) -> Boundedness:
+        if self.memory_intensity(inputs) > self.memory_threshold:
+            return Boundedness.MEMORY
+        return Boundedness.COMPUTE
+
+    def device_durations(
+            self, inputs: ClassificationInputs
+    ) -> "tuple[DeviceDuration, DeviceDuration]":
+        """(CPU, GPU) device-alone short/long estimates for N_rem."""
+        if inputs.remaining_items < 0:
+            raise ClassificationError("negative remaining_items")
+        if inputs.cpu_throughput <= 0 and inputs.gpu_throughput <= 0:
+            raise ClassificationError("both devices report zero throughput")
+        cpu_time = (inputs.remaining_items / inputs.cpu_throughput
+                    if inputs.cpu_throughput > 0 else float("inf"))
+        gpu_time = (inputs.remaining_items / inputs.gpu_throughput
+                    if inputs.gpu_throughput > 0 else float("inf"))
+        cpu = (DeviceDuration.SHORT if cpu_time < self.short_long_threshold_s
+               else DeviceDuration.LONG)
+        gpu = (DeviceDuration.SHORT if gpu_time < self.short_long_threshold_s
+               else DeviceDuration.LONG)
+        return cpu, gpu
+
+    def classify(self, inputs: ClassificationInputs) -> WorkloadCategory:
+        """Full 8-way classification of one profiled workload."""
+        cpu, gpu = self.device_durations(inputs)
+        return WorkloadCategory(
+            boundedness=self.boundedness(inputs),
+            cpu_duration=cpu,
+            gpu_duration=gpu)

@@ -1,0 +1,169 @@
+"""Cooperative power-hint scheduling (the paper's future work).
+
+The paper closes with: "In future, we would like to incorporate
+feedback from our user-level runtime in power management techniques."
+This module implements that idea on the simulated SoC, whose PCU
+exposes a single *efficiency hint* knob
+(:meth:`repro.soc.simulator.IntegratedProcessor.set_power_hint`):
+
+* hint 0 - stock policy (what the black-box paper assumes);
+* hint 1 - pace the co-executing CPU down toward the activation floor.
+
+:class:`HintedEnergyAwareScheduler` extends EAS with a joint
+(hint, alpha) search before each partitioned run.  The adjustment model
+is deliberately simple and black-box-compatible - the runtime knows the
+hint's *definition* (a CPU frequency pacing fraction) but nothing about
+the PCU's internals:
+
+* the co-executing CPU's throughput scales linearly with its paced
+  frequency;
+* the CPU's share of the characterized P(alpha) scales superlinearly
+  (a generic CMOS frequency-power assumption).
+
+Profiling always runs under the stock policy, so throughput estimates
+and table-G state stay comparable with plain EAS; the hint applies only
+to partitioned execution and is cleared afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.characterization import PlatformCharacterization
+from repro.core.classification import OnlineClassifier
+from repro.core.metrics import EnergyMetric
+from repro.core.optimizer import alpha_grid
+from repro.core.power_curve import PowerCurve
+from repro.core.profiling import ProfileAggregate
+from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.core.time_model import ExecutionTimeModel
+from repro.errors import SchedulingError
+from repro.runtime.runtime import KernelLaunch, SchedulerRecord
+
+#: Exponent relating CPU frequency to CPU dynamic power in the hint
+#: adjustment model (a generic CMOS assumption, not a PCU secret).
+_POWER_EXPONENT = 2.2
+
+
+@dataclass(frozen=True)
+class HintDecision:
+    """One partitioned run's chosen (hint, alpha) and its prediction."""
+
+    hint: float
+    alpha: float
+    predicted_objective: float
+
+
+class HintedEnergyAwareScheduler(EnergyAwareScheduler):
+    """EAS plus the runtime->PCU efficiency hint of the conclusion."""
+
+    def __init__(self, characterization: PlatformCharacterization,
+                 metric: EnergyMetric,
+                 classifier: Optional[OnlineClassifier] = None,
+                 config: Optional[EasConfig] = None,
+                 hint_levels: Tuple[float, ...] = (0.0, 0.5, 1.0)) -> None:
+        super().__init__(characterization, metric, classifier, config)
+        if not hint_levels or any(not 0.0 <= h <= 1.0 for h in hint_levels):
+            raise SchedulingError("hint levels must be in [0, 1]")
+        self.hint_levels = tuple(hint_levels)
+        self.hint_decisions: List[HintDecision] = []
+        #: Kernel key -> (R_C, R_G, category) from the latest profiling.
+        self._profiled: Dict[str, tuple] = {}
+        self._active_key: Optional[str] = None
+
+    # -- SchedulerProtocol --------------------------------------------------------
+
+    def execute(self, launch: KernelLaunch) -> SchedulerRecord:
+        """Fig. 7 with a hinted partitioned phase.
+
+        The base algorithm is reused verbatim; only the single
+        ``run_partitioned`` call it makes per invocation is redirected
+        through the joint (hint, alpha) search.
+        """
+        processor = launch.processor
+        processor.set_power_hint(0.0)
+        self._active_key = launch.kernel.key
+        original_run_partitioned = launch.run_partitioned
+
+        def hinted_run_partitioned(alpha: float):
+            decision = self._best_hint(alpha, launch)
+            self.hint_decisions.append(decision)
+            processor.set_power_hint(decision.hint)
+            try:
+                return original_run_partitioned(decision.alpha)
+            finally:
+                processor.set_power_hint(0.0)
+
+        launch.run_partitioned = hinted_run_partitioned  # type: ignore[method-assign]
+        try:
+            return super().execute(launch)
+        finally:
+            launch.run_partitioned = original_run_partitioned  # type: ignore[method-assign]
+            processor.set_power_hint(0.0)
+            self._active_key = None
+
+    # -- base-class hook ----------------------------------------------------------
+
+    def _derive_alpha(self, aggregate: ProfileAggregate,
+                      remaining_items: float, total_items: float):
+        """Capture profiled throughputs per kernel for the hint model."""
+        alpha, category = super()._derive_alpha(
+            aggregate, remaining_items, total_items)
+        if self._active_key is not None:
+            self._profiled[self._active_key] = (
+                aggregate.cpu_throughput, aggregate.gpu_throughput, category)
+        return alpha, category
+
+    # -- internals ------------------------------------------------------------------
+
+    def _best_hint(self, base_alpha: float, launch: KernelLaunch) -> HintDecision:
+        """Joint (hint, alpha) grid search around the base decision.
+
+        Falls back to the base alpha under the stock policy when no
+        profiling data exists for this kernel (e.g. the small-N path).
+        """
+        profiled = self._profiled.get(launch.kernel.key)
+        if profiled is None or profiled[1] <= 0.0 or profiled[2] is None:
+            return HintDecision(hint=0.0, alpha=base_alpha,
+                                predicted_objective=float("nan"))
+        r_c, r_g, category = profiled
+        curve = self.characterization.curve_for(category)
+
+        spec = launch.processor.spec
+        pace_floor = (spec.pcu.cpu_gpu_activation_floor_hz
+                      / spec.pcu.cpu_coexec_freq_hz)
+        n_items = max(launch.remaining_items, 1.0)
+
+        best: Optional[HintDecision] = None
+        for hint in self.hint_levels:
+            ratio = 1.0 - hint * (1.0 - pace_floor)
+            model = ExecutionTimeModel(
+                cpu_throughput=max(r_c * ratio, 1e-9),
+                gpu_throughput=r_g, n_items=n_items)
+            for alpha in alpha_grid(self.config.alpha_step):
+                t = model.total_time(alpha)
+                p = self._hinted_power(curve, alpha, ratio)
+                objective = self.metric.value(p, t)
+                if best is None or objective < best.predicted_objective:
+                    best = HintDecision(hint=hint, alpha=alpha,
+                                        predicted_objective=objective)
+        assert best is not None
+        return best
+
+    @staticmethod
+    def _hinted_power(curve: PowerCurve, alpha: float, ratio: float) -> float:
+        """Adjust P(alpha) for a paced co-executing CPU.
+
+        The CPU's contribution to package power at offload ratio alpha
+        is estimated as the curve's excess over its GPU-alone endpoint
+        weighted by the CPU's work share; pacing scales that
+        contribution by ratio**2.2.
+        """
+        base = curve.power(alpha)
+        if ratio >= 1.0 or alpha >= 1.0:
+            return base
+        gpu_alone = curve.power(1.0)
+        cpu_contribution = max(base - gpu_alone, 0.0) * (1.0 - alpha)
+        paced = cpu_contribution * ratio ** _POWER_EXPONENT
+        return max(base - cpu_contribution + paced, 1e-3)

@@ -1,0 +1,75 @@
+"""Energy-related objective metrics.
+
+The paper optimizes "any user-defined energy-related metric that can be
+expressed as a function of power consumption and program execution
+time".  The three named in the paper:
+
+* total energy      E       = P * T
+* energy-delay      EDP     = E * T   = P * T^2
+* energy-delay^2    ED^2    = E * T^2 = P * T^3
+
+:class:`EnergyMetric` covers the power-of-T family and accepts an
+arbitrary ``f(power_w, time_s)`` for anything exotic.  Lower is always
+better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import SchedulingError
+
+MetricFn = Callable[[float, float], float]
+
+
+@dataclass(frozen=True)
+class EnergyMetric:
+    """An objective of the form ``power * time**delay_exponent`` or a
+    custom function of (power, time)."""
+
+    name: str
+    delay_exponent: float = 1.0
+    custom_fn: Optional[MetricFn] = None
+
+    def __post_init__(self) -> None:
+        if self.custom_fn is None and self.delay_exponent < 1.0:
+            raise SchedulingError(
+                "delay_exponent below 1 would not account for energy at all")
+
+    def value(self, power_w: float, time_s: float) -> float:
+        """Metric value; lower is better."""
+        if power_w < 0 or time_s < 0:
+            raise SchedulingError("power and time must be non-negative")
+        if self.custom_fn is not None:
+            return self.custom_fn(power_w, time_s)
+        return power_w * time_s ** self.delay_exponent
+
+    def from_energy(self, energy_j: float, time_s: float) -> float:
+        """Metric value from a measured (energy, time) pair."""
+        if time_s <= 0:
+            raise SchedulingError("time must be positive")
+        return self.value(energy_j / time_s, time_s)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Total energy use, E = P*T.
+ENERGY = EnergyMetric(name="energy", delay_exponent=1.0)
+#: Energy-delay product, EDP = P*T^2.
+EDP = EnergyMetric(name="edp", delay_exponent=2.0)
+#: Energy-delay-squared product, ED2 = P*T^3.
+ED2 = EnergyMetric(name="ed2", delay_exponent=3.0)
+
+_BY_NAME: Dict[str, EnergyMetric] = {m.name: m for m in (ENERGY, EDP, ED2)}
+
+
+def metric_by_name(name: str) -> EnergyMetric:
+    """Look up one of the standard metrics by name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown metric {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,106 @@
+"""Power characterization functions P(alpha).
+
+Section 2: for each workload category the characterizer measures the
+average package power of a micro-benchmark at a sweep of GPU offload
+ratios, then fits a smooth curve; the paper found "a sixth-order
+polynomial was a good fit".  A :class:`PowerCurve` is that polynomial
+plus enough metadata to print the ``y = ...`` equations of Figs. 5-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+
+#: The paper's fit order.
+DEFAULT_ORDER = 6
+
+
+@dataclass(frozen=True)
+class PowerCurve:
+    """A polynomial P(alpha) over alpha in [0, 1], in watts.
+
+    ``coefficients`` are highest-degree first (numpy poly1d layout).
+    Evaluation clamps alpha into [0,1] and power to a small positive
+    floor: a fitted polynomial can dip spuriously near the edges, and a
+    negative "power" would let the optimizer chase nonsense.
+    """
+
+    coefficients: Tuple[float, ...]
+    #: alpha/power samples the curve was fitted to (for reporting).
+    sample_alphas: Tuple[float, ...] = ()
+    sample_powers: Tuple[float, ...] = ()
+    label: str = ""
+
+    _POWER_FLOOR_W = 1e-3
+
+    def __post_init__(self) -> None:
+        if len(self.coefficients) < 1:
+            raise CharacterizationError("curve needs at least one coefficient")
+
+    @property
+    def order(self) -> int:
+        return len(self.coefficients) - 1
+
+    def power(self, alpha: float) -> float:
+        """P(alpha) in watts."""
+        a = min(max(alpha, 0.0), 1.0)
+        value = float(np.polyval(self.coefficients, a))
+        return max(value, self._POWER_FLOOR_W)
+
+    def __call__(self, alpha: float) -> float:
+        return self.power(alpha)
+
+    def fit_residual_rms(self) -> float:
+        """RMS error of the fit against its own samples, watts."""
+        if not self.sample_alphas:
+            raise CharacterizationError("curve carries no samples")
+        predicted = [self.power(a) for a in self.sample_alphas]
+        err = np.asarray(predicted) - np.asarray(self.sample_powers)
+        return float(np.sqrt(np.mean(err ** 2)))
+
+    def equation(self, digits: int = 3) -> str:
+        """Render the fitted polynomial like the y-equations of Fig. 5."""
+        terms = []
+        n = self.order
+        for i, c in enumerate(self.coefficients):
+            p = n - i
+            coeff = round(c, digits)
+            if coeff == 0:
+                continue
+            if p == 0:
+                terms.append(f"{coeff:+g}")
+            elif p == 1:
+                terms.append(f"{coeff:+g}x")
+            else:
+                terms.append(f"{coeff:+g}x^{p}")
+        body = " ".join(terms) if terms else "0"
+        return f"y = {body}"
+
+
+def fit_power_curve(alphas: Sequence[float], powers: Sequence[float],
+                    order: int = DEFAULT_ORDER, label: str = "") -> PowerCurve:
+    """Fit a power characterization polynomial to sweep measurements.
+
+    Raises if the sweep is too sparse for the requested order (the
+    paper sweeps 11+ points for its sixth-order fits).
+    """
+    alphas = tuple(float(a) for a in alphas)
+    powers = tuple(float(p) for p in powers)
+    if len(alphas) != len(powers):
+        raise CharacterizationError("alphas and powers length mismatch")
+    if len(alphas) < order + 1:
+        raise CharacterizationError(
+            f"need at least {order + 1} sweep points for an order-{order} "
+            f"fit, got {len(alphas)}")
+    if any(not 0.0 <= a <= 1.0 for a in alphas):
+        raise CharacterizationError("alpha samples must lie in [0, 1]")
+    if any(p < 0 for p in powers):
+        raise CharacterizationError("negative power sample")
+    coeffs = np.polyfit(alphas, powers, order)
+    return PowerCurve(coefficients=tuple(float(c) for c in coeffs),
+                      sample_alphas=alphas, sample_powers=powers, label=label)

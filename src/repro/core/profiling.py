@@ -1,0 +1,171 @@
+"""Lightweight online profiling (Section 3.1, Fig. 7 lines 28-35).
+
+The actual profiling *mechanics* - offloading GPU_PROFILE_SIZE items,
+draining the shared pool with CPU workers, terminating them when the
+GPU finishes - live in :meth:`repro.runtime.runtime.KernelLaunch.profile_chunk`.
+This module aggregates the observations:
+
+* :class:`ProfileAggregate` combines repeated profiling rounds into
+  sample-weighted throughput estimates (R_C, R_G) and pooled hardware
+  counters;
+* :class:`KernelTable` is the global table G of Fig. 7, mapping kernel
+  keys to their scheduled alpha, accumulated across invocations via
+  the sample-weighted technique of the paper's reference [12]:
+  ``alpha <- (alpha*w + alpha_new*w_new) / (w + w_new)`` with weights
+  equal to the iteration counts the estimates are based on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.categories import WorkloadCategory
+from repro.errors import SchedulingError
+from repro.runtime.runtime import ProfileObservation
+
+
+@dataclass
+class ProfileAggregate:
+    """Sample-weighted combination of profiling rounds for one kernel."""
+
+    rounds: List[ProfileObservation] = field(default_factory=list)
+
+    def add(self, observation: ProfileObservation) -> None:
+        self.rounds.append(observation)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def _require_rounds(self) -> None:
+        if not self.rounds:
+            raise SchedulingError("no profiling rounds recorded")
+
+    @property
+    def cpu_throughput(self) -> float:
+        """R_C: total CPU items over total CPU-worker time."""
+        self._require_rounds()
+        items = sum(r.cpu_items for r in self.rounds)
+        time = sum(r.cpu_time_s for r in self.rounds)
+        return items / time if time > 0 else 0.0
+
+    @property
+    def gpu_throughput(self) -> float:
+        """R_G: total GPU items over total proxy-observed GPU time."""
+        self._require_rounds()
+        items = sum(r.gpu_items for r in self.rounds)
+        time = sum(r.gpu_time_s for r in self.rounds)
+        return items / time if time > 0 else 0.0
+
+    @property
+    def total_items(self) -> float:
+        self._require_rounds()
+        return sum(r.cpu_items + r.gpu_items for r in self.rounds)
+
+    @property
+    def total_time_s(self) -> float:
+        self._require_rounds()
+        return sum(r.cpu_time_s for r in self.rounds)
+
+    @property
+    def l3_misses(self) -> float:
+        self._require_rounds()
+        return sum(r.counters.l3_misses for r in self.rounds)
+
+    @property
+    def loadstore_instructions(self) -> float:
+        self._require_rounds()
+        return sum(r.counters.loadstore_instructions for r in self.rounds)
+
+    @property
+    def instructions_retired(self) -> float:
+        self._require_rounds()
+        return sum(r.counters.instructions_retired for r in self.rounds)
+
+
+@dataclass
+class KernelTableEntry:
+    """One row of the global table G."""
+
+    alpha: float
+    weight: float
+    category: Optional[WorkloadCategory] = None
+    invocations: int = 0
+    #: Largest invocation size the alpha was ever derived from.  A
+    #: much larger invocation triggers re-profiling (with
+    #: sample-weighted accumulation), because an alpha derived from a
+    #: tiny early frontier says little about a 100x larger one.
+    derived_at_items: float = 0.0
+    #: True when the entry came from the small-N CPU-only fast path
+    #: (Fig. 7 lines 6-10) rather than from profiling.  A later
+    #: invocation large enough to profile replaces it outright - road
+    #: network BFS launches a 1-item frontier first, and pinning the
+    #: whole application to the CPU because of it would be absurd.
+    provisional: bool = False
+
+    def accumulate(self, alpha: float, weight: float) -> None:
+        """Sample-weighted running average of alpha."""
+        if weight <= 0:
+            raise SchedulingError("accumulation weight must be positive")
+        total = self.weight + weight
+        self.alpha = (self.alpha * self.weight + alpha * weight) / total
+        self.weight = total
+
+
+class KernelTable:
+    """The global runtime table G: kernel key -> scheduling state."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, KernelTableEntry] = {}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[KernelTableEntry]:
+        return self._entries.get(key)
+
+    def record(self, key: str, alpha: float, weight: float,
+               category: Optional[WorkloadCategory] = None,
+               provisional: bool = False) -> KernelTableEntry:
+        """First-time record, or sample-weighted accumulation thereafter.
+
+        A profiled (non-provisional) record replaces a provisional one
+        outright instead of averaging with it.
+        """
+        if not 0.0 <= alpha <= 1.0:
+            raise SchedulingError(f"alpha {alpha} outside [0, 1]")
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = KernelTableEntry(alpha=alpha, weight=weight,
+                                     category=category, provisional=provisional,
+                                     derived_at_items=weight)
+            self._entries[key] = entry
+        elif entry.provisional and not provisional:
+            entry.alpha = alpha
+            entry.weight = weight
+            entry.category = category
+            entry.provisional = False
+            entry.derived_at_items = weight
+        elif provisional and not entry.provisional:
+            # A small-N CPU-only fast-path record carries no information
+            # about partitionable launches; never let it dilute a
+            # profiled alpha.
+            pass
+        else:
+            entry.accumulate(alpha, weight)
+            entry.derived_at_items = max(entry.derived_at_items, weight)
+            if category is not None:
+                entry.category = category
+        return entry
+
+    def note_invocation(self, key: str) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.invocations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,121 @@
+"""Characterization quality validation.
+
+When the black-box pipeline meets a *new* processor (the paper's SKU
+variability story), the one-time characterization is the only platform
+knowledge the scheduler will ever have - a silently bad fit poisons
+every subsequent decision.  :func:`validate_characterization` performs
+the sanity checks a deployment should run before caching the curve
+table:
+
+* completeness (all eight categories fitted);
+* physical plausibility (positive power across the sweep, within a
+  sane multiple of the platform's package cap);
+* fit quality (residual RMS within a fraction of the curve's range);
+* sweep adequacy (enough points for the polynomial order).
+
+Findings come back as structured :class:`ValidationIssue`s rather than
+exceptions, so callers can decide what is fatal; ``strict=True``
+raises on any error-severity issue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.categories import all_categories
+from repro.core.characterization import PlatformCharacterization
+from repro.errors import CharacterizationError
+from repro.soc.spec import PlatformSpec
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding about a characterization's quality."""
+
+    severity: Severity
+    category_code: Optional[str]
+    message: str
+
+    def __str__(self) -> str:
+        where = f"[{self.category_code}] " if self.category_code else ""
+        return f"{self.severity.value}: {where}{self.message}"
+
+
+def validate_characterization(
+        characterization: PlatformCharacterization,
+        spec: Optional[PlatformSpec] = None,
+        max_relative_rms: float = 0.15,
+        strict: bool = False) -> List[ValidationIssue]:
+    """Check a curve table before trusting it for scheduling.
+
+    ``spec`` enables the power-plausibility checks (they need the
+    package cap); without it only structural checks run.  Returns all
+    issues found; raises :class:`CharacterizationError` under
+    ``strict=True`` if any has error severity.
+    """
+    issues: List[ValidationIssue] = []
+
+    for category in all_categories():
+        code = category.short_code
+        curve = characterization.curves.get(category)
+        if curve is None:
+            issues.append(ValidationIssue(
+                Severity.ERROR, code, "no curve fitted for this category"))
+            continue
+
+        grid = np.linspace(0.0, 1.0, 21)
+        powers = np.array([curve.power(a) for a in grid])
+
+        if (powers <= 0.01).any():
+            issues.append(ValidationIssue(
+                Severity.ERROR, code,
+                "fitted power collapses to the floor inside the sweep"))
+        if spec is not None:
+            cap = spec.pcu.package_cap_w
+            if powers.max() > 2.0 * cap:
+                issues.append(ValidationIssue(
+                    Severity.ERROR, code,
+                    f"fitted power peaks at {powers.max():.1f} W, above "
+                    f"2x the package cap ({cap:.1f} W)"))
+            if powers.min() < 0.5 * spec.idle_power_w:
+                issues.append(ValidationIssue(
+                    Severity.WARNING, code,
+                    f"fitted power dips to {powers.min():.2f} W, below "
+                    f"half the idle floor"))
+
+        if not curve.sample_alphas:
+            issues.append(ValidationIssue(
+                Severity.WARNING, code,
+                "curve carries no sweep samples; fit quality unknown"))
+            continue
+        if len(curve.sample_alphas) < curve.order + 1:
+            issues.append(ValidationIssue(
+                Severity.ERROR, code,
+                f"{len(curve.sample_alphas)} sweep points cannot "
+                f"constrain an order-{curve.order} fit"))
+            continue
+        spread = max(curve.sample_powers) - min(curve.sample_powers)
+        scale = max(spread, 0.05 * max(curve.sample_powers))
+        rms = curve.fit_residual_rms()
+        if rms > max_relative_rms * scale:
+            issues.append(ValidationIssue(
+                Severity.WARNING, code,
+                f"fit RMS {rms:.2f} W exceeds {max_relative_rms:.0%} of "
+                f"the sweep's range ({scale:.2f} W)"))
+
+    if strict and any(i.severity is Severity.ERROR for i in issues):
+        details = "; ".join(str(i) for i in issues
+                            if i.severity is Severity.ERROR)
+        raise CharacterizationError(
+            f"characterization for {characterization.platform_name!r} "
+            f"failed validation: {details}")
+    return issues

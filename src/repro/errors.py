@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses are grouped by the
+layer that raises them: the simulated SoC substrate, the parallel
+runtime, the characterization/scheduling core, and the workload suite.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """A platform specification is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The SoC simulator was driven into an invalid state."""
+
+
+class CounterError(ReproError):
+    """A performance counter was misused (e.g. stopped before started)."""
+
+
+class RuntimeLayerError(ReproError):
+    """The parallel_for runtime layer was misused."""
+
+
+class SchedulingError(ReproError):
+    """The energy-aware scheduler received invalid inputs."""
+
+
+class CharacterizationError(ReproError):
+    """Power characterization failed (bad sweep, degenerate fit, ...)."""
+
+
+class ClassificationError(ReproError):
+    """Online workload classification received invalid measurements."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was configured with invalid parameters."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness was asked for an unknown experiment."""

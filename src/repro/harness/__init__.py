@@ -1,0 +1,32 @@
+"""Evaluation harness: runs the paper's experiments end to end.
+
+* :mod:`repro.harness.experiment` - run one (platform, workload,
+  scheduler) application to completion on a fresh simulated processor;
+* :mod:`repro.harness.suite` - alpha sweeps (Oracle / PERF), strategy
+  comparisons, and Oracle-relative efficiency tables (Figs. 9-12);
+* :mod:`repro.harness.figures` - one regenerator per paper table and
+  figure;
+* :mod:`repro.harness.report` - ASCII rendering of tables and series;
+* :mod:`repro.harness.cli` - ``python -m repro.harness --figure N``.
+"""
+
+from repro.harness.experiment import ApplicationRun, run_application
+from repro.harness.suite import (
+    AlphaSweep,
+    StrategyOutcome,
+    SuiteEvaluation,
+    evaluate_suite,
+    get_characterization,
+    sweep_alphas,
+)
+
+__all__ = [
+    "ApplicationRun",
+    "run_application",
+    "AlphaSweep",
+    "sweep_alphas",
+    "StrategyOutcome",
+    "SuiteEvaluation",
+    "evaluate_suite",
+    "get_characterization",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.harness`` dispatches to the CLI."""
+
+import sys
+
+from repro.harness.cli import main
+
+sys.exit(main())

@@ -1,0 +1,148 @@
+"""Command-line entry point: ``python -m repro.harness``.
+
+Examples::
+
+    python -m repro.harness --list
+    python -m repro.harness --figure 9
+    python -m repro.harness --experiment table1
+    python -m repro.harness --all
+    python -m repro.harness --run CC --platform desktop --metric edp
+    python -m repro.harness --run SL --strategies cpu,gpu,eas --metric energy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+)
+from repro.core.metrics import metric_by_name
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.errors import HarnessError
+from repro.harness.experiment import run_application
+from repro.harness.figures import REGENERATORS, regenerate
+from repro.harness.report import format_table, heading
+from repro.harness.suite import get_characterization
+from repro.soc.spec import baytrail_tablet, haswell_desktop
+from repro.workloads.registry import workload_by_abbrev
+
+
+def _figure_id(number: str) -> str:
+    return f"fig{int(number)}"
+
+
+def _run_custom(args: argparse.Namespace) -> int:
+    """Run one workload under selected strategies and print the table."""
+    tablet = args.platform == "tablet"
+    spec = baytrail_tablet() if tablet else haswell_desktop()
+    workload = workload_by_abbrev(args.run)
+    metric = metric_by_name(args.metric)
+    wanted = [s.strip().lower() for s in args.strategies.split(",")]
+
+    def make(name: str):
+        if name == "cpu":
+            return CpuOnlyScheduler()
+        if name == "gpu":
+            return GpuOnlyScheduler()
+        if name == "perf":
+            return ProfiledPerfScheduler()
+        if name == "eas":
+            return EnergyAwareScheduler(
+                get_characterization(spec, cache_dir=args.cache_dir), metric)
+        raise HarnessError(
+            f"unknown strategy {name!r}; expected cpu, gpu, perf or eas")
+
+    if args.trace_csv and len(wanted) != 1:
+        raise HarnessError("--trace-csv needs exactly one strategy "
+                           "(use --strategies eas, for example)")
+
+    print(heading(f"{workload.name} ({workload.abbrev}) on {spec.name}, "
+                  f"metric={metric.name}"))
+    rows = []
+    for name in wanted:
+        run = run_application(spec, workload, make(name), name,
+                              tablet=tablet, trace=bool(args.trace_csv))
+        alpha = "-" if run.final_alpha is None else f"{run.final_alpha:.2f}"
+        rows.append((name.upper(), alpha, run.time_s, run.energy_j,
+                     run.metric_value(metric)))
+        if args.trace_csv:
+            from repro.soc.trace import write_csv
+
+            rows_written = write_csv(run.trace, args.trace_csv)
+            print(f"[wrote {rows_written} trace rows to {args.trace_csv}]")
+    print(format_table(
+        ["strategy", "alpha", "time (s)", "energy (J)",
+         f"{metric.name} value"], rows))
+    best = min(rows, key=lambda r: r[4])
+    print(f"\nbest {metric.name}: {best[0]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures, or run "
+                    "custom strategy comparisons, on the simulated "
+                    "platforms.")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--figure", metavar="N",
+                       help="regenerate figure N (1-6, 9-12)")
+    group.add_argument("--experiment", metavar="ID",
+                       help="regenerate by id (fig1..fig12, table1)")
+    group.add_argument("--all", action="store_true",
+                       help="regenerate every table and figure")
+    group.add_argument("--list", action="store_true",
+                       help="list available experiment ids")
+    group.add_argument("--run", metavar="WORKLOAD",
+                       help="run one workload (by Table-1 abbreviation) "
+                            "under selected strategies")
+    parser.add_argument("--platform", choices=("desktop", "tablet"),
+                        default="desktop",
+                        help="platform for --run (default: desktop)")
+    parser.add_argument("--metric", default="edp",
+                        help="objective for --run: energy, edp or ed2 "
+                             "(default: edp)")
+    parser.add_argument("--strategies", default="cpu,gpu,perf,eas",
+                        help="comma-separated strategies for --run "
+                             "(default: cpu,gpu,perf,eas)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for cached platform "
+                             "characterizations (JSON)")
+    parser.add_argument("--trace-csv", default=None, metavar="PATH",
+                        help="with --run and a single strategy: write the "
+                             "power timeline of the run to PATH as CSV")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in REGENERATORS:
+            print(name)
+        return 0
+
+    if args.run is not None:
+        return _run_custom(args)
+
+    names: List[str]
+    if args.all:
+        names = list(REGENERATORS)
+    elif args.figure is not None:
+        names = [_figure_id(args.figure)]
+    else:
+        names = [args.experiment]
+
+    for name in names:
+        started = time.perf_counter()
+        result = regenerate(name)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

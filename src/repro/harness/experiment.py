@@ -1,0 +1,78 @@
+"""Single-application experiment runner.
+
+Runs every kernel invocation of one workload on a fresh simulated
+processor under one scheduler, measuring application-level wall time
+and MSR energy exactly as the paper's harness does on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.metrics import EnergyMetric
+from repro.runtime.runtime import ConcordRuntime, InvocationResult
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import PlatformSpec
+from repro.soc.trace import PowerTrace
+from repro.workloads.base import Workload
+
+SchedulerFactory = Callable[[], object]
+
+
+@dataclass
+class ApplicationRun:
+    """Measured outcome of one full application execution."""
+
+    platform: str
+    workload: str
+    strategy: str
+    time_s: float
+    energy_j: float
+    invocations: List[InvocationResult] = field(default_factory=list)
+    trace: Optional[PowerTrace] = None
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s > 0 else 0.0
+
+    def metric_value(self, metric: EnergyMetric) -> float:
+        """E * T^(k-1) evaluated from the measured run."""
+        return metric.from_energy(self.energy_j, self.time_s)
+
+    @property
+    def final_alpha(self) -> Optional[float]:
+        for result in reversed(self.invocations):
+            if result.alpha is not None:
+                return result.alpha
+        return None
+
+
+def run_application(spec: PlatformSpec, workload: Workload,
+                    scheduler: object, strategy_name: str,
+                    tablet: bool = False,
+                    trace: bool = False) -> ApplicationRun:
+    """Run all invocations of ``workload`` under ``scheduler``.
+
+    A fresh processor is created per run, mirroring the paper's
+    per-experiment measurement methodology.
+    """
+    processor = IntegratedProcessor(spec, trace_enabled=trace)
+    runtime = ConcordRuntime(processor)
+    kernel = workload.make_kernel(tablet=tablet)
+    t0 = processor.now
+    msr0 = processor.read_energy_msr()
+    results = [
+        runtime.parallel_for(kernel, inv.n_items, scheduler)
+        for inv in workload.invocations(tablet=tablet)
+    ]
+    energy = processor.energy_joules_between(msr0, processor.read_energy_msr())
+    return ApplicationRun(
+        platform=spec.name,
+        workload=workload.abbrev,
+        strategy=strategy_name,
+        time_s=processor.now - t0,
+        energy_j=energy,
+        invocations=results,
+        trace=processor.trace if trace else None,
+    )

@@ -1,0 +1,89 @@
+"""ASCII rendering of tables and series for the experiment harness.
+
+The paper's figures are bar charts and power timelines; a terminal
+harness prints the same rows/series as aligned tables plus coarse
+inline bars, so "who wins, by roughly what factor" is visible at a
+glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import HarnessError
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_digits: int = 3) -> str:
+    """Align columns; floats rendered with ``float_digits`` decimals."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, bool):
+                rendered.append("yes" if cell else "no")
+            elif isinstance(cell, float):
+                rendered.append(f"{cell:.{float_digits}f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise HarnessError("row width disagrees with header")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar(value: float, maximum: float, width: int = 40,
+               fill: str = "#") -> str:
+    """A one-line horizontal bar scaled to ``maximum``."""
+    if maximum <= 0:
+        raise HarnessError("bar maximum must be positive")
+    n = int(round(width * min(value, maximum) / maximum))
+    return fill * n
+
+
+def format_bar_chart(labels: Sequence[str], values: Sequence[float],
+                     unit: str = "", width: int = 40,
+                     maximum: Optional[float] = None) -> str:
+    """Labelled horizontal bars (one per row)."""
+    if len(labels) != len(values):
+        raise HarnessError("labels/values length mismatch")
+    if not values:
+        return "(empty)"
+    peak = maximum if maximum is not None else max(values)
+    label_w = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = format_bar(value, peak, width=width)
+        lines.append(f"{label.ljust(label_w)}  {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def format_series(times_s: Sequence[float], watts: Sequence[float],
+                  max_points: int = 24) -> str:
+    """A compact textual power timeline (subsampled)."""
+    if len(times_s) != len(watts):
+        raise HarnessError("series length mismatch")
+    if not times_s:
+        return "(empty series)"
+    step = max(1, len(times_s) // max_points)
+    lines = []
+    peak = max(watts)
+    for i in range(0, len(times_s), step):
+        bar = format_bar(watts[i], peak, width=30, fill="=")
+        lines.append(f"t={times_s[i] * 1000:9.1f} ms  {watts[i]:7.2f} W  {bar}")
+    return "\n".join(lines)
+
+
+def heading(text: str) -> str:
+    rule = "=" * len(text)
+    return f"{text}\n{rule}"

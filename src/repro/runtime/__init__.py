@@ -1,0 +1,36 @@
+"""Concord-like heterogeneous ``parallel_for`` runtime.
+
+The paper implements its scheduler inside Concord, a heterogeneous C++
+framework: a data-parallel ``parallel_for`` whose iterations may run on
+CPU worker threads (work stealing, TBB-style) or be offloaded in blocks
+to the integrated GPU by a dedicated *GPU proxy thread*.
+
+This package reproduces that structure:
+
+* :mod:`repro.runtime.deque` - a Chase-Lev work-stealing deque (a real,
+  thread-safe data structure, exercised by the host-execution pool);
+* :mod:`repro.runtime.shared_counter` - the shared global work counter
+  profiling drains (Fig. 7, OnlineProfile);
+* :mod:`repro.runtime.workstealing` - a host-thread work-stealing pool
+  used to execute workloads' *real* Python kernels for validation;
+* :mod:`repro.runtime.kernel` - the kernel abstraction: a CPU function,
+  a GPU ("OpenCL") function and a cost model;
+* :mod:`repro.runtime.runtime` - :class:`ConcordRuntime`, which runs
+  kernels on the simulated SoC under a pluggable scheduler.
+"""
+
+from repro.runtime.deque import ChaseLevDeque
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime, InvocationResult, KernelLaunch
+from repro.runtime.shared_counter import SharedWorkCounter
+from repro.runtime.workstealing import WorkStealingPool
+
+__all__ = [
+    "ChaseLevDeque",
+    "SharedWorkCounter",
+    "WorkStealingPool",
+    "Kernel",
+    "ConcordRuntime",
+    "KernelLaunch",
+    "InvocationResult",
+]

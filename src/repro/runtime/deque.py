@@ -1,0 +1,118 @@
+"""Chase-Lev work-stealing deque.
+
+The classical lock-free owner/thief deque from Chase & Lev, "Dynamic
+circular work-stealing deque" (SPAA'05), as used by TBB-style runtimes
+including the paper's Concord runtime: the owner pushes and pops at the
+bottom; thieves steal from the top.
+
+CPython cannot express the C11 atomics the lock-free original relies
+on, so the steal path uses a small lock while preserving the algorithm's
+structure and its owner-side fast path (owner pop does not take the
+lock unless it races a thief for the last element).  The semantics -
+LIFO for the owner, FIFO for thieves, every pushed item popped or
+stolen exactly once - are what the runtime layer and its tests rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ChaseLevDeque(Generic[T]):
+    """Owner/thief work-stealing deque with a growable circular buffer."""
+
+    _EMPTY_SENTINEL = object()
+
+    def __init__(self, initial_capacity: int = 64) -> None:
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        capacity = 1
+        while capacity < initial_capacity:
+            capacity <<= 1
+        self._buffer: List[Optional[T]] = [None] * capacity
+        self._mask = capacity - 1
+        self._top = 0      # thieves steal here
+        self._bottom = 0   # owner pushes/pops here
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return max(0, self._bottom - self._top)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def _grow(self) -> None:
+        old = self._buffer
+        old_mask = self._mask
+        new_capacity = len(old) * 2
+        new_buffer: List[Optional[T]] = [None] * new_capacity
+        for i in range(self._top, self._bottom):
+            new_buffer[i & (new_capacity - 1)] = old[i & old_mask]
+        self._buffer = new_buffer
+        self._mask = new_capacity - 1
+
+    # -- owner operations ------------------------------------------------------
+
+    def push(self, item: T) -> None:
+        """Owner-side push at the bottom."""
+        if self._bottom - self._top >= len(self._buffer):
+            with self._lock:
+                self._grow()
+        self._buffer[self._bottom & self._mask] = item
+        self._bottom += 1
+
+    def pop(self) -> Optional[T]:
+        """Owner-side LIFO pop; None when empty.
+
+        Mirrors the Chase-Lev owner pop: reserve the bottom slot, then
+        arbitrate with thieves only when taking the last element.
+        """
+        b = self._bottom - 1
+        self._bottom = b
+        t = self._top
+        if b < t:
+            # Deque was empty; undo.
+            self._bottom = t
+            return None
+        item = self._buffer[b & self._mask]
+        if b > t:
+            # More than one element: no race possible with thieves.
+            self._buffer[b & self._mask] = None
+            return item
+        # Exactly one element: race against thieves under the lock.
+        with self._lock:
+            t = self._top
+            if t <= b:
+                # We won: claim the last element.
+                self._top = t + 1
+                self._bottom = self._top
+                self._buffer[b & self._mask] = None
+                return item
+            # A thief took it first.
+            self._bottom = self._top
+            return None
+
+    # -- thief operations ---------------------------------------------------------
+
+    def steal(self) -> Optional[T]:
+        """Thief-side FIFO steal from the top; None when empty."""
+        with self._lock:
+            t = self._top
+            if t >= self._bottom:
+                return None
+            item = self._buffer[t & self._mask]
+            self._top = t + 1
+            return item
+
+    def drain(self) -> List[T]:
+        """Owner-side convenience: pop everything that remains."""
+        items: List[T] = []
+        while True:
+            item = self.pop()
+            if item is None:
+                return items
+            items.append(item)

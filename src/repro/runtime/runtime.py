@@ -1,0 +1,256 @@
+"""The Concord-like runtime: ``parallel_for`` over the simulated SoC.
+
+:class:`ConcordRuntime` owns one simulated processor and executes
+kernels on it under a pluggable scheduler.  A :class:`KernelLaunch` is
+the per-invocation context handed to the scheduler; it exposes exactly
+the primitives Fig. 7 needs:
+
+* :meth:`KernelLaunch.profile_chunk` - one OnlineProfile round: offload
+  a GPU chunk from the shared counter, let CPU workers drain the pool
+  concurrently, terminate them when the GPU completes, and return the
+  timing/counter observations;
+* :meth:`KernelLaunch.run_partitioned` - execute the remaining
+  iterations with GPU fraction alpha (work-stealing CPU side, one
+  contiguous GPU offload block);
+* :meth:`KernelLaunch.run_cpu_only` / :meth:`run_gpu_only`.
+
+All observations flow through the software-visible interfaces of the
+simulated SoC (clock, energy MSR, performance counters) so schedulers
+remain black-box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import RuntimeLayerError, SchedulingError
+from repro.runtime.kernel import Kernel
+from repro.soc.counters import CounterDelta
+from repro.soc.simulator import IntegratedProcessor, PhaseRequest, PhaseResult
+from repro.soc.work import CostProfile, WorkRegion, split_for_offload
+
+
+@dataclass(frozen=True)
+class ProfileObservation:
+    """What one OnlineProfile round measures (Fig. 7 lines 28-35)."""
+
+    #: Wall time of the profiling phase (launch to CPU-worker termination).
+    cpu_time_s: float
+    #: Proxy-thread view of GPU time (launch start to kernel completion).
+    gpu_time_s: float
+    cpu_items: float
+    gpu_items: float
+    counters: CounterDelta
+    #: Energy over the phase as read from the MSR.
+    energy_j: float
+
+    @property
+    def cpu_throughput(self) -> float:
+        """R_C: combined CPU items/s during co-execution."""
+        if self.cpu_time_s <= 0:
+            return 0.0
+        return self.cpu_items / self.cpu_time_s
+
+    @property
+    def gpu_throughput(self) -> float:
+        """R_G: GPU items/s including offload overhead."""
+        if self.gpu_time_s <= 0:
+            return 0.0
+        return self.gpu_items / self.gpu_time_s
+
+
+@dataclass
+class InvocationResult:
+    """Software-visible outcome of one ``parallel_for`` invocation."""
+
+    kernel_name: str
+    n_items: float
+    duration_s: float
+    energy_j: float
+    cpu_items: float
+    gpu_items: float
+    #: Final GPU offload ratio applied to the post-profiling remainder
+    #: (None for single-device runs decided without an alpha).
+    alpha: Optional[float] = None
+    profiled: bool = False
+    profile_rounds: int = 0
+    #: Time spent inside profiling phases.
+    profiling_time_s: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+
+class KernelLaunch:
+    """Execution context for one kernel invocation on one processor."""
+
+    def __init__(self, processor: IntegratedProcessor, kernel: Kernel,
+                 n_items: float, cost_profile: CostProfile) -> None:
+        if n_items <= 0:
+            raise RuntimeLayerError("n_items must be positive")
+        self.processor = processor
+        self.kernel = kernel
+        self.n_items = float(n_items)
+        self.cost_profile = cost_profile
+        #: Next unprocessed item (the shared counter's low-water mark).
+        self._next_item = 0.0
+        self._phases: List[PhaseResult] = []
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def remaining_items(self) -> float:
+        """N_rem: items still in the shared pool."""
+        return max(0.0, self.n_items - self._next_item)
+
+    @property
+    def phases(self) -> List[PhaseResult]:
+        return list(self._phases)
+
+    @property
+    def is_done(self) -> bool:
+        return self.remaining_items <= 1e-9
+
+    # -- scheduler primitives -------------------------------------------------------
+
+    def profile_chunk(self, gpu_chunk_items: float) -> ProfileObservation:
+        """One OnlineProfile round.
+
+        Offloads ``gpu_chunk_items`` from the shared counter to the
+        GPU; CPU workers drain the pool concurrently and are terminated
+        the moment the GPU chunk completes.
+        """
+        if self.is_done:
+            raise SchedulingError("profiling an exhausted launch")
+        gpu_chunk_items = min(gpu_chunk_items, self.remaining_items)
+        if gpu_chunk_items <= 0:
+            raise SchedulingError("profile chunk must be positive")
+        gpu_lo = self._next_item
+        gpu_hi = gpu_lo + gpu_chunk_items
+        gpu_region = WorkRegion.for_span(self.cost_profile, self.n_items,
+                                         gpu_lo, gpu_hi)
+        cpu_region = WorkRegion.for_span(self.cost_profile, self.n_items,
+                                         gpu_hi, self.n_items)
+        msr_before = self.processor.read_energy_msr()
+        result = self.processor.run_phase(PhaseRequest(
+            cost=self.kernel.cost, cpu_region=cpu_region,
+            gpu_region=gpu_region, stop_when_gpu_done=True))
+        msr_after = self.processor.read_energy_msr()
+        self._phases.append(result)
+        # GPU consumed its whole chunk; the CPU drained a prefix of the
+        # rest before being terminated.
+        self._next_item = gpu_hi + cpu_region.items_done
+        return ProfileObservation(
+            cpu_time_s=result.duration_s,
+            gpu_time_s=result.gpu_time_s,
+            cpu_items=result.cpu_items,
+            gpu_items=result.gpu_items,
+            counters=result.counters,
+            energy_j=self.processor.energy_joules_between(msr_before, msr_after),
+        )
+
+    def run_partitioned(self, alpha: float) -> PhaseResult:
+        """Execute all remaining iterations with GPU offload ratio alpha."""
+        if not 0.0 <= alpha <= 1.0:
+            raise SchedulingError(f"alpha {alpha} outside [0, 1]")
+        if self.is_done:
+            raise SchedulingError("launch already complete")
+        if alpha == 0.0:
+            return self._run_single(gpu=False)
+        if alpha == 1.0:
+            return self._run_single(gpu=True)
+        gpu_region, cpu_region = split_for_offload(
+            self.cost_profile, self.n_items, self._next_item, self.n_items, alpha)
+        result = self.processor.run_phase(PhaseRequest(
+            cost=self.kernel.cost, cpu_region=cpu_region, gpu_region=gpu_region))
+        self._phases.append(result)
+        self._next_item = self.n_items
+        return result
+
+    def run_cpu_only(self) -> PhaseResult:
+        return self._run_single(gpu=False)
+
+    def run_gpu_only(self) -> PhaseResult:
+        return self._run_single(gpu=True)
+
+    def _run_single(self, gpu: bool) -> PhaseResult:
+        if self.is_done:
+            raise SchedulingError("launch already complete")
+        region = WorkRegion.for_span(self.cost_profile, self.n_items,
+                                     self._next_item, self.n_items)
+        request = PhaseRequest(
+            cost=self.kernel.cost,
+            cpu_region=None if gpu else region,
+            gpu_region=region if gpu else None)
+        result = self.processor.run_phase(request)
+        self._phases.append(result)
+        self._next_item = self.n_items
+        return result
+
+
+class ConcordRuntime:
+    """Owns one simulated processor; runs kernels under a scheduler."""
+
+    def __init__(self, processor: IntegratedProcessor) -> None:
+        self.processor = processor
+        self._profiles: dict = {}
+
+    def _cost_profile(self, kernel: Kernel) -> CostProfile:
+        """Cache the irregularity profile per kernel (it is a property
+        of the kernel's input, identical across invocations)."""
+        profile = self._profiles.get(kernel.key)
+        if profile is None:
+            profile = CostProfile(kernel.cost)
+            self._profiles[kernel.key] = profile
+        return profile
+
+    def parallel_for(self, kernel: Kernel, n_items: float,
+                     scheduler: "SchedulerProtocol") -> InvocationResult:
+        """Run one kernel invocation to completion under ``scheduler``.
+
+        Wraps the scheduler's execution with software-visible time and
+        MSR energy measurements, exactly as an evaluation harness on
+        real hardware would.
+        """
+        launch = KernelLaunch(self.processor, kernel, n_items,
+                              self._cost_profile(kernel))
+        t0 = self.processor.now
+        msr0 = self.processor.read_energy_msr()
+        record = scheduler.execute(launch)
+        if not launch.is_done:
+            raise SchedulingError(
+                f"scheduler {type(scheduler).__name__} left "
+                f"{launch.remaining_items:.0f} items unprocessed")
+        msr1 = self.processor.read_energy_msr()
+        cpu_items = sum(p.cpu_items for p in launch.phases)
+        gpu_items = sum(p.gpu_items for p in launch.phases)
+        return InvocationResult(
+            kernel_name=kernel.name,
+            n_items=n_items,
+            duration_s=self.processor.now - t0,
+            energy_j=self.processor.energy_joules_between(msr0, msr1),
+            cpu_items=cpu_items,
+            gpu_items=gpu_items,
+            alpha=record.alpha,
+            profiled=record.profiled,
+            profile_rounds=record.profile_rounds,
+            profiling_time_s=record.profiling_time_s,
+            notes=list(record.notes),
+        )
+
+
+class SchedulerProtocol:
+    """Structural interface schedulers implement (see repro.core)."""
+
+    def execute(self, launch: KernelLaunch) -> "SchedulerRecord":
+        raise NotImplementedError
+
+
+@dataclass
+class SchedulerRecord:
+    """What a scheduler reports back about one invocation."""
+
+    alpha: Optional[float]
+    profiled: bool = False
+    profile_rounds: int = 0
+    profiling_time_s: float = 0.0
+    notes: List[str] = field(default_factory=list)

@@ -1,0 +1,131 @@
+"""Host-thread work-stealing pool.
+
+Executes a workload's *real* Python kernel function over an iteration
+range using per-worker Chase-Lev deques with random stealing - the
+structure of the paper's Concord CPU runtime.  This pool runs actual
+computation on the host (used to validate workload implementations and
+in the examples); the *timing and power* of CPU execution are always
+taken from the SoC simulator, never from host wall-clock.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeLayerError
+from repro.runtime.deque import ChaseLevDeque
+
+#: Iteration ranges are split into chunks of this many items before
+#: being dealt to worker deques.
+DEFAULT_CHUNK = 256
+
+Range = Tuple[int, int]
+
+
+class WorkStealingPool:
+    """A pool of worker threads with per-worker deques and stealing."""
+
+    def __init__(self, num_workers: int = 4, chunk: int = DEFAULT_CHUNK,
+                 seed: int = 0) -> None:
+        if num_workers < 1:
+            raise RuntimeLayerError("num_workers must be >= 1")
+        if chunk < 1:
+            raise RuntimeLayerError("chunk must be >= 1")
+        self.num_workers = num_workers
+        self.chunk = chunk
+        self._seed = seed
+
+    def _deal(self, start: int, stop: int) -> List[ChaseLevDeque[Range]]:
+        """Split [start, stop) into chunks dealt round-robin to deques."""
+        deques: List[ChaseLevDeque[Range]] = [
+            ChaseLevDeque() for _ in range(self.num_workers)]
+        worker = 0
+        pos = start
+        while pos < stop:
+            end = min(stop, pos + self.chunk)
+            deques[worker].push((pos, end))
+            worker = (worker + 1) % self.num_workers
+            pos = end
+        return deques
+
+    def run(self, body: Callable[[int, int], None], start: int, stop: int,
+            stop_event: Optional[threading.Event] = None) -> List[Range]:
+        """Execute ``body(lo, hi)`` over every chunk of [start, stop).
+
+        Workers pop their own deque LIFO and steal FIFO from random
+        victims when empty.  If ``stop_event`` is set mid-run, workers
+        abandon unprocessed chunks (this is how OnlineProfile
+        "terminates CPU workers" when the GPU chunk completes).
+        Returns the list of chunk ranges actually executed.
+        """
+        if stop < start:
+            raise RuntimeLayerError(f"bad range [{start}, {stop})")
+        deques = self._deal(start, stop)
+        executed: List[Range] = []
+        executed_lock = threading.Lock()
+        errors: List[BaseException] = []
+
+        def worker_main(wid: int) -> None:
+            rng = random.Random(self._seed * 1000003 + wid)
+            own = deques[wid]
+            misses = 0
+            while misses < 2 * self.num_workers:
+                if stop_event is not None and stop_event.is_set():
+                    return
+                item = own.pop()
+                if item is None:
+                    victim = rng.randrange(self.num_workers)
+                    item = deques[victim].steal()
+                if item is None:
+                    misses += 1
+                    continue
+                misses = 0
+                try:
+                    body(item[0], item[1])
+                except BaseException as exc:  # propagate to caller
+                    errors.append(exc)
+                    if stop_event is not None:
+                        stop_event.set()
+                    return
+                with executed_lock:
+                    executed.append(item)
+
+        threads = [threading.Thread(target=worker_main, args=(w,), daemon=True)
+                   for w in range(self.num_workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return sorted(executed)
+
+    def map_reduce(self, body: Callable[[int, int], object],
+                   combine: Callable[[object, object], object],
+                   start: int, stop: int, initial: object) -> object:
+        """Run ``body`` over chunks and fold the per-chunk results."""
+        results: List[object] = []
+        lock = threading.Lock()
+
+        def wrapped(lo: int, hi: int) -> None:
+            value = body(lo, hi)
+            with lock:
+                results.append(value)
+
+        self.run(wrapped, start, stop)
+        acc = initial
+        for value in results:
+            acc = combine(acc, value)
+        return acc
+
+
+def coverage_is_complete(executed: Sequence[Range], start: int, stop: int) -> bool:
+    """True iff the executed chunk ranges exactly tile [start, stop)."""
+    pos = start
+    for lo, hi in sorted(executed):
+        if lo != pos:
+            return False
+        pos = hi
+    return pos == stop

@@ -1,0 +1,60 @@
+"""Simulated integrated CPU-GPU system-on-chip substrate.
+
+The paper's scheduler treats the processor as a black box: it observes
+only wall-clock time, the ``MSR_PKG_ENERGY_STATUS`` energy register, and
+a handful of hardware performance counters, while the package control
+unit (PCU) firmware silently manages frequencies and the shared power
+budget.  This package provides a deterministic discrete-time simulator
+of such a processor:
+
+* :mod:`repro.soc.spec` - platform specifications (two calibrated
+  platforms: a Haswell-class desktop and a Bay Trail-class tablet);
+* :mod:`repro.soc.cost_model` - per-kernel cost descriptors;
+* :mod:`repro.soc.power` - the component power model;
+* :mod:`repro.soc.pcu` - the PCU firmware model (turbo, throttling,
+  ramp hysteresis, package power cap);
+* :mod:`repro.soc.msr` - the wrapping 32-bit energy MSR;
+* :mod:`repro.soc.counters` - performance counters;
+* :mod:`repro.soc.device` - per-device throughput (roofline with
+  bandwidth contention, GPU occupancy and divergence);
+* :mod:`repro.soc.work` - irregular iteration-space work regions;
+* :mod:`repro.soc.simulator` - the virtual-clock execution engine;
+* :mod:`repro.soc.trace` - power/time traces for the paper's figures.
+"""
+
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.counters import CounterSnapshot, PerfCounters
+from repro.soc.msr import EnergyMsr
+from repro.soc.simulator import IntegratedProcessor, PhaseRequest, PhaseResult
+from repro.soc.spec import (
+    CpuSpec,
+    GpuSpec,
+    MemorySpec,
+    PcuSpec,
+    PlatformSpec,
+    baytrail_tablet,
+    haswell_desktop,
+    ultrabook_15w,
+)
+from repro.soc.trace import PowerTrace
+from repro.soc.work import WorkRegion
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "MemorySpec",
+    "PcuSpec",
+    "PlatformSpec",
+    "haswell_desktop",
+    "baytrail_tablet",
+    "ultrabook_15w",
+    "KernelCostModel",
+    "PerfCounters",
+    "CounterSnapshot",
+    "EnergyMsr",
+    "IntegratedProcessor",
+    "PhaseRequest",
+    "PhaseResult",
+    "PowerTrace",
+    "WorkRegion",
+]

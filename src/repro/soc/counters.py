@@ -1,0 +1,117 @@
+"""Hardware performance counters.
+
+The paper's runtime uses the Intel Performance Counter Monitor tool to
+read L3 cache misses and total instructions retired during online
+profiling, plus GPU performance counter A26 to check whether the GPU is
+busy.  This module provides the same observables on the simulated SoC.
+
+Counters accumulate monotonically; measurement code snapshots them and
+differences the snapshots, as PCM does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CounterError
+from repro.soc.cost_model import KernelCostModel
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Point-in-time copy of all counter values."""
+
+    time_s: float
+    instructions_retired: float
+    loadstore_instructions: float
+    l3_misses: float
+    cpu_items: float
+    gpu_items: float
+    gpu_busy_time_s: float
+
+    def delta(self, later: "CounterSnapshot") -> "CounterDelta":
+        """Difference ``later - self``; later must not precede self."""
+        if later.time_s < self.time_s:
+            raise CounterError("snapshot order reversed")
+        return CounterDelta(
+            elapsed_s=later.time_s - self.time_s,
+            instructions_retired=later.instructions_retired - self.instructions_retired,
+            loadstore_instructions=(later.loadstore_instructions
+                                    - self.loadstore_instructions),
+            l3_misses=later.l3_misses - self.l3_misses,
+            cpu_items=later.cpu_items - self.cpu_items,
+            gpu_items=later.gpu_items - self.gpu_items,
+            gpu_busy_time_s=later.gpu_busy_time_s - self.gpu_busy_time_s,
+        )
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    """Counter activity over a measurement window."""
+
+    elapsed_s: float
+    instructions_retired: float
+    loadstore_instructions: float
+    l3_misses: float
+    cpu_items: float
+    gpu_items: float
+    gpu_busy_time_s: float
+
+    @property
+    def miss_to_loadstore_ratio(self) -> float:
+        """The paper's memory-intensity statistic (thresholded at 0.33)."""
+        if self.loadstore_instructions <= 0:
+            return 0.0
+        return self.l3_misses / self.loadstore_instructions
+
+
+class PerfCounters:
+    """Monotonic counter bank attached to one simulated processor."""
+
+    def __init__(self) -> None:
+        self.instructions_retired = 0.0
+        self.loadstore_instructions = 0.0
+        self.l3_misses = 0.0
+        self.cpu_items = 0.0
+        self.gpu_items = 0.0
+        self.gpu_busy_time_s = 0.0
+        self._gpu_busy = False
+
+    # -- simulator-side updates ------------------------------------------------
+
+    def account_cpu_items(self, items: float, cost: KernelCostModel) -> None:
+        """Retire the CPU-side events for ``items`` processed items."""
+        if items < 0:
+            raise CounterError("negative item count")
+        self.cpu_items += items
+        self.instructions_retired += items * cost.instructions_per_item
+        self.loadstore_instructions += items * cost.loadstores_per_item
+        self.l3_misses += items * cost.l3_misses_per_item
+
+    def account_gpu_items(self, items: float) -> None:
+        if items < 0:
+            raise CounterError("negative item count")
+        self.gpu_items += items
+
+    def account_gpu_busy(self, busy: bool, dt: float) -> None:
+        self._gpu_busy = busy
+        if busy:
+            self.gpu_busy_time_s += dt
+
+    # -- software-visible reads ----------------------------------------------
+
+    @property
+    def gpu_busy(self) -> bool:
+        """GPU performance counter A26: is the GPU currently busy?"""
+        return self._gpu_busy
+
+    def snapshot(self, time_s: float) -> CounterSnapshot:
+        return CounterSnapshot(
+            time_s=time_s,
+            instructions_retired=self.instructions_retired,
+            loadstore_instructions=self.loadstore_instructions,
+            l3_misses=self.l3_misses,
+            cpu_items=self.cpu_items,
+            gpu_items=self.gpu_items,
+            gpu_busy_time_s=self.gpu_busy_time_s,
+        )

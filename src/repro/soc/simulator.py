@@ -1,0 +1,296 @@
+"""Virtual-clock execution engine for the simulated integrated SoC.
+
+The simulator advances in small ticks (0.5-1 ms, per platform spec).
+Each tick it: steps the PCU (frequency policy + ramping), computes both
+devices' instantaneous throughput under memory contention, retires work
+from each device's :class:`~repro.soc.work.WorkRegion`, integrates
+package power into the energy MSR, updates performance counters, and
+optionally records a trace sample.
+
+Execution is organized into *phases*, matching the runtime structure of
+the paper's Fig. 7 algorithm:
+
+* a **profiling phase** (``stop_when_gpu_done=True``): the GPU runs a
+  fixed-size chunk while CPU workers drain a shared pool; the phase
+  ends the moment the GPU finishes and the CPU workers are terminated
+  (OnlineProfile, lines 28-35);
+* a **partitioned phase**: GPU and CPU each own a region; the phase
+  ends when both are done (lines 23-25) - one device typically
+  finishes first and the other continues alone, which is exactly the
+  structure of the paper's T(alpha) model (Eq. 4).
+
+One CPU hardware context acts as the *GPU proxy thread*: while a GPU
+kernel is being launched or is resident, one CPU worker contributes no
+item throughput (it is driving the GPU), matching the paper's runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.counters import CounterDelta, CounterSnapshot, PerfCounters
+from repro.soc.device import compute_rates
+from repro.soc.msr import EnergyMsr
+from repro.soc.pcu import Pcu
+from repro.soc.power import idle_power, package_power
+from repro.soc.spec import PlatformSpec
+from repro.soc.trace import PowerTrace, TraceSample
+from repro.soc.work import WorkRegion
+
+#: Smallest tick the event-alignment logic will produce.
+_MIN_DT = 1e-7
+
+#: Items-remaining below which a region counts as finished.
+_DONE_EPS = 1e-9
+
+
+@dataclass
+class PhaseRequest:
+    """One phase of kernel execution."""
+
+    cost: KernelCostModel
+    cpu_region: Optional[WorkRegion]
+    gpu_region: Optional[WorkRegion]
+    #: Profiling mode: terminate CPU workers as soon as the GPU chunk
+    #: completes, leaving the CPU region partially processed.
+    stop_when_gpu_done: bool = False
+    #: Cap on wall time for this phase (safety net).
+    max_duration_s: float = 600.0
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """What the runtime observes about a completed phase."""
+
+    start_t: float
+    end_t: float
+    cpu_items: float
+    gpu_items: float
+    #: Proxy-thread view of GPU time: launch start to kernel completion.
+    gpu_time_s: float
+    #: Time the GPU was actually executing (excludes launch overhead).
+    gpu_busy_time_s: float
+    counters: CounterDelta
+    #: Exact energy over the phase (diagnostic; schedulers must use the
+    #: MSR interface instead to stay black-box).
+    energy_j: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_t - self.start_t
+
+
+class IntegratedProcessor:
+    """A simulated integrated CPU-GPU package with PCU, MSR and counters."""
+
+    def __init__(self, spec: PlatformSpec, trace_enabled: bool = False) -> None:
+        self.spec = spec
+        self.now = 0.0
+        self.pcu = Pcu(spec)
+        self.msr = EnergyMsr(spec.energy_unit_j)
+        self.counters = PerfCounters()
+        self.trace = PowerTrace(enabled=trace_enabled)
+        self._last_package_w = idle_power(spec).package_w
+
+    # -- software-visible interface (what schedulers may use) -------------------
+
+    def read_energy_msr(self) -> int:
+        """Raw MSR_PKG_ENERGY_STATUS read."""
+        return self.msr.read()
+
+    def energy_joules_between(self, before: int, after: int) -> float:
+        return self.msr.joules_between(before, after)
+
+    def snapshot_counters(self) -> CounterSnapshot:
+        return self.counters.snapshot(self.now)
+
+    @property
+    def gpu_busy(self) -> bool:
+        """GPU performance counter A26."""
+        return self.counters.gpu_busy
+
+    def set_power_hint(self, hint: float) -> None:
+        """Hand the PCU a runtime efficiency hint in [0, 1].
+
+        The cooperative extension sketched in the paper's conclusion
+        ("incorporate feedback from our user-level runtime in power
+        management techniques"): 0 restores the stock policy, 1 asks
+        the firmware to pace the co-executing CPU for efficiency.
+        """
+        if not 0.0 <= hint <= 1.0:
+            raise SimulationError(f"power hint {hint} outside [0, 1]")
+        self.pcu.power_hint = hint
+
+    # -- execution ---------------------------------------------------------------
+
+    def idle(self, duration_s: float) -> None:
+        """Advance the clock with both devices idle."""
+        if duration_s < 0:
+            raise SimulationError("cannot idle for negative time")
+        remaining = duration_s
+        tick = self.spec.tick_s
+        while remaining > _MIN_DT:
+            dt = min(tick, remaining)
+            self.pcu.step(self.now, dt, cpu_active=False, gpu_active=False,
+                          last_package_power_w=self._last_package_w)
+            breakdown = idle_power(self.spec)
+            self._account_tick(dt, breakdown.package_w, 0.0, 0.0,
+                               breakdown.uncore_w, gpu_active=False)
+            remaining -= dt
+
+    def run_phase(self, request: PhaseRequest) -> PhaseResult:
+        """Execute one phase to completion and return observations."""
+        spec = self.spec
+        cost = request.cost
+        cpu_region = request.cpu_region
+        gpu_region = request.gpu_region
+
+        gpu_present = gpu_region is not None and gpu_region.items_remaining > _DONE_EPS
+        cpu_present = cpu_region is not None and cpu_region.items_remaining > _DONE_EPS
+        if not gpu_present and not cpu_present:
+            raise SimulationError("phase with no work on either device")
+        if request.stop_when_gpu_done and not gpu_present:
+            raise SimulationError("stop_when_gpu_done requires a GPU region")
+
+        start_t = self.now
+        start_counters = self.snapshot_counters()
+        start_energy = self.msr.lifetime_joules
+
+        launch_remaining = spec.gpu.kernel_launch_overhead_s if gpu_present else 0.0
+        gpu_dispatch_items = gpu_region.items_remaining if gpu_present else 0.0
+        gpu_running = False
+        gpu_done_t: Optional[float] = None
+        gpu_busy_time = 0.0
+        deadline = start_t + request.max_duration_s
+        # Adaptive ticking: once the PCU has settled (no material
+        # frequency movement) the tick stretches up to 8x.  Any event -
+        # ramping, launch completion, a device finishing - snaps it
+        # back to the base tick, so transients keep full resolution.
+        stable_ticks = 0
+        prev_cpu_freq = self.pcu.state.cpu_freq_hz
+        prev_gpu_freq = self.pcu.state.gpu_freq_hz
+
+        while True:
+            cpu_done = (not cpu_present) or cpu_region.items_remaining <= _DONE_EPS
+            gpu_done = (gpu_present and launch_remaining <= 0.0
+                        and gpu_region.items_remaining <= _DONE_EPS)
+            if gpu_done and gpu_done_t is None:
+                gpu_done_t = self.now
+            if request.stop_when_gpu_done:
+                if gpu_done:
+                    break
+            elif cpu_done and ((not gpu_present) or gpu_done):
+                break
+            if self.now >= deadline:
+                raise SimulationError(
+                    f"phase exceeded max duration {request.max_duration_s}s "
+                    f"(kernel {cost.name})")
+
+            launching = gpu_present and launch_remaining > 0.0
+            gpu_running = gpu_present and not launching and not gpu_done
+            # The proxy thread occupies a hardware context whenever it
+            # is driving the GPU.  With SMT it shares a core with a
+            # worker (mostly-blocked thread, ~15% of a core); without
+            # SMT (the tablet's Atom) it costs a whole core.
+            proxy_busy = launching or gpu_running
+            proxy_cost = 0.15 if spec.cpu.smt_per_core > 1 else 1.0
+            cpu_cores = 0.0
+            if cpu_present and not cpu_done:
+                cpu_cores = spec.cpu.num_cores - (proxy_cost if proxy_busy else 0.0)
+                cpu_cores = max(cpu_cores, 1.0)
+
+            # Preliminary rates at current frequencies, to align the
+            # tick with the next completion event.
+            st = self.pcu.state
+            pre_cpu_freq = st.cpu_freq_hz
+            pre_gpu_freq = st.gpu_freq_hz
+            prelim = compute_rates(
+                spec, cost, pre_cpu_freq, pre_gpu_freq, cpu_cores,
+                gpu_dispatch_items if gpu_running else 0.0,
+                cpu_active=cpu_cores > 0, gpu_active=gpu_running)
+            dt = spec.tick_s * (8.0 if stable_ticks > 16 else 1.0)
+            event_bounded = False
+            if launching and launch_remaining < dt:
+                dt = launch_remaining
+                event_bounded = True
+            if cpu_cores > 0 and prelim.cpu_items_per_s > 0:
+                t_done = cpu_region.time_to_complete(prelim.cpu_items_per_s)
+                if t_done < dt:
+                    dt = t_done
+                    event_bounded = True
+            if gpu_running and prelim.gpu_items_per_s > 0:
+                t_done = gpu_region.time_to_complete(prelim.gpu_items_per_s)
+                if t_done < dt:
+                    dt = t_done
+                    event_bounded = True
+            dt = max(dt, _MIN_DT)
+
+            cpu_freq, gpu_freq = self.pcu.step(
+                self.now, dt, cpu_active=cpu_cores > 0, gpu_active=gpu_running,
+                last_package_power_w=self._last_package_w)
+            freq_moved = (abs(cpu_freq - prev_cpu_freq) > 3e7
+                          or abs(gpu_freq - prev_gpu_freq) > 3e7)
+            prev_cpu_freq = cpu_freq
+            prev_gpu_freq = gpu_freq
+            if freq_moved or event_bounded or launching:
+                stable_ticks = 0
+            else:
+                stable_ticks += 1
+            if abs(cpu_freq - pre_cpu_freq) < 1e6 and \
+                    abs(gpu_freq - pre_gpu_freq) < 1e6:
+                rates = prelim
+            else:
+                rates = compute_rates(
+                    spec, cost, cpu_freq, gpu_freq, cpu_cores,
+                    gpu_dispatch_items if gpu_running else 0.0,
+                    cpu_active=cpu_cores > 0, gpu_active=gpu_running)
+
+            if cpu_cores > 0:
+                done = cpu_region.consume(rates.cpu_items_per_s * dt)
+                self.counters.account_cpu_items(done, cost)
+            if gpu_running:
+                done = gpu_region.consume(rates.gpu_items_per_s * dt)
+                self.counters.account_gpu_items(done)
+                gpu_busy_time += dt
+            if launching:
+                launch_remaining -= dt
+
+            breakdown = package_power(spec, rates, cpu_freq, gpu_freq,
+                                      cpu_cores, gpu_running)
+            self.counters.account_gpu_busy(gpu_running, dt)
+            self._account_tick(dt, breakdown.package_w, breakdown.cpu_w,
+                               breakdown.gpu_w, breakdown.uncore_w,
+                               gpu_active=gpu_running)
+
+        if gpu_present and gpu_done_t is None:
+            gpu_done_t = self.now
+        # The kernel has completed: the GPU busy counter (A26) must
+        # read idle, whatever the final tick happened to be doing.
+        self.counters.account_gpu_busy(False, 0.0)
+        end_counters = self.snapshot_counters()
+        return PhaseResult(
+            start_t=start_t,
+            end_t=self.now,
+            cpu_items=end_counters.cpu_items - start_counters.cpu_items,
+            gpu_items=end_counters.gpu_items - start_counters.gpu_items,
+            gpu_time_s=(gpu_done_t - start_t) if gpu_present else 0.0,
+            gpu_busy_time_s=gpu_busy_time,
+            counters=start_counters.delta(end_counters),
+            energy_j=self.msr.lifetime_joules - start_energy,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _account_tick(self, dt: float, package_w: float, cpu_w: float,
+                      gpu_w: float, uncore_w: float, gpu_active: bool) -> None:
+        self.msr.deposit(package_w * dt)
+        self._last_package_w = package_w
+        st = self.pcu.state
+        self.trace.append(TraceSample(
+            t=self.now, dt=dt, package_w=package_w, cpu_w=cpu_w, gpu_w=gpu_w,
+            uncore_w=uncore_w, cpu_freq_hz=st.cpu_freq_hz,
+            gpu_freq_hz=st.gpu_freq_hz, gpu_active=gpu_active))
+        self.now += dt

@@ -1,0 +1,36 @@
+"""Benchmark workloads: the paper's twelve applications plus the eight
+power-characterization micro-benchmarks.
+
+Each workload couples:
+
+* a **cost model** at the paper's input scale, which drives the SoC
+  simulator's timing/power (this is what the evaluation runs on); and
+* a **real Python/numpy implementation** of the same algorithm at a
+  reduced scale, validated against reference implementations in the
+  test suite (networkx, scipy, brute force).
+
+See :mod:`repro.workloads.registry` for the evaluation suites.
+"""
+
+from repro.workloads.base import InvocationSpec, Workload
+from repro.workloads.microbench import standard_microbenches
+from repro.workloads.registry import (
+    DESKTOP_SUITE,
+    TABLET_SUITE,
+    all_workloads,
+    workload_by_abbrev,
+)
+from repro.workloads.synthetic import SyntheticWorkload, generate_suite, generate_workload
+
+__all__ = [
+    "Workload",
+    "InvocationSpec",
+    "standard_microbenches",
+    "all_workloads",
+    "workload_by_abbrev",
+    "DESKTOP_SUITE",
+    "TABLET_SUITE",
+    "SyntheticWorkload",
+    "generate_workload",
+    "generate_suite",
+]

@@ -1,0 +1,204 @@
+"""BarnesHut (BH) - hierarchical N-body force calculation.
+
+Paper input: 1M bodies, 1 time step, a single long kernel invocation.
+Irregular (tree-walk depth depends on body position) and memory-bound
+(pointer chasing through the octree dominates).
+
+The real implementation builds a 2-D quadtree and computes forces with
+the theta-criterion approximation; validation compares against the
+exact O(N^2) sum on a small body set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.soc.cost_model import KernelCostModel
+from repro.workloads.base import InvocationSpec, Workload
+
+_DESKTOP_BODIES = 1.0e6
+
+
+class BarnesHut(Workload):
+    """Barnes-Hut force computation, one long irregular kernel."""
+
+    name = "BarnesHut"
+    abbrev = "BH"
+    regular = False
+    tablet_supported = False
+    input_desktop = "1M bodies, 1 step"
+    expected_compute_bound = False
+    expected_cpu_short = False
+    expected_gpu_short = False
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        if tablet:
+            raise WorkloadError("BH does not build on the 32-bit tablet")
+        # Tree walk per body: dependent node fetches dominate (memory-
+        # latency-bound), walk depth varies per body (irregular,
+        # divergent on GPU).
+        return KernelCostModel(
+            name="bh-forces",
+            instructions_per_item=600.0,
+            loadstore_fraction=0.22,
+            l3_miss_rate=0.34,
+            cpu_simd_efficiency=0.012,
+            gpu_simd_efficiency=0.0128,
+            gpu_divergence=0.30,
+            gpu_instruction_expansion=1.25,
+            gpu_traffic_factor=0.60,
+            item_cost_cv=0.5,
+            cost_profile_scale=0.15,
+            rng_tag=1,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        if tablet:
+            raise WorkloadError("BH does not build on the 32-bit tablet")
+        return [InvocationSpec(n_items=_DESKTOP_BODIES)]
+
+    def validate(self) -> None:
+        """Barnes-Hut forces within 2% RMS of the exact O(N^2) sum."""
+        rng = np.random.default_rng(11)
+        n = 256
+        pos = rng.uniform(-1.0, 1.0, size=(n, 2))
+        mass = rng.uniform(0.5, 2.0, size=n)
+        tree = QuadTree.build(pos, mass)
+        approx = np.array([tree.force_on(pos[i], i, theta=0.4) for i in range(n)])
+        exact = _exact_forces(pos, mass)
+        scale = np.linalg.norm(exact, axis=1).mean()
+        err = np.linalg.norm(approx - exact, axis=1).mean() / scale
+        if err > 0.02:
+            raise WorkloadError(f"Barnes-Hut force error {err:.3%} exceeds 2%")
+        # The tree must contain every body exactly once.
+        if tree.count != n:
+            raise WorkloadError(f"tree holds {tree.count} bodies, expected {n}")
+
+
+def _exact_forces(pos: np.ndarray, mass: np.ndarray) -> np.ndarray:
+    """Direct pairwise gravitational forces (softened, G = 1)."""
+    n = len(pos)
+    forces = np.zeros_like(pos)
+    for i in range(n):
+        d = pos - pos[i]
+        r2 = (d ** 2).sum(axis=1) + 1e-9
+        r2[i] = np.inf
+        inv_r3 = r2 ** -1.5
+        forces[i] = (d * (mass * inv_r3)[:, None]).sum(axis=0)
+    return forces
+
+
+@dataclass
+class QuadTree:
+    """A 2-D Barnes-Hut quadtree node."""
+
+    cx: float
+    cy: float
+    half: float
+    com: np.ndarray          # center of mass (2,)
+    mass: float
+    count: int
+    body_index: Optional[int]         # leaf payload
+    children: "Optional[List[Optional[QuadTree]]]"
+
+    @classmethod
+    def build(cls, pos: np.ndarray, mass: np.ndarray) -> "QuadTree":
+        if len(pos) == 0:
+            raise WorkloadError("cannot build a tree over zero bodies")
+        lo = pos.min(axis=0)
+        hi = pos.max(axis=0)
+        center = (lo + hi) / 2.0
+        half = float(max(hi - lo) / 2.0) + 1e-9
+        root = cls.empty(center[0], center[1], half)
+        for i in range(len(pos)):
+            root.insert(pos, mass, i)
+        root._accumulate(pos, mass)
+        return root
+
+    @classmethod
+    def empty(cls, cx: float, cy: float, half: float) -> "QuadTree":
+        return cls(cx=cx, cy=cy, half=half, com=np.zeros(2), mass=0.0,
+                   count=0, body_index=None, children=None)
+
+    def _quadrant(self, p: np.ndarray) -> int:
+        return (1 if p[0] >= self.cx else 0) | (2 if p[1] >= self.cy else 0)
+
+    def _child_for(self, quadrant: int) -> "QuadTree":
+        assert self.children is not None
+        child = self.children[quadrant]
+        if child is None:
+            h = self.half / 2.0
+            cx = self.cx + (h if quadrant & 1 else -h)
+            cy = self.cy + (h if quadrant & 2 else -h)
+            child = QuadTree.empty(cx, cy, h)
+            self.children[quadrant] = child
+        return child
+
+    def insert(self, pos: np.ndarray, mass: np.ndarray, index: int) -> None:
+        if self.count == 0 and self.children is None:
+            self.body_index = index
+            self.count = 1
+            return
+        if self.children is None:
+            # Split the leaf.
+            old = self.body_index
+            self.children = [None, None, None, None]
+            self.body_index = None
+            if old is not None:
+                self._child_for(self._quadrant(pos[old])).insert(pos, mass, old)
+        self._child_for(self._quadrant(pos[index])).insert(pos, mass, index)
+        self.count += 1
+
+    def _accumulate(self, pos: np.ndarray, mass: np.ndarray) -> "tuple[float, np.ndarray]":
+        """Bottom-up mass / center-of-mass aggregation after insertion."""
+        if self.children is None:
+            if self.body_index is None:
+                self.mass = 0.0
+                self.com = np.zeros(2)
+            else:
+                self.mass = float(mass[self.body_index])
+                self.com = pos[self.body_index].astype(float)
+            return self.mass, self.com * self.mass
+        total = 0.0
+        weighted = np.zeros(2)
+        for child in self.children:
+            if child is not None:
+                m, w = child._accumulate(pos, mass)
+                total += m
+                weighted += w
+        self.mass = total
+        self.com = weighted / total if total > 0 else np.zeros(2)
+        return total, weighted
+
+    def force_on(self, p: np.ndarray, skip_index: int, theta: float) -> np.ndarray:
+        """Approximate force on a body at ``p`` (excluding itself)."""
+        return self._force(p, skip_index, theta)
+
+    def _force(self, p: np.ndarray, skip_index: int, theta: float) -> np.ndarray:
+        if self.count == 0:
+            return np.zeros(2)
+        if self.children is None:
+            if self.body_index is None or self.body_index == skip_index:
+                return np.zeros(2)
+            return self._point_force(p, self.com, self.mass)
+        d = self.com - p
+        dist = float(np.sqrt((d ** 2).sum())) + 1e-12
+        if (2.0 * self.half) / dist < theta:
+            return self._point_force(p, self.com, self.mass)
+        total = np.zeros(2)
+        for child in self.children:
+            if child is not None:
+                total += child._force(p, skip_index, theta)
+        return total
+
+    @staticmethod
+    def _point_force(p: np.ndarray, source: np.ndarray, mass: float) -> np.ndarray:
+        d = source - p
+        r2 = float((d ** 2).sum()) + 1e-9
+        if r2 <= 1e-18:
+            return np.zeros(2)
+        return d * (mass * r2 ** -1.5)

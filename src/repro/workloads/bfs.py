@@ -1,0 +1,99 @@
+"""Breadth-First Search (BFS) - irregular, memory-bound, short kernels.
+
+Paper input: the W-USA road network (|V| = 6.2M), 1748 kernel
+invocations - one per BFS level, each processing one frontier.  Road
+networks have huge diameter, so frontiers are numerous and individually
+small; this is the prototypical "short-burst" workload whose GPU
+launches interact badly with the PCU's sampling (Section 2).
+
+The real implementation is the level-synchronous BFS of
+:mod:`repro.workloads.roadnet`, validated against networkx.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.soc.cost_model import KernelCostModel
+from repro.workloads.base import InvocationSpec, Workload
+from repro.workloads.roadnet import (
+    bfs_levels,
+    rescale_profile,
+    small_bfs_profile,
+    small_road_network,
+)
+
+#: Paper-scale totals: every vertex is visited exactly once.
+_DESKTOP_VERTICES = 6.2e6
+_DESKTOP_LAUNCHES = 1748
+
+
+class BreadthFirstSearch(Workload):
+    """BFS over a road network, one kernel launch per level."""
+
+    name = "Breadth first search"
+    abbrev = "BFS"
+    regular = False
+    tablet_supported = False
+    input_desktop = "W-USA (|V|=6.2M, |E|=1.5M)"
+    expected_compute_bound = False
+    expected_cpu_short = True
+    expected_gpu_short = True
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        if tablet:
+            raise WorkloadError("BFS does not build on the 32-bit tablet")
+        # Per frontier vertex: pop, scan ~4 adjacency entries, test and
+        # set visited flags.  Dependent scattered loads make this
+        # memory-*latency*-bound: the CPU retires a tiny fraction of
+        # peak IPC waiting on LLC misses, while the GPU hides latency
+        # with SIMT threads but loses lanes to frontier divergence.
+        return KernelCostModel(
+            name="bfs-level",
+            instructions_per_item=180.0,
+            loadstore_fraction=0.25,
+            l3_miss_rate=0.34,
+            cpu_simd_efficiency=0.008,
+            gpu_simd_efficiency=0.0128,
+            gpu_divergence=0.40,
+            gpu_instruction_expansion=1.3,
+            gpu_traffic_factor=0.75,
+            item_cost_cv=0.5,
+            cost_profile_scale=0.08,
+            rng_tag=2,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        if tablet:
+            raise WorkloadError("BFS does not build on the 32-bit tablet")
+        sizes = rescale_profile(list(small_bfs_profile()),
+                                target_launches=_DESKTOP_LAUNCHES,
+                                target_total=_DESKTOP_VERTICES)
+        return [InvocationSpec(n_items=s) for s in sizes]
+
+    def validate(self) -> None:
+        """Check BFS levels against networkx on the small road network."""
+        import networkx as nx
+
+        graph = small_road_network()
+        level, sizes = bfs_levels(graph, source=0)
+        g = nx.Graph()
+        for v in range(graph.num_vertices):
+            for u in graph.neighbors(v):
+                g.add_edge(int(v), int(u))
+        reference = nx.single_source_shortest_path_length(g, 0)
+        if len(reference) != graph.num_vertices:
+            raise WorkloadError("small road network is not connected")
+        ours = {v: int(level[v]) for v in range(graph.num_vertices)}
+        mismatches = [v for v, d in reference.items() if ours[v] != d]
+        if mismatches:
+            raise WorkloadError(
+                f"BFS levels disagree with networkx at {len(mismatches)} "
+                f"vertices (first: {mismatches[0]})")
+        if sum(sizes) != graph.num_vertices:
+            raise WorkloadError("BFS frontiers do not cover every vertex once")
+        if int(np.max(level)) + 1 != len(sizes):
+            raise WorkloadError("level count disagrees with frontier count")

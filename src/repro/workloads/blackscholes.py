@@ -1,0 +1,161 @@
+"""Blackscholes (BS) - PARSEC option pricing.
+
+Paper input: 64K options per invocation, 2000 invocations on the
+desktop (2,621,440 options on the tablet).  Regular and compute-bound:
+the closed-form Black-Scholes formula per option, dominated by
+exp/log/sqrt - ideal SIMD/SIMT material, so the GPU enjoys a solid
+speedup.
+
+The real implementation prices both calls and puts and is validated
+against scipy's normal CDF plus put-call parity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.kernel import Kernel
+from repro.soc.cost_model import KernelCostModel
+from repro.workloads.base import InvocationSpec, Workload
+
+_DESKTOP_OPTIONS = 64.0 * 1024.0
+_DESKTOP_LAUNCHES = 2000
+_TABLET_OPTIONS = 2621440.0
+_TABLET_LAUNCHES = 2000
+
+
+class BlackScholes(Workload):
+    """Closed-form option pricing, regular and compute-bound."""
+
+    name = "Blackscholes"
+    abbrev = "BS"
+    regular = True
+    tablet_supported = True
+    input_desktop = "64K"
+    input_tablet = "2621440"
+    expected_compute_bound = True
+    expected_cpu_short = True
+    expected_gpu_short = True
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        return KernelCostModel(
+            name="bs-options",
+            instructions_per_item=350.0,
+            loadstore_fraction=0.15,
+            l3_miss_rate=0.004,
+            cpu_simd_efficiency=0.85,
+            gpu_simd_efficiency=0.95,
+            gpu_divergence=0.0,
+            gpu_instruction_expansion=1.1,
+            item_cost_cv=0.0,
+            rng_tag=8,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        if tablet:
+            return [InvocationSpec(n_items=_TABLET_OPTIONS)
+                    for _ in range(_TABLET_LAUNCHES)]
+        return [InvocationSpec(n_items=_DESKTOP_OPTIONS)
+                for _ in range(_DESKTOP_LAUNCHES)]
+
+    def validate(self) -> None:
+        """Check against scipy's CDF and put-call parity."""
+        from scipy.stats import norm
+
+        rng = np.random.default_rng(17)
+        n = 4096
+        opts = OptionBatch(
+            spot=rng.uniform(20.0, 120.0, n),
+            strike=rng.uniform(20.0, 120.0, n),
+            rate=rng.uniform(0.01, 0.08, n),
+            volatility=rng.uniform(0.1, 0.6, n),
+            expiry=rng.uniform(0.1, 2.0, n),
+        )
+        call, put = black_scholes_price(opts)
+
+        d1 = (np.log(opts.spot / opts.strike)
+              + (opts.rate + 0.5 * opts.volatility ** 2) * opts.expiry) \
+            / (opts.volatility * np.sqrt(opts.expiry))
+        d2 = d1 - opts.volatility * np.sqrt(opts.expiry)
+        ref_call = (opts.spot * norm.cdf(d1)
+                    - opts.strike * np.exp(-opts.rate * opts.expiry) * norm.cdf(d2))
+        if not np.allclose(call, ref_call, rtol=1e-9, atol=1e-9):
+            raise WorkloadError("call prices disagree with the scipy reference")
+        # Put-call parity: C - P = S - K * exp(-rT).
+        parity = call - put - (opts.spot
+                               - opts.strike * np.exp(-opts.rate * opts.expiry))
+        if not np.allclose(parity, 0.0, atol=1e-9):
+            raise WorkloadError("put-call parity violated")
+        # Deep out-of-the-money prices underflow to ~-1e-16; anything
+        # materially negative is a real bug.
+        if (call < -1e-9).any() or (put < -1e-9).any():
+            raise WorkloadError("negative option prices")
+
+    def make_executable_kernel(self) -> Kernel:
+        """A real pricing kernel over a 16K-option batch."""
+        rng = np.random.default_rng(77)
+        n = 16384
+        opts = OptionBatch(
+            spot=rng.uniform(20.0, 120.0, n),
+            strike=rng.uniform(20.0, 120.0, n),
+            rate=rng.uniform(0.01, 0.08, n),
+            volatility=rng.uniform(0.1, 0.6, n),
+            expiry=rng.uniform(0.1, 2.0, n))
+        calls = np.zeros(n)
+        puts = np.zeros(n)
+
+        def body(lo: int, hi: int) -> None:
+            batch = OptionBatch(
+                spot=opts.spot[lo:hi], strike=opts.strike[lo:hi],
+                rate=opts.rate[lo:hi], volatility=opts.volatility[lo:hi],
+                expiry=opts.expiry[lo:hi])
+            calls[lo:hi], puts[lo:hi] = black_scholes_price(batch)
+
+        kernel = Kernel(name="bs-real", cost=self.cost_model(), cpu_fn=body)
+        kernel.options = opts      # type: ignore[attr-defined]
+        kernel.calls = calls       # type: ignore[attr-defined]
+        kernel.puts = puts         # type: ignore[attr-defined]
+        return kernel
+
+
+@dataclass(frozen=True)
+class OptionBatch:
+    """A batch of European options (arrays of equal length)."""
+
+    spot: np.ndarray
+    strike: np.ndarray
+    rate: np.ndarray
+    volatility: np.ndarray
+    expiry: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.spot)
+        for field_name in ("strike", "rate", "volatility", "expiry"):
+            if len(getattr(self, field_name)) != n:
+                raise WorkloadError("option arrays must have equal length")
+        if (self.volatility <= 0).any() or (self.expiry <= 0).any():
+            raise WorkloadError("volatility and expiry must be positive")
+
+
+def _norm_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (the PARSEC kernel's approach,
+    minus its polynomial approximation)."""
+    return 0.5 * (1.0 + np.vectorize(math.erf)(x / math.sqrt(2.0)))
+
+
+def black_scholes_price(opts: OptionBatch) -> "tuple[np.ndarray, np.ndarray]":
+    """(call, put) prices for a batch of European options."""
+    sqrt_t = np.sqrt(opts.expiry)
+    d1 = (np.log(opts.spot / opts.strike)
+          + (opts.rate + 0.5 * opts.volatility ** 2) * opts.expiry) \
+        / (opts.volatility * sqrt_t)
+    d2 = d1 - opts.volatility * sqrt_t
+    discount = np.exp(-opts.rate * opts.expiry)
+    call = opts.spot * _norm_cdf(d1) - opts.strike * discount * _norm_cdf(d2)
+    put = opts.strike * discount * _norm_cdf(-d2) - opts.spot * _norm_cdf(-d1)
+    return call, put

@@ -1,0 +1,129 @@
+"""Face Detect (FD) - Viola-Jones-style cascade over a photograph.
+
+Paper input: the 3000x2171 Solvay-1927 conference photo, 132 kernel
+invocations (cascade stages across detection scales).  Compute-bound
+and irregular: each window runs a data-dependent number of cascade
+stages.  This is the paper's **CPU-biased** workload: the cascade's
+early-exit control flow serializes SIMT lanes so badly that the GPU is
+several times slower, and Section 5 highlights that EAS correctly picks
+100% CPU execution for it while GPU-alone "suffers significantly".
+
+The real implementation is a miniature integral-image box-feature
+cascade that must locate a synthetic bright square.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.soc.cost_model import KernelCostModel
+from repro.workloads.base import InvocationSpec, Workload
+
+_DESKTOP_LAUNCHES = 132
+#: Detection windows per stage launch (3000x2171 image, strided scan).
+_DESKTOP_WINDOWS_PER_LAUNCH = 6.0e4
+
+
+class FaceDetect(Workload):
+    """Cascade window classification; CPU-biased and compute-bound."""
+
+    name = "Face Detect"
+    abbrev = "FD"
+    regular = False
+    tablet_supported = False
+    input_desktop = "3000 by 2171 Solvay-1927"
+    expected_compute_bound = True
+    expected_cpu_short = True
+    expected_gpu_short = True
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        if tablet:
+            raise WorkloadError("FD does not build on the 32-bit tablet")
+        # Box-feature sums hit the integral image (cache-resident at
+        # window granularity -> compute-bound); per-window early exits
+        # devastate SIMT efficiency.
+        return KernelCostModel(
+            name="fd-cascade",
+            instructions_per_item=800.0,
+            loadstore_fraction=0.30,
+            l3_miss_rate=0.005,
+            cpu_simd_efficiency=1.0,
+            gpu_simd_efficiency=0.02,
+            gpu_divergence=0.50,
+            gpu_instruction_expansion=1.4,
+            item_cost_cv=0.6,
+            cost_profile_scale=0.12,
+            rng_tag=5,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        if tablet:
+            raise WorkloadError("FD does not build on the 32-bit tablet")
+        return [InvocationSpec(n_items=_DESKTOP_WINDOWS_PER_LAUNCH)
+                for _ in range(_DESKTOP_LAUNCHES)]
+
+    def validate(self) -> None:
+        """The mini cascade must localize a synthetic bright square."""
+        image = np.full((96, 128), 0.2)
+        true_xy = (40, 72)  # row, col of the 12x12 bright square
+        image[true_xy[0]:true_xy[0] + 12, true_xy[1]:true_xy[1] + 12] = 0.9
+        rng = np.random.default_rng(5)
+        image += rng.normal(0.0, 0.02, size=image.shape)
+
+        detections = detect_bright_squares(image, window=12, threshold=0.45)
+        if not detections:
+            raise WorkloadError("cascade found no detections")
+        best = max(detections, key=lambda d: d[2])
+        if abs(best[0] - true_xy[0]) > 3 or abs(best[1] - true_xy[1]) > 3:
+            raise WorkloadError(
+                f"cascade localized {best[:2]}, expected near {true_xy}")
+        # A blank image must produce no detections (stage-1 rejection).
+        blank = np.full((96, 128), 0.2)
+        if detect_bright_squares(blank, window=12, threshold=0.45):
+            raise WorkloadError("cascade fired on a blank image")
+
+
+def integral_image(image: np.ndarray) -> np.ndarray:
+    """Summed-area table with a zero border row/column."""
+    ii = np.zeros((image.shape[0] + 1, image.shape[1] + 1))
+    ii[1:, 1:] = image.cumsum(axis=0).cumsum(axis=1)
+    return ii
+
+
+def box_sum(ii: np.ndarray, r: int, c: int, h: int, w: int) -> float:
+    """Sum of image[r:r+h, c:c+w] in O(1) via the integral image."""
+    return float(ii[r + h, c + w] - ii[r, c + w] - ii[r + h, c] + ii[r, c])
+
+
+def detect_bright_squares(image: np.ndarray, window: int,
+                          threshold: float) -> List[Tuple[int, int, float]]:
+    """Two-stage cascade: cheap mean test, then center-surround contrast.
+
+    Returns (row, col, score) for windows passing both stages - the
+    same early-exit structure that makes the real FD GPU-hostile.
+    """
+    if window < 4:
+        raise WorkloadError("window too small for the cascade features")
+    ii = integral_image(image)
+    area = float(window * window)
+    inner = window // 2
+    inner_area = float(inner * inner)
+    offset = (window - inner) // 2
+    detections: List[Tuple[int, int, float]] = []
+    for r in range(0, image.shape[0] - window, 2):
+        for c in range(0, image.shape[1] - window, 2):
+            # Stage 1: mean intensity (rejects almost everything).
+            mean = box_sum(ii, r, c, window, window) / area
+            if mean < threshold:
+                continue
+            # Stage 2: center-surround contrast.
+            center = box_sum(ii, r + offset, c + offset, inner, inner) / inner_area
+            surround = (box_sum(ii, r, c, window, window) - center * inner_area)
+            surround /= (area - inner_area)
+            score = center - 0.5 * surround
+            if score > threshold * 0.8:
+                detections.append((r, c, score))
+    return detections

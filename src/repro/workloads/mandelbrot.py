@@ -1,0 +1,128 @@
+"""Mandelbrot (MB) - escape-time fractal rendering.
+
+Paper input: a 7680x6144 image (47.2M pixels), single kernel
+invocation.  Irregular: per-pixel iteration counts vary by orders of
+magnitude and cluster spatially (tiles inside the set run to the
+iteration cap), which is exactly the long-range cost structure that
+defeats prefix-based online profiling.  The paper's Table 1 classifies
+it memory-bound on their framed/tiled implementation; the cost model
+follows that classification.
+
+The real implementation computes escape counts with numpy and verifies
+mathematically known membership (cardioid interior, |c| > 2 exterior).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.soc.cost_model import KernelCostModel
+from repro.runtime.kernel import Kernel
+from repro.workloads.base import InvocationSpec, Workload
+
+_DESKTOP_PIXELS = 7680.0 * 6144.0
+_TABLET_PIXELS = 7680.0 * 6144.0  # the paper uses the same image
+
+
+class Mandelbrot(Workload):
+    """Escape-time iteration over an image grid."""
+
+    name = "Mandelbrot"
+    abbrev = "MB"
+    regular = False
+    tablet_supported = True
+    input_desktop = "image 7680x6144"
+    input_tablet = "image 7680x6144"
+    expected_compute_bound = False
+    expected_cpu_short = False
+    expected_gpu_short = False
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        # The paper's framed/tiled build streams tile state per pixel
+        # (Table 1 classifies MB memory-bound); escape-time divergence
+        # costs the GPU lanes, coalesced tile access wins some back.
+        return KernelCostModel(
+            name="mb-pixels",
+            instructions_per_item=400.0,
+            loadstore_fraction=0.22,
+            l3_miss_rate=0.34,
+            cpu_simd_efficiency=0.040,
+            gpu_simd_efficiency=0.0653,
+            gpu_divergence=0.45,
+            gpu_instruction_expansion=1.1,
+            gpu_traffic_factor=0.45,
+            item_cost_cv=0.7,
+            cost_profile_scale=0.15,
+            rng_tag=6,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        pixels = _TABLET_PIXELS if tablet else _DESKTOP_PIXELS
+        return [InvocationSpec(n_items=pixels)]
+
+    def validate(self) -> None:
+        """Escape counts must match known Mandelbrot-set membership."""
+        width, height, max_iter = 128, 96, 64
+        counts = render_escape_counts(width, height, max_iter)
+        if counts.shape != (height, width):
+            raise WorkloadError("unexpected image shape")
+
+        def count_at(re: float, im: float) -> int:
+            col = int((re + 2.5) / 3.5 * (width - 1))
+            row = int((im + 1.25) / 2.5 * (height - 1))
+            return int(counts[row, col])
+
+        # c = 0 and c = -1 are inside the set: never escape.
+        if count_at(0.0, 0.0) != max_iter or count_at(-1.0, 0.0) != max_iter:
+            raise WorkloadError("interior points escaped")
+        # c = 1 escapes quickly (z: 0, 1, 2, 5 -> |z| > 2 at iter 3).
+        if not 1 <= count_at(1.0, 0.0) <= 5:
+            raise WorkloadError("c=1 did not escape promptly")
+        # Iteration counts are irregular: high variance across pixels.
+        cv = counts.std() / counts.mean()
+        if cv < 0.5:
+            raise WorkloadError(f"escape counts suspiciously uniform (cv={cv:.2f})")
+
+    def make_executable_kernel(self) -> Kernel:
+        """A real 256x192 rendering kernel for examples/tests."""
+        width, height, max_iter = 256, 192, 96
+        out = np.zeros(width * height, dtype=np.int64)
+
+        def body(lo: int, hi: int) -> None:
+            idx = np.arange(lo, hi)
+            rows, cols = idx // width, idx % width
+            c = (-2.5 + 3.5 * cols / (width - 1)
+                 + 1j * (-1.25 + 2.5 * rows / (height - 1)))
+            out[lo:hi] = _escape_counts(c, max_iter)
+
+        kernel = Kernel(name="mb-real", cost=self.cost_model(), cpu_fn=body)
+        kernel.output = out  # type: ignore[attr-defined]
+        return kernel
+
+
+def _escape_counts(c: np.ndarray, max_iter: int) -> np.ndarray:
+    """Vectorized escape-time iteration for an array of c values."""
+    z = np.zeros_like(c)
+    counts = np.full(c.shape, max_iter, dtype=np.int64)
+    alive = np.ones(c.shape, dtype=bool)
+    for i in range(max_iter):
+        z[alive] = z[alive] * z[alive] + c[alive]
+        escaped = alive & (np.abs(z) > 2.0)
+        counts[escaped] = i
+        alive &= ~escaped
+        if not alive.any():
+            break
+    return counts
+
+
+def render_escape_counts(width: int, height: int, max_iter: int) -> np.ndarray:
+    """Full-frame escape counts over [-2.5, 1] x [-1.25, 1.25]."""
+    if width < 2 or height < 2:
+        raise WorkloadError("image too small")
+    re = np.linspace(-2.5, 1.0, width)
+    im = np.linspace(-1.25, 1.25, height)
+    c = re[None, :] + 1j * im[:, None]
+    return _escape_counts(c, max_iter)

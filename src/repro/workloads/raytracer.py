@@ -1,0 +1,176 @@
+"""Ray Tracer (RT) - sphere-scene ray casting.
+
+Paper input: 256 spheres, 3 materials, 5 lights (225 spheres on the
+tablet); one long kernel invocation over the image pixels.  Regular and
+compute-bound: every pixel tests the ray against every sphere, so the
+work per pixel is uniform even though shading differs.
+
+The real implementation is a miniature diffuse ray tracer; validation
+checks known hit/miss geometry and shading ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.runtime.kernel import Kernel
+from repro.soc.cost_model import KernelCostModel
+from repro.workloads.base import InvocationSpec, Workload
+
+_DESKTOP_PIXELS = 1920.0 * 1080.0
+_TABLET_PIXELS = 1280.0 * 720.0
+_DESKTOP_SPHERES = 256
+_TABLET_SPHERES = 225
+
+
+class RayTracer(Workload):
+    """Primary-ray sphere intersection and diffuse shading."""
+
+    name = "Ray Tracer"
+    abbrev = "RT"
+    regular = True
+    tablet_supported = True
+    input_desktop = "sphere=256,material=3,light=5"
+    input_tablet = "sphere=225,material=3,light=5"
+    expected_compute_bound = True
+    expected_cpu_short = False
+    expected_gpu_short = False
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        spheres = _TABLET_SPHERES if tablet else _DESKTOP_SPHERES
+        # One item = one pixel: ~20 instructions per sphere test plus
+        # shading for 5 lights.
+        return KernelCostModel(
+            name="rt-pixels",
+            instructions_per_item=20.0 * spheres + 900.0,
+            loadstore_fraction=0.25,
+            l3_miss_rate=0.004,
+            cpu_simd_efficiency=0.60,
+            gpu_simd_efficiency=0.70,
+            gpu_divergence=0.25,
+            gpu_instruction_expansion=1.2,
+            item_cost_cv=0.15,
+            cost_profile_scale=0.20,
+            rng_tag=11,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        pixels = _TABLET_PIXELS if tablet else _DESKTOP_PIXELS
+        return [InvocationSpec(n_items=pixels)]
+
+    def validate(self) -> None:
+        """A centered sphere must shade the image center, not corners."""
+        scene = Scene(
+            spheres=[Sphere(center=np.array([0.0, 0.0, 5.0]), radius=1.0,
+                            albedo=0.9)],
+            lights=[np.array([5.0, 5.0, 0.0]), np.array([-5.0, 5.0, 0.0])],
+        )
+        width = height = 65
+        image = render(scene, width, height, fov_deg=60.0)
+        center = image[height // 2, width // 2]
+        corner = image[0, 0]
+        if center <= 0.0:
+            raise WorkloadError("primary ray through the sphere missed it")
+        if corner != 0.0:
+            raise WorkloadError("corner ray unexpectedly hit the sphere")
+        if not (0.0 <= image.min() and image.max() <= 1.0):
+            raise WorkloadError("shading left [0, 1]")
+        # Two lights from +y: the sphere's upper half is brighter.
+        upper = image[:height // 2].sum()
+        lower = image[height // 2 + 1:].sum()
+        if upper <= lower:
+            raise WorkloadError("lighting direction not reflected in shading")
+
+    def make_executable_kernel(self) -> Kernel:
+        """A real rendering kernel over a 64x48 image (item = one row)."""
+        rng = np.random.default_rng(66)
+        spheres = [Sphere(center=np.array([x, y, 6.0]), radius=0.5,
+                          albedo=0.8)
+                   for x, y in rng.uniform(-2.0, 2.0, size=(6, 2))]
+        scene = Scene(spheres=spheres,
+                      lights=[np.array([4.0, 6.0, 0.0])])
+        width, height = 64, 48
+        image = np.zeros((height, width))
+
+        def body(lo: int, hi: int) -> None:
+            image[lo:hi] = render(scene, width, height, row_lo=lo, row_hi=hi)
+
+        kernel = Kernel(name="rt-real", cost=self.cost_model(), cpu_fn=body)
+        kernel.scene = scene      # type: ignore[attr-defined]
+        kernel.image = image      # type: ignore[attr-defined]
+        kernel.shape = (height, width)  # type: ignore[attr-defined]
+        return kernel
+
+
+@dataclass(frozen=True)
+class Sphere:
+    center: np.ndarray
+    radius: float
+    albedo: float
+
+    def intersect(self, origin: np.ndarray, direction: np.ndarray) -> Optional[float]:
+        """Nearest positive ray parameter t, or None."""
+        oc = origin - self.center
+        b = 2.0 * float(np.dot(oc, direction))
+        c = float(np.dot(oc, oc)) - self.radius ** 2
+        disc = b * b - 4.0 * c
+        if disc < 0.0:
+            return None
+        sqrt_disc = float(np.sqrt(disc))
+        for t in ((-b - sqrt_disc) / 2.0, (-b + sqrt_disc) / 2.0):
+            if t > 1e-6:
+                return t
+        return None
+
+
+@dataclass(frozen=True)
+class Scene:
+    spheres: List[Sphere]
+    lights: List[np.ndarray]
+
+
+def trace_ray(scene: Scene, origin: np.ndarray, direction: np.ndarray) -> float:
+    """Diffuse intensity along one primary ray (0 = background)."""
+    nearest_t = np.inf
+    nearest: Optional[Sphere] = None
+    for sphere in scene.spheres:
+        t = sphere.intersect(origin, direction)
+        if t is not None and t < nearest_t:
+            nearest_t = t
+            nearest = sphere
+    if nearest is None:
+        return 0.0
+    hit = origin + nearest_t * direction
+    normal = (hit - nearest.center) / nearest.radius
+    intensity = 0.05  # ambient
+    for light in scene.lights:
+        to_light = light - hit
+        to_light = to_light / np.linalg.norm(to_light)
+        intensity += nearest.albedo * max(0.0, float(np.dot(normal, to_light)))
+    return min(intensity, 1.0)
+
+
+def render(scene: Scene, width: int, height: int, fov_deg: float = 60.0,
+           row_lo: int = 0, row_hi: Optional[int] = None) -> np.ndarray:
+    """Render rows [row_lo, row_hi) of the image; camera at the origin
+    looking down +z."""
+    if row_hi is None:
+        row_hi = height
+    if not 0 <= row_lo <= row_hi <= height:
+        raise WorkloadError("row range out of bounds")
+    scale = float(np.tan(np.radians(fov_deg / 2.0)))
+    aspect = width / height
+    origin = np.zeros(3)
+    image = np.zeros((row_hi - row_lo, width))
+    for r in range(row_lo, row_hi):
+        ndc_y = (1.0 - 2.0 * (r + 0.5) / height) * scale
+        for c in range(width):
+            ndc_x = (2.0 * (c + 0.5) / width - 1.0) * scale * aspect
+            direction = np.array([ndc_x, ndc_y, 1.0])
+            direction = direction / np.linalg.norm(direction)
+            image[r - row_lo, c] = trace_ray(scene, origin, direction)
+    return image

@@ -1,0 +1,75 @@
+"""Workload registry and evaluation suites.
+
+``DESKTOP_SUITE`` holds all twelve paper benchmarks; ``TABLET_SUITE``
+the seven that build on the 32-bit tablet toolchain (the paper's
+footnote 2: the rest fail to compile under 32-bit mingw/CLANG).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+
+def all_workloads() -> List[Workload]:
+    """Fresh instances of the full twelve-benchmark suite, in the
+    paper's Table 1 order."""
+    # Imported here to keep module import light and cycle-free.
+    from repro.workloads.barneshut import BarnesHut
+    from repro.workloads.bfs import BreadthFirstSearch
+    from repro.workloads.blackscholes import BlackScholes
+    from repro.workloads.connected_components import ConnectedComponents
+    from repro.workloads.facedetect import FaceDetect
+    from repro.workloads.mandelbrot import Mandelbrot
+    from repro.workloads.matmul import MatrixMultiply
+    from repro.workloads.nbody import NBody
+    from repro.workloads.raytracer import RayTracer
+    from repro.workloads.seismic import Seismic
+    from repro.workloads.skiplist import SkipList
+    from repro.workloads.shortest_path import ShortestPath
+
+    return [
+        BarnesHut(),
+        BreadthFirstSearch(),
+        ConnectedComponents(),
+        FaceDetect(),
+        Mandelbrot(),
+        SkipList(),
+        ShortestPath(),
+        BlackScholes(),
+        MatrixMultiply(),
+        NBody(),
+        RayTracer(),
+        Seismic(),
+    ]
+
+
+def workload_by_abbrev(abbrev: str) -> Workload:
+    for workload in all_workloads():
+        if workload.abbrev.lower() == abbrev.lower():
+            return workload
+    raise WorkloadError(f"unknown workload abbreviation {abbrev!r}")
+
+
+def _suites() -> "tuple[List[str], List[str]]":
+    desktop = [w.abbrev for w in all_workloads()]
+    tablet = [w.abbrev for w in all_workloads() if w.tablet_supported]
+    return desktop, tablet
+
+
+#: Abbreviations of the desktop (full) suite, Table 1 order.
+DESKTOP_SUITE: List[str] = [
+    "BH", "BFS", "CC", "FD", "MB", "SL", "SP", "BS", "MM", "NB", "RT", "SM",
+]
+
+#: The seven workloads the 32-bit tablet runs (Table 1, column 4).
+TABLET_SUITE: List[str] = ["MB", "SL", "BS", "MM", "NB", "RT", "SM"]
+
+
+def suite_workloads(tablet: bool = False) -> List[Workload]:
+    """Instantiate the evaluation suite for one platform."""
+    names = TABLET_SUITE if tablet else DESKTOP_SUITE
+    by_abbrev: Dict[str, Workload] = {w.abbrev: w for w in all_workloads()}
+    return [by_abbrev[name] for name in names]

@@ -1,0 +1,99 @@
+"""Shortest Path (SP) - frontier-based SSSP, irregular and memory-bound.
+
+Paper input: W-USA road network, 2577 kernel invocations (one per
+relaxation round of a frontier-based Bellman-Ford).  Like BFS, the
+frontiers of a road network are small and numerous; unlike BFS, a
+vertex can re-enter the frontier when a shorter path is found, so the
+total item count exceeds |V|.
+
+The real implementation is validated against networkx Dijkstra.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.soc.cost_model import KernelCostModel
+from repro.workloads.base import InvocationSpec, Workload
+from repro.workloads.roadnet import (
+    rescale_profile,
+    small_road_network,
+    small_sssp_profile,
+    sssp_distances,
+)
+
+_DESKTOP_LAUNCHES = 2577
+#: Re-relaxations push total work to a few multiples of |V|.
+_DESKTOP_TOTAL_ITEMS = 2.5e7
+
+
+class ShortestPath(Workload):
+    """Frontier Bellman-Ford SSSP on a road network."""
+
+    name = "Shortest Path"
+    abbrev = "SP"
+    regular = False
+    tablet_supported = False
+    input_desktop = "W-USA (|V|=6.2M, |E|=1.5M)"
+    expected_compute_bound = False
+    expected_cpu_short = True
+    expected_gpu_short = True
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        if tablet:
+            raise WorkloadError("SP does not build on the 32-bit tablet")
+        # Relaxation reads neighbor distances and edge weights through
+        # dependent scattered indices (latency-bound); atomic-min
+        # updates add GPU instruction expansion and divergence.
+        return KernelCostModel(
+            name="sssp-round",
+            instructions_per_item=220.0,
+            loadstore_fraction=0.25,
+            l3_miss_rate=0.34,
+            cpu_simd_efficiency=0.009,
+            gpu_simd_efficiency=0.0133,
+            gpu_divergence=0.40,
+            gpu_instruction_expansion=1.35,
+            gpu_traffic_factor=0.70,
+            item_cost_cv=0.6,
+            cost_profile_scale=0.10,
+            rng_tag=4,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        if tablet:
+            raise WorkloadError("SP does not build on the 32-bit tablet")
+        sizes = rescale_profile(list(small_sssp_profile()),
+                                target_launches=_DESKTOP_LAUNCHES,
+                                target_total=_DESKTOP_TOTAL_ITEMS)
+        return [InvocationSpec(n_items=s) for s in sizes]
+
+    def validate(self) -> None:
+        """Distances must match networkx Dijkstra exactly."""
+        import networkx as nx
+
+        graph = small_road_network()
+        dist, rounds = sssp_distances(graph, source=0)
+        g = nx.Graph()
+        for v in range(graph.num_vertices):
+            neighbors = graph.neighbors(v)
+            weights = graph.edge_weights(v)
+            for u, w in zip(neighbors, weights):
+                # Undirected: keep the lighter parallel edge, as the
+                # frontier relaxation does implicitly.
+                if g.has_edge(int(v), int(u)):
+                    w = min(w, g[int(v)][int(u)]["weight"])
+                g.add_edge(int(v), int(u), weight=float(w))
+        reference = nx.single_source_dijkstra_path_length(g, 0)
+        bad = [v for v, d in reference.items()
+               if not np.isclose(dist[v], d)]
+        if bad:
+            raise WorkloadError(
+                f"SSSP distances disagree with Dijkstra at {len(bad)} "
+                f"vertices (first: {bad[0]}: {dist[bad[0]]} vs "
+                f"{reference[bad[0]]})")
+        if not rounds or rounds[0] != 1:
+            raise WorkloadError("SSSP should start from a single-source frontier")

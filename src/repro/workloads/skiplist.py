@@ -1,0 +1,185 @@
+"""SkipList (SL) - concurrent skip-list construction/search.
+
+Paper input: 500M keys (45M on the tablet), single long kernel
+invocation.  Irregular and memory-bound: each operation chases tower
+pointers through a multi-level probabilistic structure, with
+data-dependent tower heights.
+
+The real implementation is a complete probabilistic skip list with
+deterministic seeding; validation checks ordering, search hits/misses
+and the geometric level distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.soc.cost_model import KernelCostModel
+from repro.workloads.base import InvocationSpec, Workload
+
+_DESKTOP_KEYS = 5.0e8
+_TABLET_KEYS = 4.5e7
+
+
+class SkipList(Workload):
+    """Bulk skip-list operations, one long memory-bound kernel."""
+
+    name = "SkipList"
+    abbrev = "SL"
+    regular = False
+    tablet_supported = True
+    input_desktop = "500M keys"
+    input_tablet = "45M keys"
+    expected_compute_bound = False
+    expected_cpu_short = False
+    expected_gpu_short = False
+
+    def cost_model(self, tablet: bool = False) -> KernelCostModel:
+        # Pointer chasing through tower levels: few instructions, a
+        # large share of them dependent loads that miss the LLC
+        # (latency-bound).  Upper tower levels stay cache-resident, so
+        # misses per op stay modest.
+        return KernelCostModel(
+            name="sl-ops",
+            instructions_per_item=120.0,
+            loadstore_fraction=0.20,
+            l3_miss_rate=0.35,
+            cpu_simd_efficiency=0.040,
+            gpu_simd_efficiency=0.0496,
+            gpu_divergence=0.30,
+            gpu_instruction_expansion=1.3,
+            gpu_traffic_factor=0.55,
+            item_cost_cv=0.3,
+            cost_profile_scale=0.08,
+            rng_tag=7,
+        )
+
+    def invocations(self, tablet: bool = False) -> List[InvocationSpec]:
+        keys = _TABLET_KEYS if tablet else _DESKTOP_KEYS
+        return [InvocationSpec(n_items=keys)]
+
+    def validate(self) -> None:
+        """Insert/search correctness plus the geometric level law."""
+        sl = SkipListStructure(max_level=12, p=0.5, seed=23)
+        rng = random.Random(99)
+        keys = rng.sample(range(100000), 3000)
+        for k in keys:
+            sl.insert(k)
+        if sl.to_list() != sorted(keys):
+            raise WorkloadError("skip list traversal is not sorted")
+        for k in keys[:200]:
+            if not sl.contains(k):
+                raise WorkloadError(f"inserted key {k} not found")
+        misses = [k for k in range(100001, 100100) if sl.contains(k)]
+        if misses:
+            raise WorkloadError(f"phantom keys found: {misses}")
+        # Tower heights must decay roughly geometrically (p = 0.5).
+        level1 = sl.count_at_level(1)
+        if not 0.3 * len(keys) < level1 < 0.7 * len(keys):
+            raise WorkloadError(
+                f"level-1 occupancy {level1} far from p*N = {len(keys) / 2}")
+        # Deletion keeps the structure consistent.
+        for k in keys[:100]:
+            sl.remove(k)
+        if sl.to_list() != sorted(keys[100:]):
+            raise WorkloadError("deletion corrupted the skip list")
+
+
+class _Node:
+    __slots__ = ("key", "forward")
+
+    def __init__(self, key: int, level: int) -> None:
+        self.key = key
+        self.forward: List[Optional[_Node]] = [None] * level
+
+
+class SkipListStructure:
+    """A classical probabilistic skip list (Pugh, 1990)."""
+
+    def __init__(self, max_level: int = 16, p: float = 0.5,
+                 seed: int = 0) -> None:
+        if not 0.0 < p < 1.0:
+            raise WorkloadError("p must be in (0, 1)")
+        if max_level < 1:
+            raise WorkloadError("max_level must be >= 1")
+        self.max_level = max_level
+        self.p = p
+        self._rng = random.Random(seed)
+        self._head = _Node(key=-(1 << 62), level=max_level)
+        self._level = 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < self.max_level and self._rng.random() < self.p:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: int) -> List[_Node]:
+        update: List[_Node] = [self._head] * self.max_level
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    def insert(self, key: int) -> bool:
+        """Insert; returns False if the key already exists."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return False
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._size += 1
+        return True
+
+    def contains(self, key: int) -> bool:
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None and node.forward[lvl].key < key:
+                node = node.forward[lvl]
+        node = node.forward[0]
+        return node is not None and node.key == key
+
+    def remove(self, key: int) -> bool:
+        """Remove; returns False if the key is absent."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for lvl in range(len(node.forward)):
+            if update[lvl].forward[lvl] is node:
+                update[lvl].forward[lvl] = node.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def to_list(self) -> List[int]:
+        out = []
+        node = self._head.forward[0]
+        while node is not None:
+            out.append(node.key)
+            node = node.forward[0]
+        return out
+
+    def count_at_level(self, level: int) -> int:
+        """Number of nodes whose tower reaches ``level`` (0-based)."""
+        count = 0
+        node = self._head.forward[level] if level < self.max_level else None
+        while node is not None:
+            count += 1
+            node = node.forward[level]
+        return count

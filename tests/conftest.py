@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (platform characterizations) are session-scoped;
+cost models and specs are cheap and function-scoped.
+"""
+
+import pytest
+
+from repro.core.characterization import PlatformCharacterization
+from repro.harness.suite import get_characterization
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import PlatformSpec, baytrail_tablet, haswell_desktop
+
+
+@pytest.fixture
+def desktop() -> PlatformSpec:
+    return haswell_desktop()
+
+
+@pytest.fixture
+def tablet() -> PlatformSpec:
+    return baytrail_tablet()
+
+
+@pytest.fixture
+def desktop_processor(desktop: PlatformSpec) -> IntegratedProcessor:
+    return IntegratedProcessor(desktop)
+
+
+@pytest.fixture
+def traced_desktop_processor(desktop: PlatformSpec) -> IntegratedProcessor:
+    return IntegratedProcessor(desktop, trace_enabled=True)
+
+
+@pytest.fixture(scope="session")
+def desktop_characterization() -> PlatformCharacterization:
+    """One-time desktop power characterization (the paper's offline
+    step), shared across the whole test session."""
+    return get_characterization(haswell_desktop())
+
+
+@pytest.fixture(scope="session")
+def tablet_characterization() -> PlatformCharacterization:
+    return get_characterization(baytrail_tablet())
+
+
+@pytest.fixture
+def compute_cost() -> KernelCostModel:
+    """A regular, compute-bound kernel."""
+    return KernelCostModel(
+        name="test-compute",
+        instructions_per_item=1000.0,
+        loadstore_fraction=0.2,
+        l3_miss_rate=0.0,
+    )
+
+
+@pytest.fixture
+def memory_cost() -> KernelCostModel:
+    """A regular, memory-bound kernel (miss ratio above 0.33)."""
+    return KernelCostModel(
+        name="test-memory",
+        instructions_per_item=300.0,
+        loadstore_fraction=0.4,
+        l3_miss_rate=0.5,
+    )
+
+
+@pytest.fixture
+def irregular_cost() -> KernelCostModel:
+    """An irregular kernel with long-range cost structure."""
+    return KernelCostModel(
+        name="test-irregular",
+        instructions_per_item=500.0,
+        loadstore_fraction=0.3,
+        l3_miss_rate=0.4,
+        item_cost_cv=0.9,
+        cost_profile_scale=0.2,
+        rng_tag=42,
+    )

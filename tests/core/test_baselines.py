@@ -1,0 +1,85 @@
+"""Baseline schedulers: CPU, GPU, static-alpha, profiled-PERF."""
+
+import pytest
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+    StaticAlphaScheduler,
+)
+from repro.errors import SchedulingError
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.simulator import IntegratedProcessor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(name="base-k", cost=KernelCostModel(
+        name="base-k", instructions_per_item=600.0,
+        loadstore_fraction=0.2, l3_miss_rate=0.0,
+        cpu_simd_efficiency=0.8, gpu_simd_efficiency=0.8))
+
+
+@pytest.fixture
+def runtime(desktop):
+    return ConcordRuntime(IntegratedProcessor(desktop))
+
+
+class TestSingleDevice:
+    def test_cpu_only(self, runtime, kernel):
+        result = runtime.parallel_for(kernel, 500_000.0, CpuOnlyScheduler())
+        assert result.gpu_items == 0.0
+        assert result.cpu_items == pytest.approx(500_000.0, rel=1e-6)
+
+    def test_gpu_only(self, runtime, kernel):
+        result = runtime.parallel_for(kernel, 500_000.0, GpuOnlyScheduler())
+        assert result.cpu_items == 0.0
+        assert result.gpu_items == pytest.approx(500_000.0, rel=1e-6)
+
+
+class TestStaticAlpha:
+    def test_fixed_split(self, runtime, kernel):
+        result = runtime.parallel_for(kernel, 1_000_000.0,
+                                      StaticAlphaScheduler(alpha=0.25))
+        assert result.gpu_items == pytest.approx(250_000.0, rel=1e-6)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(SchedulingError):
+            StaticAlphaScheduler(alpha=1.2)
+
+
+class TestProfiledPerf:
+    def test_profiles_and_picks_alpha_perf(self, runtime, kernel):
+        scheduler = ProfiledPerfScheduler()
+        result = runtime.parallel_for(kernel, 4_000_000.0, scheduler)
+        assert result.profiled
+        # The kernel's GPU is ~2-3x the CPU: alpha lands GPU-heavy.
+        assert result.alpha > 0.5
+
+    def test_reuses_table(self, runtime, kernel):
+        scheduler = ProfiledPerfScheduler()
+        runtime.parallel_for(kernel, 4_000_000.0, scheduler)
+        second = runtime.parallel_for(kernel, 4_000_000.0, scheduler)
+        assert not second.profiled
+
+    def test_small_n_cpu_only(self, runtime, kernel):
+        scheduler = ProfiledPerfScheduler()
+        result = runtime.parallel_for(kernel, 100.0, scheduler)
+        assert result.alpha == 0.0
+
+    def test_perf_time_beats_single_device_on_long_kernel(self, desktop,
+                                                          kernel):
+        """The whole point of [12]: adaptive hybrid beats either device
+        alone on runtime."""
+        def run(scheduler):
+            runtime = ConcordRuntime(IntegratedProcessor(desktop))
+            return runtime.parallel_for(kernel, 4e7, scheduler).duration_s
+
+        t_perf = run(ProfiledPerfScheduler())
+        t_cpu = run(CpuOnlyScheduler())
+        t_gpu = run(GpuOnlyScheduler())
+        assert t_perf < t_cpu
+        assert t_perf < t_gpu

@@ -1,0 +1,44 @@
+"""The 8-way workload taxonomy."""
+
+import pytest
+
+from repro.core.categories import (
+    Boundedness,
+    DeviceDuration,
+    WorkloadCategory,
+    all_categories,
+    category_from_codes,
+)
+
+
+class TestTaxonomy:
+    def test_exactly_eight_categories(self):
+        cats = all_categories()
+        assert len(cats) == 8
+        assert len(set(cats)) == 8
+
+    def test_cross_product_structure(self):
+        cats = all_categories()
+        assert sum(1 for c in cats if c.boundedness is Boundedness.MEMORY) == 4
+        assert sum(1 for c in cats
+                   if c.cpu_duration is DeviceDuration.SHORT) == 4
+        assert sum(1 for c in cats
+                   if c.gpu_duration is DeviceDuration.LONG) == 4
+
+    def test_short_codes_unique(self):
+        codes = [c.short_code for c in all_categories()]
+        assert len(set(codes)) == 8
+
+    @pytest.mark.parametrize("category", all_categories())
+    def test_code_roundtrip(self, category):
+        assert category_from_codes(category.short_code) == category
+
+    def test_code_format(self):
+        cat = WorkloadCategory(Boundedness.MEMORY, DeviceDuration.SHORT,
+                               DeviceDuration.LONG)
+        assert cat.short_code == "M-SL"
+        assert "memory" in str(cat)
+
+    def test_hashable_for_table_keys(self):
+        table = {c: i for i, c in enumerate(all_categories())}
+        assert len(table) == 8

@@ -1,0 +1,97 @@
+"""Online workload classification: the 0.33 and 100 ms thresholds."""
+
+import pytest
+
+from repro.core.categories import Boundedness, DeviceDuration
+from repro.core.classification import (
+    MEMORY_INTENSITY_THRESHOLD,
+    SHORT_LONG_THRESHOLD_S,
+    ClassificationInputs,
+    OnlineClassifier,
+)
+from repro.errors import ClassificationError
+
+
+def inputs(misses=0.0, loadstores=100.0, r_c=1e6, r_g=1e6, n_rem=1e5):
+    return ClassificationInputs(
+        l3_misses=misses, loadstore_instructions=loadstores,
+        cpu_throughput=r_c, gpu_throughput=r_g, remaining_items=n_rem)
+
+
+@pytest.fixture
+def classifier():
+    return OnlineClassifier()
+
+
+class TestBoundedness:
+    def test_paper_thresholds(self):
+        assert MEMORY_INTENSITY_THRESHOLD == 0.33
+        assert SHORT_LONG_THRESHOLD_S == pytest.approx(0.1)
+
+    def test_memory_bound_above_threshold(self, classifier):
+        assert classifier.boundedness(
+            inputs(misses=34.0)) is Boundedness.MEMORY
+
+    def test_compute_bound_at_threshold(self, classifier):
+        """Strictly greater than 0.33 is required (paper: 'greater
+        than 0.33')."""
+        assert classifier.boundedness(
+            inputs(misses=33.0)) is Boundedness.COMPUTE
+
+    def test_no_loadstores_means_compute(self, classifier):
+        assert classifier.boundedness(
+            inputs(misses=0.0, loadstores=0.0)) is Boundedness.COMPUTE
+
+    def test_negative_counters_rejected(self, classifier):
+        with pytest.raises(ClassificationError):
+            classifier.memory_intensity(inputs(misses=-1.0))
+
+
+class TestDurations:
+    def test_both_short(self, classifier):
+        # 1e5 items at 1e7/s on each device alone: 10 ms.
+        cpu, gpu = classifier.device_durations(inputs(r_c=1e7, r_g=1e7))
+        assert cpu is DeviceDuration.SHORT
+        assert gpu is DeviceDuration.SHORT
+
+    def test_both_long(self, classifier):
+        # 1e5 items at 1e5/s: 1 s on each device alone.
+        cpu, gpu = classifier.device_durations(inputs(r_c=1e5, r_g=1e5))
+        assert cpu is DeviceDuration.LONG
+        assert gpu is DeviceDuration.LONG
+
+    def test_asymmetric_devices(self, classifier):
+        # CPU alone: 10 ms (short); GPU alone: 1 s (long).
+        cpu, gpu = classifier.device_durations(inputs(r_c=1e7, r_g=1e5))
+        assert cpu is DeviceDuration.SHORT
+        assert gpu is DeviceDuration.LONG
+
+    def test_stalled_device_is_long(self, classifier):
+        cpu, gpu = classifier.device_durations(inputs(r_c=1e7, r_g=0.0))
+        assert gpu is DeviceDuration.LONG
+
+    def test_both_stalled_rejected(self, classifier):
+        with pytest.raises(ClassificationError):
+            classifier.device_durations(inputs(r_c=0.0, r_g=0.0))
+
+    def test_threshold_is_configurable(self):
+        lenient = OnlineClassifier(short_long_threshold_s=10.0)
+        cpu, gpu = lenient.device_durations(inputs(r_c=1e5, r_g=1e5))
+        assert cpu is DeviceDuration.SHORT
+
+
+class TestFullClassification:
+    def test_classify_combines_all_three_axes(self, classifier):
+        category = classifier.classify(inputs(
+            misses=50.0, loadstores=100.0, r_c=1e7, r_g=1e5))
+        assert category.short_code == "M-SL"
+
+    def test_matches_curve_table_keys(self, classifier,
+                                      desktop_characterization):
+        """Whatever the classifier produces, the characterization has
+        a curve for it."""
+        for r_c, r_g, misses in ((1e7, 1e7, 0.0), (1e5, 1e5, 50.0),
+                                 (1e7, 1e5, 40.0), (1e5, 1e7, 10.0)):
+            category = classifier.classify(inputs(
+                misses=misses, r_c=r_c, r_g=r_g))
+            assert desktop_characterization.curve_for(category) is not None

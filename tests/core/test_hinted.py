@@ -1,0 +1,132 @@
+"""The cooperative power-hint extension (paper's future work)."""
+
+import pytest
+
+from repro.core.hinted import HintedEnergyAwareScheduler
+from repro.core.metrics import EDP, ENERGY
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.errors import SchedulingError, SimulationError
+from repro.harness.experiment import run_application
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.pcu import Pcu
+from repro.soc.simulator import IntegratedProcessor
+from repro.units import ms
+from repro.workloads.registry import workload_by_abbrev
+
+
+def mid_alpha_kernel():
+    """A kernel whose energy optimum is hybrid (GPU ~1.5x CPU)."""
+    return Kernel(name="hint-k", cost=KernelCostModel(
+        name="hint-k", instructions_per_item=150.0,
+        loadstore_fraction=0.2, l3_miss_rate=0.36,
+        cpu_simd_efficiency=0.04, gpu_simd_efficiency=0.045,
+        gpu_divergence=0.3, gpu_traffic_factor=0.8))
+
+
+class TestPcuHintKnob:
+    def test_hint_lowers_coexec_target(self, desktop):
+        paced = Pcu(desktop)
+        paced.power_hint = 1.0
+        stock = Pcu(desktop)
+        now = 0.0
+        for _ in range(3000):
+            paced.step(now, ms(1.0), True, True, 30.0)
+            stock.step(now, ms(1.0), True, True, 30.0)
+            now += ms(1.0)
+        assert stock.state.cpu_freq_hz == pytest.approx(
+            desktop.pcu.cpu_coexec_freq_hz)
+        assert paced.state.cpu_freq_hz == pytest.approx(
+            desktop.pcu.cpu_gpu_activation_floor_hz)
+
+    def test_hint_zero_is_stock_policy(self, desktop):
+        pcu = Pcu(desktop)
+        assert pcu.power_hint == 0.0
+
+    def test_hint_does_not_touch_turbo(self, desktop):
+        pcu = Pcu(desktop)
+        pcu.power_hint = 1.0
+        now = 0.0
+        for _ in range(50):
+            pcu.step(now, ms(1.0), True, False, 30.0)
+            now += ms(1.0)
+        assert pcu.state.cpu_freq_hz == pytest.approx(
+            desktop.cpu.turbo_freq_hz)
+
+    def test_processor_validates_hint(self, desktop_processor):
+        desktop_processor.set_power_hint(0.7)
+        assert desktop_processor.pcu.power_hint == 0.7
+        with pytest.raises(SimulationError):
+            desktop_processor.set_power_hint(1.5)
+
+
+class TestHintedScheduler:
+    def test_rejects_bad_hint_levels(self, desktop_characterization):
+        with pytest.raises(SchedulingError):
+            HintedEnergyAwareScheduler(desktop_characterization, ENERGY,
+                                       hint_levels=(2.0,))
+
+    def test_records_hint_decisions(self, desktop,
+                                    desktop_characterization):
+        runtime = ConcordRuntime(IntegratedProcessor(desktop))
+        scheduler = HintedEnergyAwareScheduler(desktop_characterization,
+                                               ENERGY)
+        runtime.parallel_for(mid_alpha_kernel(), 5e7, scheduler)
+        assert scheduler.hint_decisions
+        decision = scheduler.hint_decisions[-1]
+        assert 0.0 <= decision.hint <= 1.0
+        assert 0.0 <= decision.alpha <= 1.0
+
+    def test_hint_cleared_after_invocation(self, desktop,
+                                           desktop_characterization):
+        processor = IntegratedProcessor(desktop)
+        runtime = ConcordRuntime(processor)
+        scheduler = HintedEnergyAwareScheduler(desktop_characterization,
+                                               ENERGY)
+        runtime.parallel_for(mid_alpha_kernel(), 5e7, scheduler)
+        assert processor.pcu.power_hint == 0.0
+
+    def test_zero_only_hint_levels_match_plain_eas(self,
+                                                   desktop,
+                                                   desktop_characterization):
+        """With only the stock hint available, the hinted scheduler is
+        exactly EAS."""
+        def run(scheduler_cls, **kwargs):
+            runtime = ConcordRuntime(IntegratedProcessor(desktop))
+            scheduler = scheduler_cls(desktop_characterization, ENERGY,
+                                      **kwargs)
+            return runtime.parallel_for(mid_alpha_kernel(), 5e7, scheduler)
+
+        plain = run(EnergyAwareScheduler)
+        pinned = run(HintedEnergyAwareScheduler, hint_levels=(0.0,))
+        assert pinned.duration_s == pytest.approx(plain.duration_s)
+        assert pinned.energy_j == pytest.approx(plain.energy_j)
+
+    def test_hint_never_hurts_energy_materially(self, desktop,
+                                                desktop_characterization):
+        """The joint search includes hint 0, so a well-modelled pace
+        should not lose more than model noise on the energy metric."""
+        workload = workload_by_abbrev("SL")
+        plain = run_application(
+            desktop, workload,
+            EnergyAwareScheduler(desktop_characterization, ENERGY), "eas")
+        hinted = run_application(
+            desktop, workload,
+            HintedEnergyAwareScheduler(desktop_characterization, ENERGY),
+            "hinted")
+        assert hinted.energy_j <= plain.energy_j * 1.05
+
+    def test_hint_saves_energy_on_hybrid_workload(self, desktop,
+                                                  desktop_characterization):
+        """On SL (hybrid energy optimum) the pace saves real energy at
+        the same alpha - the paper's future-work payoff."""
+        workload = workload_by_abbrev("SL")
+        plain = run_application(
+            desktop, workload,
+            EnergyAwareScheduler(desktop_characterization, ENERGY), "eas")
+        hinted = run_application(
+            desktop, workload,
+            HintedEnergyAwareScheduler(desktop_characterization, ENERGY),
+            "hinted")
+        assert hinted.energy_j < plain.energy_j

@@ -1,0 +1,62 @@
+"""Energy metrics: E, EDP, ED2 and custom objectives."""
+
+import pytest
+
+from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric, metric_by_name
+from repro.errors import SchedulingError
+
+
+class TestStandardMetrics:
+    def test_energy_is_power_times_time(self):
+        assert ENERGY.value(10.0, 2.0) == pytest.approx(20.0)
+
+    def test_edp_weights_time_quadratically(self):
+        assert EDP.value(10.0, 2.0) == pytest.approx(40.0)
+
+    def test_ed2_weights_time_cubically(self):
+        assert ED2.value(10.0, 2.0) == pytest.approx(80.0)
+
+    def test_from_energy_matches_value(self):
+        # E = 30 J over 3 s -> P = 10 W; EDP = P * T^2 = 90.
+        assert EDP.from_energy(30.0, 3.0) == pytest.approx(90.0)
+        assert ENERGY.from_energy(30.0, 3.0) == pytest.approx(30.0)
+
+    def test_from_energy_rejects_zero_time(self):
+        with pytest.raises(SchedulingError):
+            ENERGY.from_energy(10.0, 0.0)
+
+    def test_value_rejects_negative_inputs(self):
+        with pytest.raises(SchedulingError):
+            EDP.value(-1.0, 1.0)
+
+    def test_faster_beats_slower_at_equal_energy_for_edp(self):
+        """EDP prefers the faster of two equal-energy executions."""
+        slow = EDP.from_energy(100.0, 10.0)
+        fast = EDP.from_energy(100.0, 5.0)
+        assert fast < slow
+
+    def test_energy_indifferent_to_speed_at_equal_energy(self):
+        assert ENERGY.from_energy(100.0, 10.0) == ENERGY.from_energy(100.0, 5.0)
+
+
+class TestCustomMetrics:
+    def test_custom_function(self):
+        battery = EnergyMetric(name="battery",
+                               custom_fn=lambda p, t: p * t + 0.5 * t)
+        assert battery.value(10.0, 2.0) == pytest.approx(21.0)
+
+    def test_rejects_sub_linear_delay_exponent(self):
+        with pytest.raises(SchedulingError):
+            EnergyMetric(name="bogus", delay_exponent=0.5)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,metric", [
+        ("energy", ENERGY), ("edp", EDP), ("ed2", ED2), ("EDP", EDP),
+    ])
+    def test_lookup(self, name, metric):
+        assert metric_by_name(name) is metric
+
+    def test_unknown_name(self):
+        with pytest.raises(SchedulingError):
+            metric_by_name("nonsense")

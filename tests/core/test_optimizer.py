@@ -1,0 +1,105 @@
+"""The alpha grid search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import EDP, ENERGY
+from repro.core.optimizer import (
+    AlphaOptimizer,
+    alpha_grid,
+    best_alpha_for,
+)
+from repro.core.power_curve import PowerCurve
+from repro.core.time_model import ExecutionTimeModel
+from repro.errors import SchedulingError
+
+
+def flat_curve(watts=40.0):
+    return PowerCurve(coefficients=(watts,))
+
+
+def linear_curve(at0, at1):
+    return PowerCurve(coefficients=(at1 - at0, at0))
+
+
+class TestGrid:
+    def test_paper_grid(self):
+        grid = alpha_grid(0.1)
+        assert len(grid) == 11
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+
+    def test_finer_grid(self):
+        assert len(alpha_grid(0.05)) == 21
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(SchedulingError):
+            alpha_grid(0.0)
+        with pytest.raises(SchedulingError):
+            alpha_grid(1.5)
+
+
+class TestBestAlpha:
+    def test_flat_power_picks_alpha_perf(self):
+        """With constant power, every time-monotone metric minimizes at
+        the performance-optimal split (nearest grid point)."""
+        model = ExecutionTimeModel(100.0, 300.0, 1e5)
+        optimizer = AlphaOptimizer(metric=EDP, step=0.05)
+        alpha, _ = optimizer.best_alpha(flat_curve(), model)
+        assert alpha == pytest.approx(0.75, abs=0.05)
+
+    def test_cheap_gpu_pulls_energy_toward_one(self):
+        """A steep power drop toward the GPU shifts the energy optimum
+        past alpha_perf - the Fig. 1 structure."""
+        model = ExecutionTimeModel(100.0, 150.0, 1e5)
+        steep = linear_curve(60.0, 10.0)
+        optimizer = AlphaOptimizer(metric=ENERGY, step=0.1)
+        alpha, _ = optimizer.best_alpha(steep, model)
+        assert alpha > model.alpha_perf
+
+    def test_expensive_gpu_pulls_energy_toward_zero(self):
+        model = ExecutionTimeModel(150.0, 100.0, 1e5)
+        steep = linear_curve(10.0, 60.0)
+        optimizer = AlphaOptimizer(metric=ENERGY, step=0.1)
+        alpha, _ = optimizer.best_alpha(steep, model)
+        assert alpha < model.alpha_perf
+
+    def test_edp_sits_between_energy_and_perf(self):
+        """EDP balances the two objectives (the paper's motivation for
+        reporting both)."""
+        model = ExecutionTimeModel(100.0, 150.0, 1e5)
+        curve = linear_curve(60.0, 10.0)
+        perf_alpha = model.alpha_perf
+        energy_alpha, _ = AlphaOptimizer(ENERGY, 0.05).best_alpha(curve, model)
+        edp_alpha, _ = AlphaOptimizer(EDP, 0.05).best_alpha(curve, model)
+        lo, hi = sorted((perf_alpha, energy_alpha))
+        assert lo - 0.05 <= edp_alpha <= hi + 0.05
+
+    def test_evaluations_cover_whole_grid(self):
+        model = ExecutionTimeModel(100.0, 100.0, 1e5)
+        evals = AlphaOptimizer(EDP, 0.1).evaluate(flat_curve(), model)
+        assert len(evals) == 11
+        assert all(e.objective > 0 for e in evals)
+
+    @given(r_c=st.floats(1.0, 1e6), r_g=st.floats(1.0, 1e6),
+           p0=st.floats(1.0, 100.0), p1=st.floats(1.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_best_alpha_is_grid_minimum_property(self, r_c, r_g, p0, p1):
+        model = ExecutionTimeModel(r_c, r_g, 1e5)
+        curve = linear_curve(p0, p1)
+        optimizer = AlphaOptimizer(EDP, 0.1)
+        alpha, objective = optimizer.best_alpha(curve, model)
+        for candidate in alpha_grid(0.1):
+            value = EDP.value(curve.power(candidate),
+                              model.total_time(candidate))
+            assert objective <= value * (1 + 1e-12)
+
+
+class TestFunctionalHelper:
+    def test_minimizes_measured_values(self):
+        # Synthetic measured landscape with a known minimum at 0.7.
+        times = {round(a, 1): 10.0 + abs(a - 0.7) * 10 for a in alpha_grid(0.1)}
+        alpha = best_alpha_for(EDP, power_fn=lambda a: 40.0,
+                               time_fn=lambda a: times[round(a, 1)])
+        assert alpha == pytest.approx(0.7)

@@ -1,0 +1,99 @@
+"""Power characterization curves: fitting, evaluation, rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.power_curve import PowerCurve, fit_power_curve
+from repro.errors import CharacterizationError
+
+
+def sweep(fn, n=21):
+    alphas = np.linspace(0.0, 1.0, n)
+    return alphas, [fn(a) for a in alphas]
+
+
+class TestFitting:
+    def test_recovers_polynomial_exactly(self):
+        alphas, powers = sweep(lambda a: 40.0 - 10.0 * a + 5.0 * a ** 2)
+        curve = fit_power_curve(alphas, powers)
+        for a in (0.0, 0.33, 0.7, 1.0):
+            assert curve.power(a) == pytest.approx(40.0 - 10.0 * a + 5.0 * a ** 2,
+                                                   abs=1e-6)
+
+    def test_default_order_is_six(self):
+        alphas, powers = sweep(lambda a: 30.0 + a)
+        assert fit_power_curve(alphas, powers).order == 6
+
+    def test_requires_enough_points(self):
+        with pytest.raises(CharacterizationError):
+            fit_power_curve([0.0, 0.5, 1.0], [1.0, 2.0, 3.0], order=6)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(CharacterizationError):
+            fit_power_curve([0.0, 1.0], [1.0], order=1)
+
+    def test_rejects_out_of_range_alphas(self):
+        alphas = list(np.linspace(0, 1.5, 10))
+        with pytest.raises(CharacterizationError):
+            fit_power_curve(alphas, [1.0] * 10)
+
+    def test_rejects_negative_power(self):
+        alphas = list(np.linspace(0, 1, 10))
+        with pytest.raises(CharacterizationError):
+            fit_power_curve(alphas, [-1.0] * 10)
+
+    def test_residual_rms_small_for_smooth_data(self):
+        alphas, powers = sweep(lambda a: 50.0 - 15.0 * a ** 3)
+        assert fit_power_curve(alphas, powers).fit_residual_rms() < 1e-6
+
+    @given(coeffs=st.lists(st.floats(-20.0, 20.0), min_size=2, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_fit_interpolates_its_samples_property(self, coeffs):
+        """A 6th-order fit reproduces any lower-order polynomial's
+        samples (as long as powers stay positive)."""
+        base = 100.0  # keep values positive
+        alphas = np.linspace(0, 1, 15)
+        powers = [base + float(np.polyval(coeffs, a)) for a in alphas]
+        if min(powers) <= 0:
+            return
+        curve = fit_power_curve(alphas, powers)
+        assert curve.fit_residual_rms() < 1e-3 * base
+
+
+class TestEvaluation:
+    def test_clamps_alpha_into_unit_interval(self):
+        alphas, powers = sweep(lambda a: 10.0 + 5.0 * a)
+        curve = fit_power_curve(alphas, powers)
+        assert curve.power(-1.0) == pytest.approx(curve.power(0.0))
+        assert curve.power(2.0) == pytest.approx(curve.power(1.0))
+
+    def test_power_floor_prevents_negative(self):
+        curve = PowerCurve(coefficients=(-100.0,))
+        assert curve.power(0.5) > 0.0
+
+    def test_callable(self):
+        curve = PowerCurve(coefficients=(2.0, 3.0))  # 2a + 3
+        assert curve(0.5) == pytest.approx(4.0)
+
+    def test_needs_coefficients(self):
+        with pytest.raises(CharacterizationError):
+            PowerCurve(coefficients=())
+
+    def test_residual_requires_samples(self):
+        with pytest.raises(CharacterizationError):
+            PowerCurve(coefficients=(1.0,)).fit_residual_rms()
+
+
+class TestRendering:
+    def test_equation_format(self):
+        curve = PowerCurve(coefficients=(2.0, -3.0, 40.0))
+        eq = curve.equation()
+        assert eq.startswith("y = ")
+        assert "x^2" in eq
+        assert "+40" in eq
+
+    def test_zero_coefficients_skipped(self):
+        curve = PowerCurve(coefficients=(0.0, 5.0, 0.0))
+        assert "x^2" not in curve.equation()

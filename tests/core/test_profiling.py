@@ -1,0 +1,115 @@
+"""Profiling aggregation and the global kernel table G."""
+
+import pytest
+
+from repro.core.categories import all_categories
+from repro.core.profiling import KernelTable, ProfileAggregate
+from repro.errors import SchedulingError
+from repro.runtime.runtime import ProfileObservation
+from repro.soc.counters import CounterDelta
+
+
+def observation(cpu_items=100.0, cpu_time=0.1, gpu_items=400.0, gpu_time=0.1,
+                misses=10.0, loadstores=100.0):
+    counters = CounterDelta(
+        elapsed_s=cpu_time, instructions_retired=cpu_items * 10,
+        loadstore_instructions=loadstores, l3_misses=misses,
+        cpu_items=cpu_items, gpu_items=gpu_items, gpu_busy_time_s=gpu_time)
+    return ProfileObservation(
+        cpu_time_s=cpu_time, gpu_time_s=gpu_time, cpu_items=cpu_items,
+        gpu_items=gpu_items, counters=counters, energy_j=1.0)
+
+
+class TestProfileAggregate:
+    def test_empty_aggregate_raises(self):
+        with pytest.raises(SchedulingError):
+            _ = ProfileAggregate().cpu_throughput
+
+    def test_single_round_throughputs(self):
+        agg = ProfileAggregate()
+        agg.add(observation(cpu_items=100.0, cpu_time=0.1,
+                            gpu_items=400.0, gpu_time=0.2))
+        assert agg.cpu_throughput == pytest.approx(1000.0)
+        assert agg.gpu_throughput == pytest.approx(2000.0)
+
+    def test_rounds_are_sample_weighted(self):
+        """Total items over total time: big rounds dominate."""
+        agg = ProfileAggregate()
+        agg.add(observation(cpu_items=10.0, cpu_time=0.1))      # 100/s
+        agg.add(observation(cpu_items=10_000.0, cpu_time=1.0))  # 10_000/s
+        assert agg.cpu_throughput == pytest.approx(10_010 / 1.1)
+
+    def test_counter_totals(self):
+        agg = ProfileAggregate()
+        agg.add(observation(misses=10.0, loadstores=100.0))
+        agg.add(observation(misses=30.0, loadstores=100.0))
+        assert agg.l3_misses == 40.0
+        assert agg.loadstore_instructions == 200.0
+        assert agg.num_rounds == 2
+
+
+class TestKernelTable:
+    def test_lookup_missing(self):
+        assert KernelTable().lookup("f") is None
+
+    def test_record_and_reuse(self):
+        table = KernelTable()
+        table.record("f", alpha=0.7, weight=1000.0)
+        entry = table.lookup("f")
+        assert entry.alpha == 0.7
+        assert "f" in table
+
+    def test_sample_weighted_accumulation(self):
+        """The paper's line 26: alpha accumulates weighted by items."""
+        table = KernelTable()
+        table.record("f", alpha=0.4, weight=1000.0)
+        table.record("f", alpha=0.8, weight=3000.0)
+        assert table.lookup("f").alpha == pytest.approx(0.7)
+        assert table.lookup("f").weight == 4000.0
+
+    def test_profiled_record_replaces_provisional(self):
+        """A tiny first frontier must not pin the kernel to the CPU."""
+        table = KernelTable()
+        table.record("f", alpha=0.0, weight=10.0, provisional=True)
+        table.record("f", alpha=0.9, weight=5000.0,
+                     category=all_categories()[0])
+        entry = table.lookup("f")
+        assert entry.alpha == 0.9
+        assert not entry.provisional
+        assert entry.weight == 5000.0
+
+    def test_provisional_accumulates_with_provisional(self):
+        table = KernelTable()
+        table.record("f", alpha=0.0, weight=10.0, provisional=True)
+        table.record("f", alpha=0.0, weight=30.0, provisional=True)
+        assert table.lookup("f").provisional
+
+    def test_derived_at_items_tracks_maximum(self):
+        table = KernelTable()
+        table.record("f", alpha=0.5, weight=100.0)
+        table.record("f", alpha=0.5, weight=5000.0)
+        table.record("f", alpha=0.5, weight=300.0)
+        assert table.lookup("f").derived_at_items == 5000.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(SchedulingError):
+            KernelTable().record("f", alpha=1.5, weight=1.0)
+
+    def test_rejects_bad_weight_on_accumulate(self):
+        table = KernelTable()
+        table.record("f", alpha=0.5, weight=10.0)
+        with pytest.raises(SchedulingError):
+            table.record("f", alpha=0.5, weight=0.0)
+
+    def test_clear(self):
+        table = KernelTable()
+        table.record("f", alpha=0.5, weight=10.0)
+        table.clear()
+        assert len(table) == 0
+
+    def test_note_invocation_counts(self):
+        table = KernelTable()
+        table.record("f", alpha=0.5, weight=10.0)
+        table.note_invocation("f")
+        table.note_invocation("f")
+        assert table.lookup("f").invocations == 2

@@ -1,0 +1,106 @@
+"""The execution-time model T(alpha), Eqs. 1-4, with property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.time_model import ExecutionTimeModel
+from repro.errors import SchedulingError
+
+throughputs = st.floats(min_value=1.0, max_value=1e9)
+
+
+class TestEquations:
+    def test_alpha_perf_eq2(self):
+        model = ExecutionTimeModel(cpu_throughput=100.0, gpu_throughput=300.0,
+                                   n_items=1000.0)
+        assert model.alpha_perf == pytest.approx(0.75)
+
+    def test_combined_time_eq1(self):
+        model = ExecutionTimeModel(100.0, 300.0, 1200.0)
+        # alpha = 0.5: CPU side 600/100 = 6 s, GPU side 600/300 = 2 s.
+        assert model.combined_time(0.5) == pytest.approx(2.0)
+
+    def test_remaining_items_eq3(self):
+        model = ExecutionTimeModel(100.0, 300.0, 1200.0)
+        # After 2 s combined: 800 processed, 400 remain (on the CPU).
+        assert model.remaining_items(0.5) == pytest.approx(400.0)
+
+    def test_total_time_eq4_cpu_side(self):
+        model = ExecutionTimeModel(100.0, 300.0, 1200.0)
+        # alpha = 0.5 < alpha_perf: CPU finishes the remainder.
+        assert model.total_time(0.5) == pytest.approx(2.0 + 400.0 / 100.0)
+
+    def test_total_time_eq4_gpu_side(self):
+        model = ExecutionTimeModel(100.0, 300.0, 1200.0)
+        # alpha = 0.9 > alpha_perf: GPU finishes the remainder.
+        t_cg = model.combined_time(0.9)  # CPU: 120/100 = 1.2 s
+        assert t_cg == pytest.approx(1.2)
+        n_rem = 1200.0 - 1.2 * 400.0
+        assert model.total_time(0.9) == pytest.approx(1.2 + n_rem / 300.0)
+
+    def test_endpoints_are_single_device(self):
+        model = ExecutionTimeModel(100.0, 300.0, 1200.0)
+        assert model.total_time(0.0) == pytest.approx(12.0)
+        assert model.total_time(1.0) == pytest.approx(4.0)
+
+    def test_zero_throughput_device(self):
+        model = ExecutionTimeModel(cpu_throughput=100.0, gpu_throughput=0.0,
+                                   n_items=1000.0)
+        assert model.alpha_perf == 0.0
+        assert model.total_time(0.0) == pytest.approx(10.0)
+        assert model.total_time(0.5) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            ExecutionTimeModel(0.0, 0.0, 100.0)
+        with pytest.raises(SchedulingError):
+            ExecutionTimeModel(1.0, 1.0, -5.0)
+        with pytest.raises(SchedulingError):
+            ExecutionTimeModel(1.0, 1.0, 100.0).total_time(2.0)
+
+
+class TestProperties:
+    @given(r_c=throughputs, r_g=throughputs,
+           alpha=st.floats(0.0, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_minimum_at_alpha_perf(self, r_c, r_g, alpha):
+        """T(alpha_perf) <= T(alpha) for every alpha: finishing
+        together is time-optimal (the paper's Eq. 2 claim)."""
+        model = ExecutionTimeModel(r_c, r_g, 1e6)
+        # Tolerance covers floating-point dust amplified by extreme
+        # throughput ratios (n_rem ~ ulp divided by a tiny rate).
+        assert model.total_time(model.alpha_perf) <= (
+            model.total_time(alpha) * (1 + 1e-6) + 1e-9)
+
+    @given(r_c=throughputs, r_g=throughputs)
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_time_is_combined_throughput(self, r_c, r_g):
+        model = ExecutionTimeModel(r_c, r_g, 1e6)
+        assert model.total_time(model.alpha_perf) == pytest.approx(
+            1e6 / (r_c + r_g), rel=1e-6)
+
+    @given(r_c=throughputs, r_g=throughputs,
+           a=st.floats(0.0, 1.0), b=st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_away_from_optimum(self, r_c, r_g, a, b):
+        """On either side of alpha_perf, moving away from it never
+        decreases T."""
+        model = ExecutionTimeModel(r_c, r_g, 1e6)
+        ap = model.alpha_perf
+        lo, hi = min(a, b), max(a, b)
+        if hi <= ap:
+            assert model.total_time(lo) >= model.total_time(hi) * (1 - 1e-9)
+        elif lo >= ap:
+            assert model.total_time(hi) >= model.total_time(lo) * (1 - 1e-9)
+
+    @given(r_c=throughputs, r_g=throughputs, alpha=st.floats(0.0, 1.0),
+           scale=st.floats(0.1, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_time_linear_in_n(self, r_c, r_g, alpha, scale):
+        """T is linear in N - the property the scheduler exploits when
+        a profiling round drains the pool (argmin independent of N)."""
+        small = ExecutionTimeModel(r_c, r_g, 1e4)
+        large = ExecutionTimeModel(r_c, r_g, 1e4 * scale)
+        assert large.total_time(alpha) == pytest.approx(
+            small.total_time(alpha) * scale, rel=1e-9)

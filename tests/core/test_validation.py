@@ -1,0 +1,88 @@
+"""Characterization quality validation."""
+
+import pytest
+
+from repro.core.categories import all_categories
+from repro.core.characterization import PlatformCharacterization
+from repro.core.power_curve import PowerCurve
+from repro.core.validation import (
+    Severity,
+    ValidationIssue,
+    validate_characterization,
+)
+from repro.errors import CharacterizationError
+
+
+def flat_table(watts=40.0, samples=True):
+    """A trivially valid table: constant curves for every category."""
+    alphas = tuple(i / 10 for i in range(11)) if samples else ()
+    powers = tuple([watts] * 11) if samples else ()
+    curve = PowerCurve(coefficients=(watts,), sample_alphas=alphas,
+                       sample_powers=powers)
+    return PlatformCharacterization(
+        platform_name="synthetic",
+        curves={c: curve for c in all_categories()})
+
+
+class TestStructuralChecks:
+    def test_clean_table_has_no_errors(self):
+        issues = validate_characterization(flat_table())
+        assert not [i for i in issues if i.severity is Severity.ERROR]
+
+    def test_missing_category_is_an_error(self):
+        table = flat_table()
+        del table.curves[all_categories()[0]]
+        issues = validate_characterization(table)
+        errors = [i for i in issues if i.severity is Severity.ERROR]
+        assert len(errors) == 1
+        assert "no curve" in errors[0].message
+
+    def test_collapsed_curve_is_an_error(self):
+        table = flat_table()
+        table.curves[all_categories()[0]] = PowerCurve(
+            coefficients=(-100.0,), sample_alphas=(0.0, 0.5, 1.0),
+            sample_powers=(1.0, 1.0, 1.0))
+        issues = validate_characterization(table)
+        assert any("floor" in i.message for i in issues
+                   if i.severity is Severity.ERROR)
+
+    def test_sampleless_curve_is_a_warning(self):
+        issues = validate_characterization(flat_table(samples=False))
+        assert all(i.severity is Severity.WARNING for i in issues)
+        assert any("no sweep samples" in i.message for i in issues)
+
+    def test_strict_raises_on_errors(self):
+        table = flat_table()
+        del table.curves[all_categories()[0]]
+        with pytest.raises(CharacterizationError):
+            validate_characterization(table, strict=True)
+
+    def test_strict_tolerates_warnings(self):
+        issues = validate_characterization(flat_table(samples=False),
+                                           strict=True)
+        assert issues  # warnings reported, no raise
+
+
+class TestPlausibilityChecks:
+    def test_overpowered_curve_flagged_with_spec(self, desktop):
+        table = flat_table(watts=desktop.pcu.package_cap_w * 3)
+        issues = validate_characterization(table, spec=desktop)
+        assert any("package cap" in i.message for i in issues
+                   if i.severity is Severity.ERROR)
+
+    def test_real_characterizations_validate_cleanly(
+            self, desktop, tablet, desktop_characterization,
+            tablet_characterization):
+        """The shipped platforms pass their own deployment checks."""
+        for spec, table in ((desktop, desktop_characterization),
+                            (tablet, tablet_characterization)):
+            issues = validate_characterization(table, spec=spec, strict=True)
+            # Warnings allowed, errors are not (strict would raise).
+            assert all(i.severity is Severity.WARNING for i in issues)
+
+
+class TestIssueRendering:
+    def test_str_includes_category(self):
+        issue = ValidationIssue(Severity.ERROR, "C-LL", "broken")
+        assert "[C-LL]" in str(issue)
+        assert "error" in str(issue)

@@ -1,0 +1,31 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "table1" in out
+
+    def test_requires_an_action(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_figure_number_runs(self, capsys):
+        assert main(["--figure", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "regenerated in" in out
+
+    def test_experiment_id_runs(self, capsys):
+        assert main(["--experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_mutually_exclusive_actions(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "4", "--all"])

@@ -1,0 +1,60 @@
+"""CLI custom-run mode and figure smoke checks."""
+
+import os
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.figures import regenerate_figure_2, regenerate_figure_3
+
+
+class TestRunMode:
+    def test_run_single_strategy(self, capsys):
+        assert main(["--run", "NB", "--strategies", "gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "N-Body" in out
+        assert "GPU" in out
+        assert "best edp" in out
+
+    def test_run_with_metric(self, capsys):
+        assert main(["--run", "NB", "--strategies", "cpu",
+                     "--metric", "energy"]) == 0
+        out = capsys.readouterr().out
+        assert "metric=energy" in out
+
+    def test_run_unknown_strategy(self):
+        from repro.errors import HarnessError
+
+        with pytest.raises(HarnessError):
+            main(["--run", "NB", "--strategies", "quantum"])
+
+    def test_trace_csv_requires_single_strategy(self):
+        from repro.errors import HarnessError
+
+        with pytest.raises(HarnessError):
+            main(["--run", "NB", "--strategies", "cpu,gpu",
+                  "--trace-csv", "/tmp/x.csv"])
+
+    def test_trace_csv_written(self, tmp_path, capsys):
+        path = str(tmp_path / "run.csv")
+        assert main(["--run", "NB", "--strategies", "gpu",
+                     "--trace-csv", path]) == 0
+        assert os.path.exists(path)
+        with open(path) as fh:
+            header = fh.readline()
+        assert header.startswith("t_s,")
+
+
+class TestTimelineFigures:
+    def test_figure2_directions(self):
+        result = regenerate_figure_2()
+        assert len(result.series) == 2
+        joined = " ".join(result.notes)
+        assert "Bay Trail" in joined and "Haswell" in joined
+
+    def test_figure3_memory_above_compute(self):
+        result = regenerate_figure_3()
+        assert "memory-bound exceeds compute-bound" in result.notes[-1]
+        # Both series non-trivial.
+        for label, (times, watts) in result.series.items():
+            assert len(times) > 5, label

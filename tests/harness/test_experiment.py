@@ -1,0 +1,85 @@
+"""Application runner and the Oracle/PERF sweep machinery."""
+
+import pytest
+
+from repro.core.baselines import StaticAlphaScheduler
+from repro.core.metrics import EDP, ENERGY
+from repro.errors import HarnessError
+from repro.harness.experiment import run_application
+from repro.harness.suite import AlphaSweep, sweep_alphas
+from repro.workloads.registry import workload_by_abbrev
+
+
+@pytest.fixture(scope="module")
+def nb_sweep():
+    """NB is the cheapest multi-invocation workload to sweep."""
+    from repro.soc.spec import haswell_desktop
+
+    return sweep_alphas(haswell_desktop(), workload_by_abbrev("NB"))
+
+
+class TestRunApplication:
+    def test_measures_whole_application(self, desktop):
+        workload = workload_by_abbrev("NB")
+        run = run_application(desktop, workload, StaticAlphaScheduler(0.5),
+                              "static")
+        assert run.time_s > 0
+        assert run.energy_j > 0
+        assert len(run.invocations) == workload.num_invocations
+        assert run.average_power_w > 0
+
+    def test_metric_values_consistent(self, desktop):
+        workload = workload_by_abbrev("NB")
+        run = run_application(desktop, workload, StaticAlphaScheduler(1.0),
+                              "gpu")
+        assert run.metric_value(EDP) == pytest.approx(
+            run.energy_j * run.time_s)
+        assert run.metric_value(ENERGY) == pytest.approx(run.energy_j)
+
+    def test_trace_collection_optional(self, desktop):
+        workload = workload_by_abbrev("NB")
+        with_trace = run_application(desktop, workload,
+                                     StaticAlphaScheduler(0.0), "t",
+                                     trace=True)
+        without = run_application(desktop, workload,
+                                  StaticAlphaScheduler(0.0), "t")
+        assert with_trace.trace is not None and len(with_trace.trace) > 0
+        assert without.trace is None
+
+    def test_final_alpha_reported(self, desktop):
+        workload = workload_by_abbrev("NB")
+        run = run_application(desktop, workload, StaticAlphaScheduler(0.3),
+                              "s")
+        assert run.final_alpha == 0.3
+
+
+class TestAlphaSweep:
+    def test_covers_paper_grid(self, nb_sweep):
+        assert len(nb_sweep.alphas) == 11
+        assert nb_sweep.alphas[0] == 0.0
+        assert nb_sweep.alphas[-1] == 1.0
+
+    def test_oracle_minimizes_metric(self, nb_sweep):
+        oracle = nb_sweep.oracle(EDP)
+        for run in nb_sweep.runs:
+            assert oracle.metric_value(EDP) <= run.metric_value(EDP)
+
+    def test_perf_minimizes_time(self, nb_sweep):
+        best = nb_sweep.perf()
+        assert best.time_s == min(r.time_s for r in nb_sweep.runs)
+
+    def test_oracle_alpha_consistent(self, nb_sweep):
+        alpha = nb_sweep.oracle_alpha(EDP)
+        assert nb_sweep.run_at(alpha) is nb_sweep.oracle(EDP)
+
+    def test_run_at_unknown_alpha(self, nb_sweep):
+        with pytest.raises(HarnessError):
+            nb_sweep.run_at(0.123)
+
+    def test_oracles_can_differ_by_metric(self, nb_sweep):
+        """Energy and EDP oracles may (and often do) sit at different
+        alphas - the paper's central observation."""
+        energy_alpha = nb_sweep.oracle_alpha(ENERGY)
+        edp_alpha = nb_sweep.oracle_alpha(EDP)
+        assert 0.0 <= energy_alpha <= 1.0
+        assert 0.0 <= edp_alpha <= 1.0

@@ -1,0 +1,77 @@
+"""ASCII report rendering."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.report import (
+    format_bar,
+    format_bar_chart,
+    format_series,
+    format_table,
+    heading,
+)
+
+
+class TestTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [("a", 1.5), ("long-name", 2.0)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(1.23456,)], float_digits=2)
+        assert "1.23" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["flag"], [(True,), (False,)])
+        assert "yes" in out and "no" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(HarnessError):
+            format_table(["a", "b"], [(1,)])
+
+
+class TestBars:
+    def test_bar_scaling(self):
+        assert len(format_bar(50.0, 100.0, width=40)) == 20
+        assert len(format_bar(100.0, 100.0, width=40)) == 40
+
+    def test_bar_clamps_over_max(self):
+        assert len(format_bar(150.0, 100.0, width=10)) == 10
+
+    def test_bar_rejects_bad_max(self):
+        with pytest.raises(HarnessError):
+            format_bar(1.0, 0.0)
+
+    def test_bar_chart_layout(self):
+        out = format_bar_chart(["CPU", "EAS"], [40.0, 95.0], unit="%")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "95.0%" in lines[1]
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(HarnessError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+
+class TestSeries:
+    def test_subsampling(self):
+        times = [i * 0.01 for i in range(100)]
+        watts = [30.0 + i * 0.1 for i in range(100)]
+        out = format_series(times, watts, max_points=10)
+        assert len(out.splitlines()) <= 26
+
+    def test_empty_series(self):
+        assert "empty" in format_series([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(HarnessError):
+            format_series([1.0], [1.0, 2.0])
+
+
+class TestHeading:
+    def test_underline_matches(self):
+        out = heading("Hello")
+        top, rule = out.splitlines()
+        assert len(rule) == len(top)

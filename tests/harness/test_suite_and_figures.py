@@ -1,0 +1,83 @@
+"""Suite evaluation and figure regenerators (cheap pieces only; the
+full Figs. 9-12 runs live in benchmarks/)."""
+
+import pytest
+
+from repro.core.metrics import EDP
+from repro.errors import HarnessError
+from repro.harness.figures import (
+    REGENERATORS,
+    _measure_classification,
+    regenerate,
+    regenerate_figure_4,
+    regenerate_table_1,
+)
+from repro.harness.suite import evaluate_suite, get_characterization
+from repro.workloads.registry import workload_by_abbrev
+
+
+class TestRegistry:
+    def test_all_paper_experiments_present(self):
+        expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                    "table1", "fig9", "fig10", "fig11", "fig12"}
+        assert expected == set(REGENERATORS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(HarnessError):
+            regenerate("fig99")
+
+
+class TestCharacterizationCache:
+    def test_characterization_cached_per_platform(self, desktop):
+        first = get_characterization(desktop)
+        second = get_characterization(desktop)
+        assert first is second
+
+
+class TestSuiteEvaluation:
+    def test_single_workload_suite(self, desktop):
+        """A one-workload suite exercises the full strategy matrix."""
+        workload = workload_by_abbrev("NB")
+        evaluation = evaluate_suite(desktop, [workload], EDP)
+        assert evaluation.workloads() == ["NB"]
+        for strategy in ("CPU", "GPU", "PERF", "EAS", "Oracle"):
+            outcome = evaluation.outcome("NB", strategy)
+            assert outcome.metric_value > 0
+        # Oracle is the best by construction.
+        assert evaluation.outcome("NB", "Oracle").efficiency_pct == 100.0
+        for strategy in ("CPU", "GPU"):
+            assert evaluation.outcome(
+                "NB", strategy).efficiency_pct <= 100.0 + 1e-9
+        # Averages computed over the declared strategies.
+        assert evaluation.average_efficiency_pct("EAS") > 0
+
+
+class TestCheapFigures:
+    def test_figure4_reproduces_burst_dips(self):
+        """Fig. 4's shape: steady memory-bound CPU power near 60 W,
+        dips below ~40 W while the GPU bursts."""
+        result = regenerate_figure_4()
+        steady_note = result.notes[0]
+        dip_note = result.notes[1]
+        steady = float(steady_note.split(":")[1].split("W")[0])
+        dip = float(dip_note.split(":")[1].split("W")[0])
+        assert steady > 48.0
+        assert dip < 40.0
+        assert "10" in result.notes[2]
+        assert result.render()
+
+    def test_table1_classification_mostly_matches_paper(self):
+        """Measured online classification agrees with the paper's
+        Table 1 on boundedness for every workload."""
+        result = regenerate_table_1()
+        paper_bound = {"BH": "M", "BFS": "M", "CC": "M", "FD": "C",
+                       "MB": "M", "SL": "M", "SP": "M", "BS": "C",
+                       "MM": "C", "NB": "C", "RT": "C", "SM": "M"}
+        for row in result.rows:
+            abbrev, bound = row[1], row[6]
+            assert bound == paper_bound[abbrev], abbrev
+        assert result.render()
+
+    def test_measured_classification_runs(self, desktop):
+        category = _measure_classification(desktop, workload_by_abbrev("NB"))
+        assert category.short_code.startswith("C")

@@ -1,0 +1,108 @@
+"""End-to-end reproduction properties.
+
+These tests pin the paper's qualitative claims on cheap-to-run
+workloads; the full quantitative tables live in benchmarks/.
+"""
+
+import pytest
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+)
+from repro.core.metrics import EDP, ENERGY
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness.experiment import run_application
+from repro.harness.suite import sweep_alphas
+from repro.workloads.registry import workload_by_abbrev
+
+
+def run(spec, workload, scheduler, tablet=False):
+    return run_application(spec, workload, scheduler, "x", tablet=tablet)
+
+
+class TestHeadlineClaims:
+    def test_eas_close_to_oracle_on_nb(self, desktop,
+                                       desktop_characterization):
+        """EAS lands within a few percent of the exhaustive Oracle."""
+        workload = workload_by_abbrev("NB")
+        sweep = sweep_alphas(desktop, workload)
+        for metric in (EDP, ENERGY):
+            eas = EnergyAwareScheduler(desktop_characterization, metric)
+            eas_run = run(desktop, workload, eas)
+            oracle = sweep.oracle(metric).metric_value(metric)
+            efficiency = 100.0 * oracle / eas_run.metric_value(metric)
+            assert efficiency > 90.0, metric.name
+
+    def test_eas_beats_cpu_alone_dramatically(self, desktop,
+                                              desktop_characterization):
+        """On GPU-friendly workloads, CPU-alone is far off EAS."""
+        workload = workload_by_abbrev("NB")
+        eas = EnergyAwareScheduler(desktop_characterization, EDP)
+        eas_run = run(desktop, workload, eas)
+        cpu_run = run(desktop, workload, CpuOnlyScheduler())
+        assert eas_run.metric_value(EDP) < cpu_run.metric_value(EDP) / 5
+
+    def test_eas_keeps_fd_off_the_gpu(self, desktop,
+                                      desktop_characterization):
+        """Section 5: for CPU-biased FD, EAS picks 100% CPU while
+        GPU-alone suffers significantly."""
+        workload = workload_by_abbrev("FD")
+        eas = EnergyAwareScheduler(desktop_characterization, ENERGY)
+        eas_run = run(desktop, workload, eas)
+        gpu_run = run(desktop, workload, GpuOnlyScheduler())
+        assert eas_run.final_alpha == 0.0
+        assert gpu_run.energy_j > 3.0 * eas_run.energy_j
+
+    def test_perf_burns_more_energy_than_eas_on_memory_workload(
+            self, desktop, desktop_characterization):
+        """Fig. 10's core story: best-performance partitioning pays an
+        energy premium over the energy-aware choice."""
+        workload = workload_by_abbrev("SL")
+        eas = EnergyAwareScheduler(desktop_characterization, ENERGY)
+        eas_run = run(desktop, workload, eas)
+        perf_run = run(desktop, workload, ProfiledPerfScheduler())
+        assert eas_run.energy_j < perf_run.energy_j
+
+    def test_tablet_gpu_alone_is_worse_than_desktop_gpu_alone(self,
+                                                              desktop,
+                                                              tablet):
+        """The platform asymmetry of the paper's summary: GPU-alone is
+        near-optimal on the desktop, clearly suboptimal on the tablet."""
+        workload = workload_by_abbrev("MM")
+        desk = sweep_alphas(desktop, workload)
+        tab = sweep_alphas(tablet, workload, tablet=True)
+
+        def gpu_eff(sweep):
+            oracle = sweep.oracle(EDP).metric_value(EDP)
+            gpu = sweep.run_at(1.0).metric_value(EDP)
+            return oracle / gpu
+
+        assert gpu_eff(desk) > gpu_eff(tab)
+
+
+class TestMeasurementIntegrity:
+    def test_energy_conservation_across_invocations(self, desktop,
+                                                    desktop_characterization):
+        """Sum of per-invocation energies equals app-level energy."""
+        workload = workload_by_abbrev("NB")
+        eas = EnergyAwareScheduler(desktop_characterization, EDP)
+        app = run(desktop, workload, eas)
+        assert sum(r.energy_j for r in app.invocations) == pytest.approx(
+            app.energy_j, rel=0.01)
+
+    def test_items_conserved(self, desktop, desktop_characterization):
+        workload = workload_by_abbrev("NB")
+        eas = EnergyAwareScheduler(desktop_characterization, EDP)
+        app = run(desktop, workload, eas)
+        total = sum(r.cpu_items + r.gpu_items for r in app.invocations)
+        assert total == pytest.approx(workload.total_items(), rel=1e-6)
+
+    def test_runs_are_deterministic(self, desktop, desktop_characterization):
+        workload = workload_by_abbrev("NB")
+        runs = [run(desktop, workload,
+                    EnergyAwareScheduler(desktop_characterization, EDP))
+                for _ in range(2)]
+        assert runs[0].time_s == runs[1].time_s
+        assert runs[0].energy_j == runs[1].energy_j

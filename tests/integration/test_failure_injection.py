@@ -1,0 +1,114 @@
+"""Failure injection: the scheduler under pathological conditions."""
+
+import pytest
+
+from repro.core.categories import all_categories
+from repro.core.characterization import PlatformCharacterization
+from repro.core.metrics import EDP
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.errors import CharacterizationError, SchedulingError
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.simulator import IntegratedProcessor
+from repro.units import HASWELL_ENERGY_UNIT_J
+
+
+def kernel(**overrides):
+    base = dict(name="fi", instructions_per_item=500.0,
+                loadstore_fraction=0.2, l3_miss_rate=0.0,
+                cpu_simd_efficiency=0.5, gpu_simd_efficiency=0.5)
+    base.update(overrides)
+    return Kernel(name=base["name"], cost=KernelCostModel(**base))
+
+
+class TestIncompleteCharacterization:
+    def test_missing_category_surfaces_cleanly(self, desktop,
+                                               desktop_characterization):
+        """A curve table missing the category a workload classifies
+        into must fail loudly, not schedule garbage."""
+        crippled = PlatformCharacterization(
+            platform_name=desktop_characterization.platform_name,
+            curves=dict(desktop_characterization.curves))
+        # The compute-bound test kernel classifies C-*; remove all C.
+        for category in all_categories():
+            if category.short_code.startswith("C"):
+                del crippled.curves[category]
+        runtime = ConcordRuntime(IntegratedProcessor(desktop))
+        scheduler = EnergyAwareScheduler(crippled, EDP)
+        with pytest.raises(CharacterizationError):
+            runtime.parallel_for(kernel(), 2_000_000.0, scheduler)
+
+
+class TestPathologicalKernels:
+    def test_gpu_useless_kernel_schedules_to_cpu(self, desktop,
+                                                 desktop_characterization):
+        """A kernel whose GPU build is ~1000x slower must end up on
+        the CPU, not wedge the profiler."""
+        runtime = ConcordRuntime(IntegratedProcessor(desktop))
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP)
+        result = runtime.parallel_for(
+            kernel(name="gpu-useless", gpu_simd_efficiency=0.001,
+                   gpu_divergence=0.6),
+            2_000_000.0, scheduler)
+        assert result.alpha <= 0.1
+
+    def test_extreme_irregularity_still_completes(self, desktop,
+                                                  desktop_characterization):
+        runtime = ConcordRuntime(IntegratedProcessor(desktop))
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP)
+        result = runtime.parallel_for(
+            kernel(name="wild", item_cost_cv=2.5, cost_profile_scale=0.4,
+                   rng_tag=99),
+            2_000_000.0, scheduler)
+        assert result.duration_s > 0
+        assert result.cpu_items + result.gpu_items == pytest.approx(
+            2_000_000.0, rel=1e-6)
+
+    def test_single_item_invocation(self, desktop,
+                                    desktop_characterization):
+        runtime = ConcordRuntime(IntegratedProcessor(desktop))
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP)
+        result = runtime.parallel_for(kernel(name="tiny"), 1.0, scheduler)
+        assert result.alpha == 0.0  # small-N fast path
+        assert result.cpu_items == pytest.approx(1.0)
+
+
+class TestMsrWraparound:
+    def test_measurement_correct_across_register_wrap(self, desktop,
+                                                      compute_cost):
+        """Pre-charge the MSR to just below wrap; an application-level
+        measurement spanning the wrap must still be correct."""
+        from repro.soc.simulator import PhaseRequest
+        from repro.soc.work import CostProfile, WorkRegion
+
+        processor = IntegratedProcessor(desktop)
+        # Place the register 0.1 J short of wrapping (the phase below
+        # deposits ~0.4 J, guaranteeing a wrap mid-measurement).
+        wrap_joules = (2 ** 32) * HASWELL_ENERGY_UNIT_J
+        processor.msr.deposit(wrap_joules - 0.1)
+        before = processor.read_energy_msr()
+        region = WorkRegion.for_span(CostProfile(compute_cost), 300_000.0,
+                                     0.0, 300_000.0)
+        result = processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=region, gpu_region=None))
+        after = processor.read_energy_msr()
+        assert after < before  # the register wrapped
+        measured = processor.energy_joules_between(before, after)
+        assert measured == pytest.approx(result.energy_j,
+                                         abs=2 * HASWELL_ENERGY_UNIT_J)
+
+
+class TestSchedulerContractViolations:
+    def test_double_execution_rejected(self, desktop,
+                                       desktop_characterization):
+        class GreedyScheduler(EnergyAwareScheduler):
+            def execute(self, launch):
+                record = super().execute(launch)
+                with pytest.raises(SchedulingError):
+                    launch.run_cpu_only()  # nothing left to run
+                return record
+
+        runtime = ConcordRuntime(IntegratedProcessor(desktop))
+        runtime.parallel_for(kernel(name="greedy"), 2_000_000.0,
+                             GreedyScheduler(desktop_characterization, EDP))

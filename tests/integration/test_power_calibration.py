@@ -1,0 +1,91 @@
+"""Platform power calibration against the wattages the paper reports.
+
+Section 2's observed package powers are the anchor of the whole
+black-box premise; the simulator must land near them.
+"""
+
+import pytest
+
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.device import compute_rates
+from repro.soc.simulator import IntegratedProcessor, PhaseRequest
+from repro.soc.work import CostProfile, WorkRegion
+
+
+def compute_bound():
+    return KernelCostModel(name="cal-c", instructions_per_item=2000.0,
+                           loadstore_fraction=0.2, l3_miss_rate=0.0)
+
+
+def memory_bound():
+    return KernelCostModel(name="cal-m", instructions_per_item=300.0,
+                           loadstore_fraction=0.45, l3_miss_rate=0.6)
+
+
+def run_alone(spec, cost, device, seconds=0.8):
+    processor = IntegratedProcessor(spec)
+    rates = compute_rates(spec, cost, spec.cpu.turbo_freq_hz,
+                          spec.gpu.turbo_freq_hz, spec.cpu.num_cores,
+                          1e9, True, True)
+    rate = rates.cpu_items_per_s if device == "cpu" else rates.gpu_items_per_s
+    n = max(rate * seconds, 1000.0)
+    region = WorkRegion.for_span(CostProfile(cost), n, 0.0, n)
+    request = PhaseRequest(
+        cost=cost,
+        cpu_region=region if device == "cpu" else None,
+        gpu_region=region if device == "gpu" else None)
+    result = processor.run_phase(request)
+    return result.energy_j / result.duration_s
+
+
+class TestDesktopPowers:
+    """Paper: ~45 W CPU-alone compute, ~30 W GPU-alone compute,
+    ~60 W CPU-alone memory."""
+
+    def test_cpu_compute_alone(self, desktop):
+        assert run_alone(desktop, compute_bound(), "cpu") == pytest.approx(
+            45.0, abs=5.0)
+
+    def test_gpu_compute_alone(self, desktop):
+        assert run_alone(desktop, compute_bound(), "gpu") == pytest.approx(
+            30.0, abs=5.0)
+
+    def test_cpu_memory_alone_higher_than_compute(self, desktop):
+        mem = run_alone(desktop, memory_bound(), "cpu")
+        cmp_ = run_alone(desktop, compute_bound(), "cpu")
+        assert mem > cmp_
+        assert mem == pytest.approx(58.0, abs=7.0)
+
+
+class TestTabletPowers:
+    """Paper Fig. 6: ~1.5 W CPU / ~2 W GPU compute-bound;
+    ~0.7 W CPU / ~1.3 W GPU memory-bound."""
+
+    def test_cpu_compute_alone(self, tablet):
+        assert run_alone(tablet, compute_bound(), "cpu") == pytest.approx(
+            1.5, abs=0.35)
+
+    def test_gpu_compute_alone(self, tablet):
+        assert run_alone(tablet, compute_bound(), "gpu") == pytest.approx(
+            2.0, abs=0.4)
+
+    def test_cpu_memory_alone(self, tablet):
+        assert run_alone(tablet, memory_bound(), "cpu") == pytest.approx(
+            0.7, abs=0.25)
+
+    def test_gpu_memory_alone(self, tablet):
+        assert run_alone(tablet, memory_bound(), "gpu") == pytest.approx(
+            1.3, abs=0.35)
+
+    def test_tablet_memory_cheaper_than_compute(self, tablet):
+        """The asymmetry the paper calls surprising."""
+        assert (run_alone(tablet, memory_bound(), "cpu")
+                < run_alone(tablet, compute_bound(), "cpu"))
+        assert (run_alone(tablet, memory_bound(), "gpu")
+                < run_alone(tablet, compute_bound(), "gpu"))
+
+    def test_tablet_gpu_hungrier_than_cpu(self, tablet):
+        """Opposite of the desktop - drives the platforms' different
+        optimal policies."""
+        assert (run_alone(tablet, compute_bound(), "gpu")
+                > run_alone(tablet, compute_bound(), "cpu"))

@@ -1,0 +1,130 @@
+"""Chase-Lev work-stealing deque: sequential semantics, growth,
+threaded stress, and exactly-once delivery properties."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.deque import ChaseLevDeque
+
+
+class TestSequentialSemantics:
+    def test_empty_pop_returns_none(self):
+        assert ChaseLevDeque().pop() is None
+
+    def test_empty_steal_returns_none(self):
+        assert ChaseLevDeque().steal() is None
+
+    def test_owner_pop_is_lifo(self):
+        dq = ChaseLevDeque()
+        for i in range(5):
+            dq.push(i)
+        assert [dq.pop() for _ in range(5)] == [4, 3, 2, 1, 0]
+
+    def test_thief_steal_is_fifo(self):
+        dq = ChaseLevDeque()
+        for i in range(5):
+            dq.push(i)
+        assert [dq.steal() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_mixed_pop_and_steal(self):
+        dq = ChaseLevDeque()
+        for i in range(4):
+            dq.push(i)
+        assert dq.steal() == 0
+        assert dq.pop() == 3
+        assert dq.steal() == 1
+        assert dq.pop() == 2
+        assert dq.pop() is None
+
+    def test_len_tracks_contents(self):
+        dq = ChaseLevDeque()
+        assert len(dq) == 0 and dq.is_empty
+        dq.push("a")
+        dq.push("b")
+        assert len(dq) == 2
+        dq.pop()
+        assert len(dq) == 1
+
+    def test_growth_beyond_initial_capacity(self):
+        dq = ChaseLevDeque(initial_capacity=2)
+        n = 1000
+        for i in range(n):
+            dq.push(i)
+        assert len(dq) == n
+        assert sorted(dq.drain()) == list(range(n))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ChaseLevDeque(initial_capacity=0)
+
+    def test_drain_empties(self):
+        dq = ChaseLevDeque()
+        for i in range(10):
+            dq.push(i)
+        assert sorted(dq.drain()) == list(range(10))
+        assert dq.is_empty
+
+    @given(ops=st.lists(st.sampled_from(["push", "pop", "steal"]),
+                        max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_once_property(self, ops):
+        """Every pushed item comes out exactly once, whichever side
+        takes it."""
+        dq = ChaseLevDeque()
+        pushed = []
+        taken = []
+        counter = 0
+        for op in ops:
+            if op == "push":
+                dq.push(counter)
+                pushed.append(counter)
+                counter += 1
+            elif op == "pop":
+                item = dq.pop()
+                if item is not None:
+                    taken.append(item)
+            else:
+                item = dq.steal()
+                if item is not None:
+                    taken.append(item)
+        taken.extend(dq.drain())
+        assert sorted(taken) == pushed
+
+
+class TestThreadedStress:
+    def test_owner_vs_thieves_exactly_once(self):
+        """One owner pushing/popping, several thieves stealing: no item
+        is lost or duplicated."""
+        dq = ChaseLevDeque()
+        n_items = 20_000
+        n_thieves = 4
+        stolen = [[] for _ in range(n_thieves)]
+        popped = []
+        stop = threading.Event()
+
+        def thief(idx):
+            while not stop.is_set() or not dq.is_empty:
+                item = dq.steal()
+                if item is not None:
+                    stolen[idx].append(item)
+
+        threads = [threading.Thread(target=thief, args=(i,), daemon=True)
+                   for i in range(n_thieves)]
+        for t in threads:
+            t.start()
+
+        for i in range(n_items):
+            dq.push(i)
+            if i % 3 == 0:
+                item = dq.pop()
+                if item is not None:
+                    popped.append(item)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        leftovers = dq.drain()
+        everything = sorted(popped + leftovers + sum(stolen, []))
+        assert everything == list(range(n_items))

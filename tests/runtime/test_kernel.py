@@ -1,0 +1,58 @@
+"""Kernel abstraction."""
+
+import pytest
+
+from repro.errors import RuntimeLayerError
+from repro.runtime.kernel import Kernel
+from repro.soc.cost_model import KernelCostModel
+
+
+@pytest.fixture
+def cost():
+    return KernelCostModel(name="k", instructions_per_item=10.0,
+                           loadstore_fraction=0.1, l3_miss_rate=0.0)
+
+
+class TestKernel:
+    def test_key_defaults_to_name(self, cost):
+        kernel = Kernel(name="my-kernel", cost=cost)
+        assert kernel.key == "my-kernel"
+
+    def test_explicit_key(self, cost):
+        kernel = Kernel(name="my-kernel", cost=cost, key="site-42")
+        assert kernel.key == "site-42"
+
+    def test_requires_name(self, cost):
+        with pytest.raises(RuntimeLayerError):
+            Kernel(name="", cost=cost)
+
+    def test_execute_cpu_runs_body(self, cost):
+        calls = []
+        kernel = Kernel(name="k", cost=cost,
+                        cpu_fn=lambda lo, hi: calls.append((lo, hi)))
+        kernel.execute_cpu(3, 9)
+        assert calls == [(3, 9)]
+
+    def test_execute_cpu_without_body_raises(self, cost):
+        with pytest.raises(RuntimeLayerError):
+            Kernel(name="k", cost=cost).execute_cpu(0, 1)
+
+    def test_gpu_falls_back_to_cpu_body(self, cost):
+        calls = []
+        kernel = Kernel(name="k", cost=cost,
+                        cpu_fn=lambda lo, hi: calls.append("cpu"))
+        kernel.execute_gpu(0, 1)
+        assert calls == ["cpu"]
+
+    def test_distinct_gpu_body_preferred(self, cost):
+        calls = []
+        kernel = Kernel(name="k", cost=cost,
+                        cpu_fn=lambda lo, hi: calls.append("cpu"),
+                        gpu_fn=lambda lo, hi: calls.append("gpu"))
+        kernel.execute_gpu(0, 1)
+        assert calls == ["gpu"]
+
+    def test_has_real_body(self, cost):
+        assert not Kernel(name="k", cost=cost).has_real_body
+        assert Kernel(name="k", cost=cost,
+                      cpu_fn=lambda lo, hi: None).has_real_body

@@ -1,0 +1,124 @@
+"""ConcordRuntime and KernelLaunch: the scheduler-facing primitives."""
+
+import pytest
+
+from repro.errors import RuntimeLayerError, SchedulingError
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime, KernelLaunch, SchedulerRecord
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.simulator import IntegratedProcessor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(name="k", cost=KernelCostModel(
+        name="k", instructions_per_item=500.0,
+        loadstore_fraction=0.2, l3_miss_rate=0.0))
+
+
+@pytest.fixture
+def runtime(desktop):
+    return ConcordRuntime(IntegratedProcessor(desktop))
+
+
+def make_launch(runtime, kernel, n=100_000.0):
+    return KernelLaunch(runtime.processor, kernel, n,
+                        runtime._cost_profile(kernel))
+
+
+class TestKernelLaunch:
+    def test_rejects_nonpositive_items(self, runtime, kernel):
+        with pytest.raises(RuntimeLayerError):
+            make_launch(runtime, kernel, 0.0)
+
+    def test_run_cpu_only_completes(self, runtime, kernel):
+        launch = make_launch(runtime, kernel)
+        launch.run_cpu_only()
+        assert launch.is_done
+        assert launch.remaining_items == 0.0
+
+    def test_run_partitioned_bounds_alpha(self, runtime, kernel):
+        launch = make_launch(runtime, kernel)
+        with pytest.raises(SchedulingError):
+            launch.run_partitioned(1.5)
+
+    def test_run_partitioned_splits_work(self, runtime, kernel):
+        launch = make_launch(runtime, kernel, 1_000_000.0)
+        result = launch.run_partitioned(0.3)
+        assert result.gpu_items == pytest.approx(300_000.0, rel=1e-6)
+        assert result.cpu_items == pytest.approx(700_000.0, rel=1e-6)
+        assert launch.is_done
+
+    def test_cannot_run_twice(self, runtime, kernel):
+        launch = make_launch(runtime, kernel)
+        launch.run_gpu_only()
+        with pytest.raises(SchedulingError):
+            launch.run_cpu_only()
+
+    def test_profile_chunk_observations(self, runtime, kernel):
+        launch = make_launch(runtime, kernel, 10_000_000.0)
+        obs = launch.profile_chunk(2048.0)
+        assert obs.gpu_items == pytest.approx(2048.0, rel=1e-6)
+        assert obs.cpu_items > 0.0
+        assert obs.gpu_throughput > 0.0
+        assert obs.cpu_throughput > 0.0
+        assert obs.energy_j > 0.0
+        # Profiling consumed GPU chunk plus the CPU's drained prefix.
+        assert launch.remaining_items == pytest.approx(
+            10_000_000.0 - 2048.0 - obs.cpu_items, rel=1e-6)
+
+    def test_profile_then_partitioned_completes_everything(self, runtime,
+                                                           kernel):
+        launch = make_launch(runtime, kernel, 1_000_000.0)
+        launch.profile_chunk(2048.0)
+        launch.run_partitioned(0.5)
+        assert launch.is_done
+
+    def test_profile_on_exhausted_launch_raises(self, runtime, kernel):
+        launch = make_launch(runtime, kernel, 10_000.0)
+        launch.run_cpu_only()
+        with pytest.raises(SchedulingError):
+            launch.profile_chunk(1000.0)
+
+
+class _AlphaScheduler:
+    """Minimal test scheduler."""
+
+    def __init__(self, alpha):
+        self.alpha = alpha
+
+    def execute(self, launch):
+        launch.run_partitioned(self.alpha)
+        return SchedulerRecord(alpha=self.alpha)
+
+
+class _LazyScheduler:
+    """A broken scheduler that leaves work unfinished."""
+
+    def execute(self, launch):
+        return SchedulerRecord(alpha=None)
+
+
+class TestConcordRuntime:
+    def test_parallel_for_measures_time_and_energy(self, runtime, kernel):
+        result = runtime.parallel_for(kernel, 500_000.0, _AlphaScheduler(0.5))
+        assert result.duration_s > 0.0
+        assert result.energy_j > 0.0
+        assert result.alpha == 0.5
+        assert result.cpu_items + result.gpu_items == pytest.approx(
+            500_000.0, rel=1e-6)
+
+    def test_parallel_for_rejects_lazy_scheduler(self, runtime, kernel):
+        with pytest.raises(SchedulingError):
+            runtime.parallel_for(kernel, 1000.0, _LazyScheduler())
+
+    def test_cost_profile_cached_per_kernel_key(self, runtime, kernel):
+        first = runtime._cost_profile(kernel)
+        second = runtime._cost_profile(kernel)
+        assert first is second
+
+    def test_invocations_accumulate_on_one_clock(self, runtime, kernel):
+        r1 = runtime.parallel_for(kernel, 100_000.0, _AlphaScheduler(0.0))
+        r2 = runtime.parallel_for(kernel, 100_000.0, _AlphaScheduler(0.0))
+        assert runtime.processor.now == pytest.approx(
+            r1.duration_s + r2.duration_s)

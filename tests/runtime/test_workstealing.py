@@ -1,0 +1,89 @@
+"""Host-thread work-stealing pool executing real computation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeLayerError
+from repro.runtime.workstealing import WorkStealingPool, coverage_is_complete
+
+
+class TestExecution:
+    def test_every_item_executed_exactly_once(self):
+        pool = WorkStealingPool(num_workers=4, chunk=64)
+        n = 10_000
+        hits = np.zeros(n, dtype=np.int64)
+        lock = threading.Lock()
+
+        def body(lo, hi):
+            with lock:
+                hits[lo:hi] += 1
+
+        executed = pool.run(body, 0, n)
+        assert (hits == 1).all()
+        assert coverage_is_complete(executed, 0, n)
+
+    def test_empty_range(self):
+        pool = WorkStealingPool(num_workers=2)
+        assert pool.run(lambda lo, hi: None, 5, 5) == []
+
+    def test_rejects_reversed_range(self):
+        pool = WorkStealingPool(num_workers=2)
+        with pytest.raises(RuntimeLayerError):
+            pool.run(lambda lo, hi: None, 10, 0)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(RuntimeLayerError):
+            WorkStealingPool(num_workers=0)
+        with pytest.raises(RuntimeLayerError):
+            WorkStealingPool(num_workers=1, chunk=0)
+
+    def test_single_worker_handles_everything(self):
+        pool = WorkStealingPool(num_workers=1, chunk=10)
+        executed = pool.run(lambda lo, hi: None, 0, 95)
+        assert coverage_is_complete(executed, 0, 95)
+
+    def test_stop_event_abandons_remaining_chunks(self):
+        pool = WorkStealingPool(num_workers=2, chunk=1)
+        stop = threading.Event()
+        done = []
+        lock = threading.Lock()
+
+        def body(lo, hi):
+            with lock:
+                done.append((lo, hi))
+            if len(done) >= 5:
+                stop.set()
+
+        executed = pool.run(body, 0, 10_000, stop_event=stop)
+        assert len(executed) < 10_000
+
+    def test_body_exception_propagates(self):
+        pool = WorkStealingPool(num_workers=2, chunk=8)
+
+        def body(lo, hi):
+            if lo >= 64:
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            pool.run(body, 0, 1000)
+
+    def test_map_reduce(self):
+        pool = WorkStealingPool(num_workers=4, chunk=100)
+        total = pool.map_reduce(
+            body=lambda lo, hi: sum(range(lo, hi)),
+            combine=lambda a, b: a + b,
+            start=0, stop=5000, initial=0)
+        assert total == sum(range(5000))
+
+
+class TestCoverageHelper:
+    def test_complete(self):
+        assert coverage_is_complete([(0, 5), (5, 9)], 0, 9)
+
+    def test_gap_detected(self):
+        assert not coverage_is_complete([(0, 5), (6, 9)], 0, 9)
+
+    def test_short_detected(self):
+        assert not coverage_is_complete([(0, 5)], 0, 9)

@@ -1,0 +1,80 @@
+"""Performance counters: accumulation, snapshots, deltas."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.soc.counters import PerfCounters
+from repro.soc.cost_model import KernelCostModel
+
+
+@pytest.fixture
+def cost():
+    return KernelCostModel(name="k", instructions_per_item=100.0,
+                           loadstore_fraction=0.3, l3_miss_rate=0.5)
+
+
+class TestAccumulation:
+    def test_cpu_items_drive_all_cpu_counters(self, cost):
+        counters = PerfCounters()
+        counters.account_cpu_items(10.0, cost)
+        assert counters.instructions_retired == pytest.approx(1000.0)
+        assert counters.loadstore_instructions == pytest.approx(300.0)
+        assert counters.l3_misses == pytest.approx(150.0)
+        assert counters.cpu_items == 10.0
+
+    def test_gpu_items_do_not_touch_cpu_counters(self, cost):
+        counters = PerfCounters()
+        counters.account_gpu_items(50.0)
+        assert counters.instructions_retired == 0.0
+        assert counters.gpu_items == 50.0
+
+    def test_rejects_negative_items(self, cost):
+        counters = PerfCounters()
+        with pytest.raises(CounterError):
+            counters.account_cpu_items(-1.0, cost)
+        with pytest.raises(CounterError):
+            counters.account_gpu_items(-1.0)
+
+    def test_gpu_busy_flag_and_time(self):
+        counters = PerfCounters()
+        assert not counters.gpu_busy
+        counters.account_gpu_busy(True, 0.5)
+        assert counters.gpu_busy
+        assert counters.gpu_busy_time_s == 0.5
+        counters.account_gpu_busy(False, 0.0)
+        assert not counters.gpu_busy
+        assert counters.gpu_busy_time_s == 0.5
+
+
+class TestSnapshots:
+    def test_delta_between_snapshots(self, cost):
+        counters = PerfCounters()
+        counters.account_cpu_items(10.0, cost)
+        before = counters.snapshot(1.0)
+        counters.account_cpu_items(5.0, cost)
+        counters.account_gpu_items(7.0)
+        after = counters.snapshot(2.5)
+        delta = before.delta(after)
+        assert delta.elapsed_s == pytest.approx(1.5)
+        assert delta.cpu_items == pytest.approx(5.0)
+        assert delta.gpu_items == pytest.approx(7.0)
+        assert delta.instructions_retired == pytest.approx(500.0)
+
+    def test_delta_rejects_reversed_order(self, cost):
+        counters = PerfCounters()
+        early = counters.snapshot(1.0)
+        late = counters.snapshot(2.0)
+        with pytest.raises(CounterError):
+            late.delta(early)
+
+    def test_miss_ratio_statistic(self, cost):
+        counters = PerfCounters()
+        before = counters.snapshot(0.0)
+        counters.account_cpu_items(100.0, cost)
+        delta = before.delta(counters.snapshot(1.0))
+        assert delta.miss_to_loadstore_ratio == pytest.approx(0.5)
+
+    def test_miss_ratio_zero_when_no_loadstores(self):
+        counters = PerfCounters()
+        delta = counters.snapshot(0.0).delta(counters.snapshot(1.0))
+        assert delta.miss_to_loadstore_ratio == 0.0

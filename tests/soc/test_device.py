@@ -1,0 +1,121 @@
+"""Device throughput model: roofline, contention, occupancy."""
+
+import dataclasses
+
+import pytest
+
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.device import compute_rates, gpu_occupancy
+from repro.soc.spec import haswell_desktop
+
+
+@pytest.fixture
+def spec():
+    return haswell_desktop()
+
+
+def compute_kernel(**kw):
+    base = dict(name="c", instructions_per_item=1000.0,
+                loadstore_fraction=0.2, l3_miss_rate=0.0)
+    base.update(kw)
+    return KernelCostModel(**base)
+
+
+def memory_kernel(**kw):
+    base = dict(name="m", instructions_per_item=200.0,
+                loadstore_fraction=0.4, l3_miss_rate=0.6)
+    base.update(kw)
+    return KernelCostModel(**base)
+
+
+class TestOccupancy:
+    def test_zero_items(self, spec):
+        assert gpu_occupancy(spec, 0.0) == 0.0
+
+    def test_saturates_at_hardware_parallelism(self, spec):
+        hw = spec.gpu.hardware_parallelism
+        assert gpu_occupancy(spec, hw) == 1.0
+        assert gpu_occupancy(spec, 10 * hw) == 1.0
+
+    def test_linear_below_parallelism(self, spec):
+        hw = spec.gpu.hardware_parallelism
+        assert gpu_occupancy(spec, hw / 2) == pytest.approx(0.5)
+
+
+class TestComputeBound:
+    def test_cpu_rate_scales_with_frequency(self, spec):
+        k = compute_kernel()
+        r1 = compute_rates(spec, k, 2e9, 1e9, 4, 1e6, True, False)
+        r2 = compute_rates(spec, k, 4e9, 1e9, 4, 1e6, True, False)
+        assert r2.cpu_items_per_s == pytest.approx(2 * r1.cpu_items_per_s)
+
+    def test_no_memory_stall_for_pure_compute(self, spec):
+        k = compute_kernel()
+        r = compute_rates(spec, k, 3e9, 1e9, 4, 1e6, True, True)
+        assert r.cpu_memory_stall_fraction == 0.0
+        assert r.gpu_memory_stall_fraction == 0.0
+        assert r.total_traffic_bytes_per_s == 0.0
+
+    def test_divergence_slows_gpu(self, spec):
+        fast = compute_kernel()
+        slow = compute_kernel(gpu_divergence=0.5)
+        rf = compute_rates(spec, fast, 3e9, 1e9, 4, 1e6, True, True)
+        rs = compute_rates(spec, slow, 3e9, 1e9, 4, 1e6, True, True)
+        assert rs.gpu_items_per_s == pytest.approx(rf.gpu_items_per_s / 2)
+
+    def test_inactive_devices_have_zero_rate(self, spec):
+        k = compute_kernel()
+        r = compute_rates(spec, k, 3e9, 1e9, 4, 1e6, False, False)
+        assert r.cpu_items_per_s == 0.0
+        assert r.gpu_items_per_s == 0.0
+
+
+class TestMemoryBound:
+    def test_cpu_is_bandwidth_limited(self, spec):
+        k = memory_kernel()
+        r = compute_rates(spec, k, spec.cpu.turbo_freq_hz, 1e9, 4, 0, True, False)
+        expected = spec.cpu.mem_bw_bytes_per_s / k.dram_bytes_per_item
+        assert r.cpu_items_per_s == pytest.approx(expected, rel=1e-6)
+        assert r.cpu_memory_stall_fraction > 0.9
+
+    def test_contention_shares_bandwidth(self, spec):
+        k = memory_kernel()
+        solo = compute_rates(spec, k, spec.cpu.turbo_freq_hz,
+                             spec.gpu.turbo_freq_hz, 4, 0, True, False)
+        both = compute_rates(spec, k, spec.cpu.turbo_freq_hz,
+                             spec.gpu.turbo_freq_hz, 4, 1e6, True, True)
+        assert both.cpu_items_per_s < solo.cpu_items_per_s
+        # Shared bandwidth is respected.
+        assert both.total_traffic_bytes_per_s <= (
+            spec.memory.shared_bw_bytes_per_s * 1.0001)
+
+    def test_gpu_traffic_factor_raises_gpu_rate(self, spec):
+        plain = memory_kernel()
+        coalesced = memory_kernel(gpu_traffic_factor=0.5)
+        rp = compute_rates(spec, plain, 1e9, spec.gpu.turbo_freq_hz,
+                           0, 1e6, False, True)
+        rc = compute_rates(spec, coalesced, 1e9, spec.gpu.turbo_freq_hz,
+                           0, 1e6, False, True)
+        assert rc.gpu_items_per_s > rp.gpu_items_per_s
+
+    def test_llc_contention_degrades_cpu(self, spec):
+        """A streaming GPU slows the co-executing CPU beyond raw
+        bandwidth sharing."""
+        no_contention = dataclasses.replace(
+            spec, memory=dataclasses.replace(spec.memory,
+                                             llc_contention_factor=0.0))
+        # Use a kernel light enough that raw bandwidth does not bind.
+        k = memory_kernel(instructions_per_item=2000.0,
+                          cpu_simd_efficiency=0.02, gpu_simd_efficiency=0.02)
+        with_k = compute_rates(spec, k, 3e9, 1e9, 3, 1e6, True, True)
+        without_k = compute_rates(no_contention, k, 3e9, 1e9, 3, 1e6,
+                                  True, True)
+        assert with_k.cpu_items_per_s < without_k.cpu_items_per_s
+
+    def test_occupancy_limits_gpu_rate(self, spec):
+        k = memory_kernel(l3_miss_rate=0.05)
+        small = compute_rates(spec, k, 1e9, spec.gpu.turbo_freq_hz,
+                              0, 100, False, True)
+        large = compute_rates(spec, k, 1e9, spec.gpu.turbo_freq_hz,
+                              0, 1e6, False, True)
+        assert small.gpu_items_per_s < large.gpu_items_per_s

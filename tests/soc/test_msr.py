@@ -1,0 +1,79 @@
+"""Energy MSR emulation: quantization and 32-bit wraparound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.soc.msr import EnergyMsr
+
+UNIT = 1.0 / (1 << 14)  # Haswell-class energy unit
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        assert EnergyMsr(UNIT).read() == 0
+
+    def test_deposit_accumulates_in_units(self):
+        msr = EnergyMsr(UNIT)
+        msr.deposit(1.0)
+        assert msr.read() == int(1.0 / UNIT)
+
+    def test_sub_unit_deposits_eventually_visible(self):
+        msr = EnergyMsr(UNIT)
+        for _ in range(20):
+            msr.deposit(UNIT / 10)
+        assert msr.read() == 2
+
+    def test_rejects_negative_deposit(self):
+        with pytest.raises(SimulationError):
+            EnergyMsr(UNIT).deposit(-1.0)
+
+    def test_rejects_nonpositive_unit(self):
+        with pytest.raises(SimulationError):
+            EnergyMsr(0.0)
+
+    def test_joules_between_roundtrip(self):
+        msr = EnergyMsr(UNIT)
+        before = msr.read()
+        msr.deposit(123.456)
+        after = msr.read()
+        assert msr.joules_between(before, after) == pytest.approx(
+            123.456, abs=2 * UNIT)
+
+
+class TestWraparound:
+    def test_register_wraps_at_32_bits(self):
+        msr = EnergyMsr(UNIT)
+        # 2^32 units of energy plus a bit.
+        msr.deposit((2 ** 32 + 100) * UNIT)
+        assert msr.read() == 100
+
+    def test_delta_handles_single_wrap(self):
+        assert EnergyMsr.delta_units(2 ** 32 - 10, 5) == 15
+
+    def test_delta_no_wrap(self):
+        assert EnergyMsr.delta_units(100, 250) == 150
+
+    def test_joules_between_across_wrap(self):
+        msr = EnergyMsr(UNIT)
+        msr.deposit((2 ** 32 - 5) * UNIT)
+        before = msr.read()
+        msr.deposit(20 * UNIT)
+        after = msr.read()
+        assert msr.joules_between(before, after) == pytest.approx(
+            20 * UNIT, abs=UNIT)
+
+    @given(start=st.integers(0, 2 ** 32 - 1), delta=st.integers(0, 2 ** 31))
+    @settings(max_examples=100, deadline=None)
+    def test_delta_property(self, start, delta):
+        after = (start + delta) & (2 ** 32 - 1)
+        assert EnergyMsr.delta_units(start, after) == delta
+
+
+class TestLifetime:
+    def test_lifetime_joules_not_wrapped(self):
+        msr = EnergyMsr(UNIT)
+        big = (2 ** 32 + 1000) * UNIT
+        msr.deposit(big)
+        assert msr.lifetime_joules == pytest.approx(big)

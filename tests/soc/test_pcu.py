@@ -1,0 +1,106 @@
+"""PCU firmware model: targets, ramping, throttling, hysteresis."""
+
+import pytest
+
+from repro.soc.pcu import Pcu
+from repro.soc.spec import haswell_desktop
+from repro.units import ms
+
+
+@pytest.fixture
+def pcu():
+    return Pcu(haswell_desktop())
+
+
+def run_steps(pcu, n, dt, cpu_active, gpu_active, power=20.0, start=0.0):
+    now = start
+    freqs = []
+    for _ in range(n):
+        freqs.append(pcu.step(now, dt, cpu_active, gpu_active, power))
+        now += dt
+    return now, freqs
+
+
+class TestTargets:
+    def test_idle_cpu_falls_to_min(self, pcu):
+        spec = pcu.spec
+        pcu.state.cpu_freq_hz = spec.cpu.turbo_freq_hz
+        run_steps(pcu, 50, ms(1.0), cpu_active=False, gpu_active=False)
+        assert pcu.state.cpu_freq_hz == pytest.approx(spec.cpu.min_freq_hz)
+
+    def test_active_cpu_reaches_turbo(self, pcu):
+        spec = pcu.spec
+        run_steps(pcu, 50, ms(1.0), cpu_active=True, gpu_active=False)
+        assert pcu.state.cpu_freq_hz == pytest.approx(spec.cpu.turbo_freq_hz)
+
+    def test_coexec_cpu_capped_below_turbo(self, pcu):
+        spec = pcu.spec
+        # Long co-execution: CPU settles at the co-execution target.
+        run_steps(pcu, 3000, ms(1.0), cpu_active=True, gpu_active=True)
+        assert pcu.state.cpu_freq_hz == pytest.approx(
+            spec.pcu.cpu_coexec_freq_hz)
+        assert pcu.state.cpu_freq_hz < spec.cpu.turbo_freq_hz
+
+    def test_gpu_reaches_turbo_when_active(self, pcu):
+        spec = pcu.spec
+        run_steps(pcu, 50, ms(1.0), cpu_active=False, gpu_active=True)
+        assert pcu.state.gpu_freq_hz == pytest.approx(spec.gpu.turbo_freq_hz)
+
+
+class TestActivationThrottle:
+    def test_cold_gpu_activation_floors_cpu(self, pcu):
+        spec = pcu.spec
+        now, _ = run_steps(pcu, 20, ms(1.0), cpu_active=True, gpu_active=False)
+        assert pcu.state.cpu_freq_hz == pytest.approx(spec.cpu.turbo_freq_hz)
+        # First GPU-active step after a long idle: immediate hard floor.
+        pcu.step(now, ms(1.0), True, True, 30.0)
+        assert pcu.state.cpu_freq_hz <= (
+            spec.pcu.cpu_gpu_activation_floor_hz
+            + spec.pcu.cpu_recovery_ramp_hz_per_s * ms(1.0))
+
+    def test_warm_relaunch_does_not_refloor(self, pcu):
+        spec = pcu.spec
+        # Warm up into co-execution.
+        now, _ = run_steps(pcu, 3000, ms(1.0), True, True)
+        # Brief GPU idle, then re-activation within the cold threshold.
+        now, _ = run_steps(pcu, 3, ms(1.0), True, False, start=now)
+        pcu.step(now, ms(1.0), True, True, 50.0)
+        assert pcu.state.cpu_freq_hz > spec.pcu.cpu_gpu_activation_floor_hz * 1.5
+
+    def test_recovery_is_slow_while_gpu_active(self, pcu):
+        spec = pcu.spec
+        now, _ = run_steps(pcu, 20, ms(1.0), True, False)
+        # Cold activation, then 10 ms of co-execution.
+        now, _ = run_steps(pcu, 10, ms(1.0), True, True, start=now)
+        expected_max = (spec.pcu.cpu_gpu_activation_floor_hz
+                        + spec.pcu.cpu_recovery_ramp_hz_per_s * ms(10.0))
+        assert pcu.state.cpu_freq_hz <= expected_max * 1.01
+
+    def test_recovery_is_fast_after_gpu_idle(self, pcu):
+        spec = pcu.spec
+        now, _ = run_steps(pcu, 20, ms(1.0), True, False)
+        now, _ = run_steps(pcu, 5, ms(1.0), True, True, start=now)
+        assert pcu.state.cpu_freq_hz < spec.pcu.cpu_coexec_freq_hz
+        # GPU idle long enough for release, CPU still busy: turbo
+        # re-engages quickly.
+        now, _ = run_steps(pcu, 40, ms(1.0), True, False, start=now)
+        assert pcu.state.cpu_freq_hz == pytest.approx(spec.cpu.turbo_freq_hz)
+
+
+class TestPowerCap:
+    def test_sustained_overpower_throttles_cpu(self, pcu):
+        spec = pcu.spec
+        over = spec.pcu.package_cap_w * 1.2
+        run_steps(pcu, 200, ms(1.0), cpu_active=True, gpu_active=False,
+                  power=over)
+        assert pcu.state.cpu_freq_hz < spec.cpu.turbo_freq_hz
+        assert pcu.state.cap_throttle_hz > 0.0
+
+    def test_throttle_releases_when_under_cap(self, pcu):
+        spec = pcu.spec
+        over = spec.pcu.package_cap_w * 1.2
+        run_steps(pcu, 200, ms(1.0), True, False, power=over)
+        run_steps(pcu, 2000, ms(1.0), True, False, power=20.0,
+                  start=1.0)
+        assert pcu.state.cap_throttle_hz == pytest.approx(0.0)
+        assert pcu.state.cpu_freq_hz == pytest.approx(spec.cpu.turbo_freq_hz)

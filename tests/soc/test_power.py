@@ -1,0 +1,89 @@
+"""Component power model."""
+
+import pytest
+
+from repro.soc.device import DeviceRates
+from repro.soc.power import idle_power, package_power
+from repro.units import ghz
+
+
+def rates(cpu_stall=0.0, gpu_stall=0.0, traffic=0.0):
+    return DeviceRates(
+        cpu_items_per_s=1e6, gpu_items_per_s=1e6,
+        cpu_memory_stall_fraction=cpu_stall,
+        gpu_memory_stall_fraction=gpu_stall,
+        cpu_traffic_bytes_per_s=traffic / 2,
+        gpu_traffic_bytes_per_s=traffic / 2)
+
+
+class TestIdle:
+    def test_idle_power_components(self, desktop):
+        breakdown = idle_power(desktop)
+        assert breakdown.cpu_w == 0.0
+        assert breakdown.gpu_w == 0.0
+        assert breakdown.package_w == pytest.approx(
+            desktop.idle_power_w + desktop.memory.uncore_static_w)
+
+
+class TestComponents:
+    def test_inactive_devices_draw_nothing(self, desktop):
+        breakdown = package_power(desktop, rates(), ghz(3.9), ghz(1.2),
+                                  cpu_active_cores=0, gpu_active=False)
+        assert breakdown.cpu_w == 0.0
+        assert breakdown.gpu_w == 0.0
+
+    def test_cpu_power_scales_with_cores(self, desktop):
+        one = package_power(desktop, rates(), ghz(3.0), ghz(1.2),
+                            cpu_active_cores=1, gpu_active=False)
+        four = package_power(desktop, rates(), ghz(3.0), ghz(1.2),
+                             cpu_active_cores=4, gpu_active=False)
+        assert four.cpu_w == pytest.approx(4.0 * one.cpu_w)
+
+    def test_frequency_superlinearity(self, desktop):
+        lo = package_power(desktop, rates(), ghz(2.0), ghz(1.2), 4, False)
+        hi = package_power(desktop, rates(), ghz(4.0), ghz(1.2), 4, False)
+        # Leakage is linear, dynamic is f^2.2: more than 2x overall.
+        assert hi.cpu_w > 2.0 * lo.cpu_w
+
+    def test_traffic_adds_uncore_power(self, desktop):
+        quiet = package_power(desktop, rates(traffic=0.0), ghz(3.0),
+                              ghz(1.2), 4, True)
+        busy = package_power(desktop, rates(traffic=20e9), ghz(3.0),
+                             ghz(1.2), 4, True)
+        assert busy.uncore_w > quiet.uncore_w
+        assert busy.uncore_w - quiet.uncore_w == pytest.approx(
+            desktop.memory.traffic_power_w(20e9))
+
+    def test_package_is_sum_of_components(self, desktop):
+        b = package_power(desktop, rates(traffic=5e9), ghz(3.0), ghz(1.0),
+                          3, True)
+        assert b.package_w == pytest.approx(
+            b.cpu_w + b.gpu_w + b.uncore_w + b.idle_w)
+
+
+class TestStallScaling:
+    def test_desktop_stalled_cores_barely_gate(self, desktop):
+        """Haswell-class: stall factor 1.0 -> no dynamic savings."""
+        running = package_power(desktop, rates(cpu_stall=0.0), ghz(3.9),
+                                ghz(1.2), 4, False)
+        stalled = package_power(desktop, rates(cpu_stall=1.0), ghz(3.9),
+                                ghz(1.2), 4, False)
+        assert stalled.cpu_w == pytest.approx(running.cpu_w)
+
+    def test_tablet_stalled_cores_gate_hard(self, tablet):
+        """Silvermont-class: memory-bound draws much less power."""
+        running = package_power(tablet, rates(cpu_stall=0.0),
+                                tablet.cpu.turbo_freq_hz,
+                                tablet.gpu.turbo_freq_hz, 4, False)
+        stalled = package_power(tablet, rates(cpu_stall=1.0),
+                                tablet.cpu.turbo_freq_hz,
+                                tablet.gpu.turbo_freq_hz, 4, False)
+        assert stalled.cpu_w < 0.5 * running.cpu_w
+
+    def test_gpu_stall_scaling(self, desktop):
+        running = package_power(desktop, rates(gpu_stall=0.0), ghz(1.0),
+                                ghz(1.2), 0, True)
+        stalled = package_power(desktop, rates(gpu_stall=1.0), ghz(1.0),
+                                ghz(1.2), 0, True)
+        assert stalled.gpu_w < running.gpu_w
+        assert stalled.gpu_w > 0.0

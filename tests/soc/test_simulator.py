@@ -1,0 +1,176 @@
+"""The virtual-clock execution engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.soc.simulator import IntegratedProcessor, PhaseRequest
+from repro.soc.work import CostProfile, WorkRegion, split_for_offload
+
+
+def region_pair(cost, n, alpha):
+    profile = CostProfile(cost)
+    return split_for_offload(profile, n, 0.0, n, alpha)
+
+
+def single_region(cost, n):
+    return WorkRegion.for_span(CostProfile(cost), n, 0.0, n)
+
+
+class TestPhases:
+    def test_cpu_only_phase_completes_all_items(self, desktop_processor,
+                                                compute_cost):
+        region = single_region(compute_cost, 100_000.0)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=region, gpu_region=None))
+        assert result.cpu_items == pytest.approx(100_000.0, rel=1e-6)
+        assert result.gpu_items == 0.0
+        assert result.duration_s > 0.0
+
+    def test_gpu_only_phase_completes_all_items(self, desktop_processor,
+                                                compute_cost):
+        region = single_region(compute_cost, 100_000.0)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=None, gpu_region=region))
+        assert result.gpu_items == pytest.approx(100_000.0, rel=1e-6)
+        assert result.cpu_items == 0.0
+
+    def test_gpu_phase_pays_launch_overhead(self, desktop, desktop_processor,
+                                            compute_cost):
+        region = single_region(compute_cost, 10_000.0)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=None, gpu_region=region))
+        assert result.gpu_time_s >= desktop.gpu.kernel_launch_overhead_s
+
+    def test_partitioned_phase_runs_both_devices(self, desktop_processor,
+                                                 compute_cost):
+        gpu, cpu = region_pair(compute_cost, 1_000_000.0, 0.5)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=cpu, gpu_region=gpu))
+        assert result.cpu_items == pytest.approx(500_000.0, rel=1e-6)
+        assert result.gpu_items == pytest.approx(500_000.0, rel=1e-6)
+
+    def test_empty_phase_rejected(self, desktop_processor, compute_cost):
+        with pytest.raises(SimulationError):
+            desktop_processor.run_phase(PhaseRequest(
+                cost=compute_cost, cpu_region=None, gpu_region=None))
+
+    def test_profiling_phase_terminates_cpu_workers(self, desktop_processor,
+                                                    compute_cost):
+        """stop_when_gpu_done leaves the CPU region partially done."""
+        profile = CostProfile(compute_cost)
+        n = 10_000_000.0
+        gpu = WorkRegion.for_span(profile, n, 0.0, 2048.0)
+        cpu = WorkRegion.for_span(profile, n, 2048.0, n)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=cpu, gpu_region=gpu,
+            stop_when_gpu_done=True))
+        assert result.gpu_items == pytest.approx(2048.0, rel=1e-6)
+        assert 0.0 < result.cpu_items < n - 2048.0
+        assert cpu.items_remaining > 0.0
+
+    def test_profiling_requires_gpu_region(self, desktop_processor,
+                                           compute_cost):
+        region = single_region(compute_cost, 1000.0)
+        with pytest.raises(SimulationError):
+            desktop_processor.run_phase(PhaseRequest(
+                cost=compute_cost, cpu_region=region, gpu_region=None,
+                stop_when_gpu_done=True))
+
+    def test_max_duration_guard(self, desktop_processor, compute_cost):
+        region = single_region(compute_cost, 1e15)
+        with pytest.raises(SimulationError):
+            desktop_processor.run_phase(PhaseRequest(
+                cost=compute_cost, cpu_region=region, gpu_region=None,
+                max_duration_s=0.01))
+
+    def test_gpu_busy_flag_cleared_after_phase(self, desktop_processor,
+                                               compute_cost):
+        region = single_region(compute_cost, 100_000.0)
+        desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=None, gpu_region=region))
+        assert not desktop_processor.gpu_busy
+
+
+class TestAccounting:
+    def test_energy_accumulates_with_execution(self, desktop_processor,
+                                               compute_cost):
+        before = desktop_processor.read_energy_msr()
+        region = single_region(compute_cost, 500_000.0)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=region, gpu_region=None))
+        after = desktop_processor.read_energy_msr()
+        energy = desktop_processor.energy_joules_between(before, after)
+        assert energy > 0.0
+        assert energy == pytest.approx(result.energy_j, rel=0.01)
+
+    def test_msr_and_counters_are_consistent(self, desktop_processor,
+                                             compute_cost):
+        region = single_region(compute_cost, 200_000.0)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=region, gpu_region=None))
+        assert result.counters.cpu_items == pytest.approx(result.cpu_items)
+        assert result.counters.instructions_retired == pytest.approx(
+            result.cpu_items * compute_cost.instructions_per_item, rel=1e-6)
+
+    def test_average_power_is_physical(self, desktop, desktop_processor,
+                                       compute_cost):
+        """CPU-alone compute-bound power lands near the paper's ~45 W."""
+        region = single_region(compute_cost, 3_000_000.0)
+        result = desktop_processor.run_phase(PhaseRequest(
+            cost=compute_cost, cpu_region=region, gpu_region=None))
+        power = result.energy_j / result.duration_s
+        assert 35.0 < power < 55.0
+
+    def test_idle_advances_clock_at_idle_power(self, desktop,
+                                               desktop_processor):
+        before = desktop_processor.read_energy_msr()
+        desktop_processor.idle(0.5)
+        after = desktop_processor.read_energy_msr()
+        assert desktop_processor.now == pytest.approx(0.5)
+        power = desktop_processor.energy_joules_between(before, after) / 0.5
+        assert power < 15.0  # idle floor, not active power
+
+    def test_idle_rejects_negative(self, desktop_processor):
+        with pytest.raises(SimulationError):
+            desktop_processor.idle(-1.0)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_identical(self, desktop, compute_cost):
+        results = []
+        for _ in range(2):
+            proc = IntegratedProcessor(desktop)
+            gpu, cpu = region_pair(compute_cost, 500_000.0, 0.4)
+            r = proc.run_phase(PhaseRequest(
+                cost=compute_cost, cpu_region=cpu, gpu_region=gpu))
+            results.append((r.duration_s, r.energy_j, r.cpu_items))
+        assert results[0] == results[1]
+
+
+class TestCoExecutionShape:
+    def test_hybrid_faster_than_single_device(self, desktop, compute_cost):
+        """For a long-running kernel, co-execution near the optimal
+        split beats both single-device runs (the premise of Fig. 1).
+        The run must be long enough to amortize the PCU's activation
+        throttle - short one-shot hybrids genuinely lose (Fig. 4)."""
+        n = 6e7
+
+        def run(alpha):
+            proc = IntegratedProcessor(desktop)
+            if alpha == 0.0:
+                req = PhaseRequest(cost=compute_cost,
+                                   cpu_region=single_region(compute_cost, n),
+                                   gpu_region=None)
+            elif alpha == 1.0:
+                req = PhaseRequest(cost=compute_cost, cpu_region=None,
+                                   gpu_region=single_region(compute_cost, n))
+            else:
+                gpu, cpu = region_pair(compute_cost, n, alpha)
+                req = PhaseRequest(cost=compute_cost, cpu_region=cpu,
+                                   gpu_region=gpu)
+            return proc.run_phase(req).duration_s
+
+        t_cpu, t_gpu = run(0.0), run(1.0)
+        t_hybrid = min(run(a) for a in (0.6, 0.7, 0.8))
+        assert t_hybrid < t_cpu
+        assert t_hybrid < t_gpu

@@ -1,0 +1,169 @@
+"""Platform specification validation and calibration sanity."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SpecError
+from repro.soc.spec import (
+    CpuSpec,
+    GpuSpec,
+    MemorySpec,
+    PcuSpec,
+    baytrail_tablet,
+    haswell_desktop,
+)
+from repro.units import ghz
+
+
+class TestFactorySpecs:
+    def test_desktop_matches_paper_hardware(self):
+        spec = haswell_desktop()
+        assert spec.cpu.num_cores == 4
+        assert spec.cpu.smt_per_core == 2
+        assert spec.gpu.num_eus == 20
+        assert spec.gpu.threads_per_eu == 7
+        assert spec.gpu.simd_width == 16
+        # The paper: 2240-way parallelism, GPU_PROFILE_SIZE = 2048.
+        assert spec.gpu.hardware_parallelism == 2240
+        assert spec.gpu_profile_size == 2048
+
+    def test_tablet_matches_paper_hardware(self):
+        spec = baytrail_tablet()
+        assert spec.cpu.num_cores == 4
+        assert spec.cpu.smt_per_core == 1  # Silvermont has no SMT
+        assert spec.gpu.num_eus == 4
+        assert spec.gpu.hardware_parallelism == 448
+        assert spec.cpu.base_freq_hz == pytest.approx(ghz(1.33))
+
+    def test_desktop_frequency_ordering(self):
+        cpu = haswell_desktop().cpu
+        assert cpu.min_freq_hz < cpu.base_freq_hz < cpu.turbo_freq_hz
+
+    def test_tablet_is_low_power(self):
+        desktop, tablet = haswell_desktop(), baytrail_tablet()
+        assert tablet.idle_power_w < desktop.idle_power_w / 10
+        assert tablet.pcu.package_cap_w < desktop.pcu.package_cap_w / 10
+
+    def test_energy_units_differ_by_platform(self):
+        assert haswell_desktop().energy_unit_j != baytrail_tablet().energy_unit_j
+
+    def test_stall_power_asymmetry(self):
+        """Desktop OoO cores burn full power stalled; tablet in-order
+        cores gate down - the paper's memory-vs-compute asymmetry."""
+        assert haswell_desktop().cpu.memory_stall_power_factor > 0.9
+        assert baytrail_tablet().cpu.memory_stall_power_factor < 0.3
+
+
+class TestCpuSpec:
+    def test_dynamic_power_scales_superlinearly(self):
+        cpu = haswell_desktop().cpu
+        p1 = cpu.dynamic_power_w(ghz(2.0), 4)
+        p2 = cpu.dynamic_power_w(ghz(4.0), 4)
+        assert p2 > 2.0 * p1
+
+    def test_dynamic_power_linear_in_cores(self):
+        cpu = haswell_desktop().cpu
+        assert cpu.dynamic_power_w(ghz(3.0), 4) == pytest.approx(
+            2.0 * cpu.dynamic_power_w(ghz(3.0), 2))
+
+    def test_instruction_rate(self):
+        cpu = haswell_desktop().cpu
+        assert cpu.instruction_rate(ghz(1.0), 1) == pytest.approx(
+            1e9 * cpu.effective_ipc)
+
+    def test_rejects_zero_cores(self):
+        cpu = haswell_desktop().cpu
+        with pytest.raises(SpecError):
+            dataclasses.replace(cpu, num_cores=0)
+
+    def test_rejects_disordered_frequencies(self):
+        cpu = haswell_desktop().cpu
+        with pytest.raises(SpecError):
+            dataclasses.replace(cpu, min_freq_hz=ghz(5.0))
+
+    def test_rejects_bad_stall_factor(self):
+        cpu = haswell_desktop().cpu
+        with pytest.raises(SpecError):
+            dataclasses.replace(cpu, memory_stall_power_factor=1.5)
+
+
+class TestGpuSpec:
+    def test_rejects_zero_eus(self):
+        gpu = haswell_desktop().gpu
+        with pytest.raises(SpecError):
+            dataclasses.replace(gpu, num_eus=0)
+
+    def test_rejects_min_above_turbo(self):
+        gpu = haswell_desktop().gpu
+        with pytest.raises(SpecError):
+            dataclasses.replace(gpu, min_freq_hz=ghz(2.0))
+
+    def test_instruction_rate_scales_with_occupancy(self):
+        gpu = haswell_desktop().gpu
+        full = gpu.instruction_rate(ghz(1.0), 1.0)
+        half = gpu.instruction_rate(ghz(1.0), 0.5)
+        assert half == pytest.approx(full / 2)
+
+
+class TestMemorySpec:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(SpecError):
+            MemorySpec(shared_bw_bytes_per_s=0.0,
+                       traffic_power_w_per_bps=0.0, uncore_static_w=0.0)
+
+    def test_rejects_contention_factor_of_one(self):
+        with pytest.raises(SpecError):
+            MemorySpec(shared_bw_bytes_per_s=1e9,
+                       traffic_power_w_per_bps=0.0, uncore_static_w=0.0,
+                       llc_contention_factor=1.0)
+
+    def test_traffic_power_is_linear(self):
+        mem = haswell_desktop().memory
+        assert mem.traffic_power_w(2e9) == pytest.approx(
+            2.0 * mem.traffic_power_w(1e9))
+
+
+class TestPcuSpec:
+    def test_rejects_nonpositive_sample_interval(self):
+        pcu = haswell_desktop().pcu
+        with pytest.raises(SpecError):
+            dataclasses.replace(pcu, sample_interval_s=0.0)
+
+    def test_cold_threshold_exceeds_release(self):
+        for spec in (haswell_desktop(), baytrail_tablet()):
+            assert spec.pcu.gpu_cold_threshold_s > spec.pcu.gpu_idle_release_s
+
+
+class TestUltrabookSpec:
+    """The third platform: black-box portability beyond the paper."""
+
+    def test_sits_between_desktop_and_tablet(self):
+        from repro.soc.spec import ultrabook_15w
+
+        desktop, tablet, ultrabook = (haswell_desktop(), baytrail_tablet(),
+                                      ultrabook_15w())
+        assert (tablet.pcu.package_cap_w < ultrabook.pcu.package_cap_w
+                < desktop.pcu.package_cap_w)
+        assert (tablet.gpu.num_eus < ultrabook.gpu.num_eus
+                < desktop.gpu.num_eus)
+        assert ultrabook.gpu_profile_size == ultrabook.gpu.hardware_parallelism
+
+    def test_characterizes_and_schedules(self):
+        """The full black-box pipeline runs unmodified on the new SKU."""
+        from repro.core.metrics import EDP
+        from repro.core.scheduler import EnergyAwareScheduler
+        from repro.core.validation import validate_characterization
+        from repro.harness.experiment import run_application
+        from repro.harness.suite import get_characterization
+        from repro.soc.spec import ultrabook_15w
+        from repro.workloads.registry import workload_by_abbrev
+
+        spec = ultrabook_15w()
+        characterization = get_characterization(spec, sweep_step=0.1)
+        validate_characterization(characterization, spec=spec, strict=True)
+        workload = workload_by_abbrev("MM")
+        scheduler = EnergyAwareScheduler(characterization, EDP)
+        run = run_application(spec, workload, scheduler, "EAS")
+        assert run.energy_j > 0
+        assert 0.0 <= run.final_alpha <= 1.0

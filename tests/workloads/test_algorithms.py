@@ -1,0 +1,215 @@
+"""Deeper algorithm-level tests for individual workload implementations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.barneshut import QuadTree, _exact_forces
+from repro.workloads.blackscholes import OptionBatch, black_scholes_price
+from repro.workloads.facedetect import (
+    box_sum,
+    detect_bright_squares,
+    integral_image,
+)
+from repro.workloads.mandelbrot import render_escape_counts
+from repro.workloads.nbody import leapfrog_step, nbody_energy, nbody_forces
+from repro.workloads.raytracer import Scene, Sphere, render, trace_ray
+from repro.workloads.seismic import frame_rows, wave_step
+from repro.workloads.skiplist import SkipListStructure
+
+
+class TestBarnesHut:
+    def test_theta_zero_matches_exact(self):
+        """theta -> 0 disables approximation entirely."""
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(-1, 1, size=(40, 2))
+        mass = rng.uniform(0.5, 2.0, size=40)
+        tree = QuadTree.build(pos, mass)
+        exact = _exact_forces(pos, mass)
+        for i in range(40):
+            approx = tree.force_on(pos[i], i, theta=0.0)
+            assert np.allclose(approx, exact[i], rtol=1e-6, atol=1e-9)
+
+    def test_total_mass_conserved(self):
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(-1, 1, size=(100, 2))
+        mass = rng.uniform(0.5, 2.0, size=100)
+        tree = QuadTree.build(pos, mass)
+        assert tree.mass == pytest.approx(mass.sum())
+        assert tree.count == 100
+
+    def test_larger_theta_is_coarser_but_close(self):
+        rng = np.random.default_rng(4)
+        pos = rng.uniform(-1, 1, size=(200, 2))
+        mass = np.ones(200)
+        tree = QuadTree.build(pos, mass)
+        exact = _exact_forces(pos, mass)
+        errs = []
+        for theta in (0.3, 1.0):
+            approx = np.array([tree.force_on(pos[i], i, theta)
+                               for i in range(50)])
+            errs.append(np.linalg.norm(approx - exact[:50], axis=1).mean())
+        assert errs[0] < errs[1]  # smaller theta, smaller error
+
+
+class TestBlackScholes:
+    def test_zero_volatility_limit_close(self):
+        """Near-zero volatility: call ~ max(S - K e^{-rT}, 0)."""
+        opts = OptionBatch(
+            spot=np.array([100.0, 50.0]), strike=np.array([80.0, 80.0]),
+            rate=np.array([0.05, 0.05]), volatility=np.array([1e-4, 1e-4]),
+            expiry=np.array([1.0, 1.0]))
+        call, put = black_scholes_price(opts)
+        intrinsic = np.maximum(opts.spot - opts.strike * np.exp(-0.05), 0.0)
+        assert np.allclose(call, intrinsic, atol=1e-6)
+
+    def test_call_increases_with_spot(self):
+        spots = np.linspace(50, 150, 20)
+        opts = OptionBatch(spot=spots, strike=np.full(20, 100.0),
+                           rate=np.full(20, 0.03),
+                           volatility=np.full(20, 0.3),
+                           expiry=np.full(20, 1.0))
+        call, _ = black_scholes_price(opts)
+        assert (np.diff(call) > 0).all()
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(WorkloadError):
+            OptionBatch(spot=np.array([1.0]), strike=np.array([1.0, 2.0]),
+                        rate=np.array([0.1]), volatility=np.array([0.2]),
+                        expiry=np.array([1.0]))
+
+
+class TestFaceDetect:
+    def test_integral_image_box_sum(self):
+        rng = np.random.default_rng(6)
+        image = rng.uniform(size=(20, 30))
+        ii = integral_image(image)
+        assert box_sum(ii, 3, 5, 7, 11) == pytest.approx(
+            image[3:10, 5:16].sum())
+
+    def test_cascade_rejects_dark_image(self):
+        dark = np.zeros((50, 50))
+        assert detect_bright_squares(dark, window=8, threshold=0.4) == []
+
+    def test_cascade_window_validation(self):
+        with pytest.raises(WorkloadError):
+            detect_bright_squares(np.zeros((50, 50)), window=2, threshold=0.4)
+
+
+class TestMandelbrot:
+    def test_symmetric_about_real_axis(self):
+        counts = render_escape_counts(64, 49, 32)
+        assert np.array_equal(counts, counts[::-1, :])
+
+    def test_interior_cardioid_never_escapes(self):
+        counts = render_escape_counts(128, 96, 50)
+        # c = -0.1: inside the main cardioid.
+        col = int((-0.1 + 2.5) / 3.5 * 127)
+        row = 48
+        assert counts[row, col] == 50
+
+
+class TestSkipList:
+    def test_duplicate_insert_rejected(self):
+        sl = SkipListStructure(seed=1)
+        assert sl.insert(5)
+        assert not sl.insert(5)
+        assert len(sl) == 1
+
+    def test_remove_missing_returns_false(self):
+        sl = SkipListStructure(seed=1)
+        assert not sl.remove(42)
+
+    def test_interleaved_operations(self):
+        sl = SkipListStructure(seed=2)
+        for k in range(0, 100, 2):
+            sl.insert(k)
+        for k in range(0, 100, 4):
+            sl.remove(k)
+        expected = sorted(set(range(0, 100, 2)) - set(range(0, 100, 4)))
+        assert sl.to_list() == expected
+
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            SkipListStructure(p=1.5)
+        with pytest.raises(WorkloadError):
+            SkipListStructure(max_level=0)
+
+
+class TestNBody:
+    def test_forces_antisymmetric_pairwise(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        mass = np.array([2.0, 3.0])
+        f = nbody_forces(pos, mass)
+        assert np.allclose(f[0], -f[1])
+        assert f[0][0] > 0  # attraction toward the other body
+
+    def test_leapfrog_is_time_reversible(self):
+        rng = np.random.default_rng(8)
+        pos = rng.uniform(-1, 1, size=(16, 3))
+        vel = rng.uniform(-0.1, 0.1, size=(16, 3))
+        mass = np.ones(16)
+        p1, v1 = leapfrog_step(pos, vel, mass, dt=1e-3)
+        p0, v0 = leapfrog_step(p1, -v1, mass, dt=1e-3)
+        assert np.allclose(p0, pos, atol=1e-9)
+        assert np.allclose(-v0, vel, atol=1e-9)
+
+    def test_energy_definition(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        vel = np.zeros((2, 3))
+        mass = np.ones(2)
+        e = nbody_energy(pos, vel, mass, softening=0.0)
+        assert e == pytest.approx(-1.0)
+
+
+class TestRayTracer:
+    def test_ray_misses_everything(self):
+        scene = Scene(spheres=[Sphere(np.array([0.0, 0.0, 5.0]), 1.0, 0.9)],
+                      lights=[np.array([0.0, 5.0, 0.0])])
+        intensity = trace_ray(scene, np.zeros(3), np.array([0.0, 1.0, 0.0]))
+        assert intensity == 0.0
+
+    def test_nearest_sphere_wins(self):
+        near = Sphere(np.array([0.0, 0.0, 3.0]), 0.5, albedo=0.1)
+        far = Sphere(np.array([0.0, 0.0, 10.0]), 0.5, albedo=0.9)
+        scene = Scene(spheres=[near, far], lights=[np.array([0.0, 10.0, 3.0])])
+        direction = np.array([0.0, 0.0, 1.0])
+        intensity = trace_ray(scene, np.zeros(3), direction)
+        # Shading reflects the near (dark) sphere, not the bright far one.
+        assert intensity < 0.3
+
+    def test_render_row_range(self):
+        scene = Scene(spheres=[Sphere(np.array([0.0, 0.0, 5.0]), 1.0, 0.9)],
+                      lights=[np.array([0.0, 5.0, 0.0])])
+        full = render(scene, 33, 33)
+        rows = render(scene, 33, 33, row_lo=10, row_hi=20)
+        assert np.allclose(rows, full[10:20])
+
+    def test_render_rejects_bad_rows(self):
+        scene = Scene(spheres=[], lights=[])
+        with pytest.raises(WorkloadError):
+            render(scene, 10, 10, row_lo=5, row_hi=2)
+
+
+class TestSeismic:
+    def test_cfl_condition_enforced(self):
+        with pytest.raises(WorkloadError):
+            wave_step(np.zeros((5, 5)), np.zeros((5, 5)), courant=0.9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            wave_step(np.zeros((5, 5)), np.zeros((4, 4)))
+
+    def test_frame_rows_matches_full_step(self):
+        rng = np.random.default_rng(9)
+        field = rng.uniform(-0.1, 0.1, size=(32, 24))
+        field[0, :] = field[-1, :] = field[:, 0] = field[:, -1] = 0.0
+        prev = np.zeros_like(field)
+        full, _ = wave_step(field, prev)
+        rows = frame_rows(field, prev, 8, 16)
+        assert np.allclose(rows, full[8:16])
+
+    def test_zero_field_stays_zero(self):
+        field = np.zeros((10, 10))
+        new, _ = wave_step(field, field.copy())
+        assert np.allclose(new, 0.0)

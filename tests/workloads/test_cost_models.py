@@ -1,0 +1,95 @@
+"""Workload cost models: classification expectations and scales.
+
+These pin down the Table-1 runtime characterization: which workloads
+the online classifier should see as memory- vs compute-bound, and the
+structural properties (irregularity, GPU hostility) the evaluation
+depends on.
+"""
+
+import pytest
+
+from repro.core.classification import MEMORY_INTENSITY_THRESHOLD
+from repro.workloads.microbench import standard_microbenches
+from repro.workloads.registry import all_workloads, workload_by_abbrev
+
+MEMORY_BOUND = {"BH", "BFS", "CC", "MB", "SL", "SP", "SM"}
+COMPUTE_BOUND = {"FD", "BS", "MM", "NB", "RT"}
+
+
+class TestBoundednessStatistic:
+    @pytest.mark.parametrize("abbrev", sorted(MEMORY_BOUND))
+    def test_memory_bound_exceed_threshold(self, abbrev):
+        """Table 1 column 7 (M): miss/load-store ratio above 0.33."""
+        cost = workload_by_abbrev(abbrev).cost_model()
+        assert cost.miss_to_loadstore_ratio > MEMORY_INTENSITY_THRESHOLD
+
+    @pytest.mark.parametrize("abbrev", sorted(COMPUTE_BOUND))
+    def test_compute_bound_below_threshold(self, abbrev):
+        cost = workload_by_abbrev(abbrev).cost_model()
+        assert cost.miss_to_loadstore_ratio <= MEMORY_INTENSITY_THRESHOLD
+
+
+class TestIrregularity:
+    def test_irregular_workloads_have_cost_variance(self):
+        for w in all_workloads():
+            cost = w.cost_model()
+            if w.regular:
+                assert cost.item_cost_cv <= 0.2, w.abbrev
+            else:
+                assert cost.item_cost_cv > 0.2, w.abbrev
+
+    def test_cc_is_the_most_irregular(self):
+        """CC's profiling miss (the paper's one EAS failure) rests on
+        its strong long-range irregularity."""
+        cc = workload_by_abbrev("CC").cost_model()
+        assert cc.item_cost_cv >= 1.0
+        assert cc.cost_profile_scale >= 0.25
+
+
+class TestDeviceBias:
+    def test_fd_is_gpu_hostile(self):
+        """The paper's CPU-biased workload: EAS should choose 100% CPU."""
+        fd = workload_by_abbrev("FD").cost_model()
+        assert fd.gpu_simd_efficiency < 0.05
+        assert fd.gpu_divergence >= 0.5
+
+    def test_nb_is_gpu_dominant(self):
+        """Table 1: NB is CPU-Long / GPU-Short."""
+        nb = workload_by_abbrev("NB").cost_model()
+        assert nb.gpu_simd_efficiency / nb.cpu_simd_efficiency > 10
+
+
+class TestTabletVariants:
+    @pytest.mark.parametrize("abbrev", ["MM", "NB", "RT"])
+    def test_tablet_inputs_are_smaller(self, abbrev):
+        w = workload_by_abbrev(abbrev)
+        desktop_items = w.total_items(tablet=False)
+        tablet_items = w.total_items(tablet=True)
+        assert tablet_items < desktop_items
+
+    def test_mm_cost_scales_with_dimension(self):
+        mm = workload_by_abbrev("MM")
+        assert (mm.cost_model(tablet=False).instructions_per_item
+                == 2 * mm.cost_model(tablet=True).instructions_per_item)
+
+
+class TestMicrobenches:
+    def test_memory_probes_exceed_threshold(self):
+        for bench in standard_microbenches():
+            ratio = bench.cost.miss_to_loadstore_ratio
+            if bench.category.short_code.startswith("M"):
+                assert ratio > MEMORY_INTENSITY_THRESHOLD
+            else:
+                assert ratio <= MEMORY_INTENSITY_THRESHOLD
+
+    def test_short_probes_use_repetitions(self):
+        for bench in standard_microbenches():
+            code = bench.category.short_code
+            if "S" in code.split("-")[1]:
+                assert bench.repetitions > 1
+            else:
+                assert bench.repetitions == 1
+
+    def test_cpu_target_durations(self):
+        for bench in standard_microbenches():
+            assert 0.0 < bench.cpu_target_s <= 2.0

@@ -1,0 +1,106 @@
+"""Road-network generation and the level-synchronous graph algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.roadnet import (
+    bfs_levels,
+    connected_components_labels,
+    generate_road_network,
+    rescale_profile,
+    small_road_network,
+    sssp_distances,
+)
+
+
+class TestGeneration:
+    def test_grid_structure(self):
+        g = generate_road_network(10, 8, shortcut_fraction=0.0)
+        assert g.num_vertices == 80
+        # Undirected grid: 2 * (W-1)*H + W*(H-1) directed edges... each
+        # stored twice.
+        expected = 2 * ((10 - 1) * 8 + 10 * (8 - 1))
+        assert g.num_edges == expected
+
+    def test_symmetry(self):
+        g = generate_road_network(12, 9, seed=3)
+        for v in (0, 17, 53):
+            for u in g.neighbors(v):
+                assert v in g.neighbors(int(u))
+
+    def test_deterministic(self):
+        a = generate_road_network(10, 10, seed=5)
+        b = generate_road_network(10, 10, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_positive_weights(self):
+        g = generate_road_network(10, 10)
+        assert (g.weights > 0).all()
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(WorkloadError):
+            generate_road_network(1, 5)
+
+
+class TestAlgorithms:
+    def test_bfs_covers_all_vertices_once(self):
+        g = small_road_network()
+        level, sizes = bfs_levels(g)
+        assert (level >= 0).all()
+        assert sum(sizes) == g.num_vertices
+
+    def test_bfs_levels_differ_by_one_across_edges(self):
+        g = small_road_network()
+        level, _ = bfs_levels(g)
+        for v in range(0, g.num_vertices, 97):
+            for u in g.neighbors(v):
+                assert abs(level[v] - level[int(u)]) <= 1
+
+    def test_road_network_has_high_diameter(self):
+        """The property that makes the paper's graph workloads launch
+        thousands of short kernels."""
+        g = small_road_network()
+        _, sizes = bfs_levels(g)
+        assert len(sizes) > 30
+        assert max(sizes) < g.num_vertices / 10
+
+    def test_cc_single_component(self):
+        g = small_road_network()
+        labels, rounds = connected_components_labels(g)
+        assert (labels == 0).all()  # grid backbone keeps it connected
+        assert len(rounds) > 1
+
+    def test_sssp_triangle_inequality_on_edges(self):
+        g = small_road_network()
+        dist, _ = sssp_distances(g)
+        for v in range(0, g.num_vertices, 131):
+            for u, w in zip(g.neighbors(v), g.edge_weights(v)):
+                assert dist[int(u)] <= dist[v] + w + 1e-9
+
+
+class TestRescaleProfile:
+    def test_total_and_count(self):
+        scaled = rescale_profile([1, 5, 20, 5, 1], target_launches=100,
+                                 target_total=1e6)
+        assert len(scaled) == 100
+        assert sum(scaled) == pytest.approx(1e6, rel=1e-6)
+
+    def test_preserves_shape(self):
+        scaled = rescale_profile([1, 10, 1], target_launches=9,
+                                 target_total=900)
+        assert scaled[4] > scaled[0]
+        assert scaled[4] > scaled[-1]
+
+    def test_no_zero_launches(self):
+        scaled = rescale_profile([1, 1000000, 1], 50, 1e6)
+        assert min(scaled) >= 1.0
+
+    def test_rejects_empty_profile(self):
+        with pytest.raises(WorkloadError):
+            rescale_profile([], 10, 100.0)
+
+    def test_rejects_zero_launches(self):
+        with pytest.raises(WorkloadError):
+            rescale_profile([1, 2], 0, 100.0)

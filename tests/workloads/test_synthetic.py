@@ -1,0 +1,75 @@
+"""Synthetic workload generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import MEMORY_INTENSITY_THRESHOLD
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import generate_suite, generate_workload
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_workload(7)
+        b = generate_workload(7)
+        assert a.cost_model() == b.cost_model()
+        assert a.total_items() == b.total_items()
+
+    def test_distinct_across_seeds(self):
+        assert generate_workload(1).cost_model() != \
+            generate_workload(2).cost_model()
+
+    def test_suite_size_and_names(self):
+        suite = generate_suite(10, seed=3)
+        assert len(suite) == 10
+        assert len({w.abbrev for w in suite}) == 10
+
+    def test_suite_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            generate_suite(0)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_generated_workloads_are_well_formed(self, seed):
+        workload = generate_workload(seed)
+        cost = workload.cost_model()
+        # Cost model validity is enforced by KernelCostModel itself;
+        # check the distributional contracts on top.
+        assert 0.001 <= cost.gpu_simd_efficiency <= 1.0
+        ratio = cost.miss_to_loadstore_ratio
+        # Straddles the classification threshold cleanly.
+        assert ratio <= 0.05 or ratio > MEMORY_INTENSITY_THRESHOLD
+        assert workload.total_items() >= 1.0
+        assert all(i.n_items >= 1.0 for i in workload.invocations())
+        # Regular flag is consistent with the drawn irregularity.
+        assert workload.regular == (cost.item_cost_cv <= 0.2)
+
+    def test_covers_both_boundedness_classes(self):
+        suite = generate_suite(30, seed=1)
+        ratios = [w.cost_model().miss_to_loadstore_ratio for w in suite]
+        assert any(r > MEMORY_INTENSITY_THRESHOLD for r in ratios)
+        assert any(r <= 0.05 for r in ratios)
+
+    def test_covers_single_and_multi_launch(self):
+        suite = generate_suite(30, seed=2)
+        launches = [w.num_invocations for w in suite]
+        assert any(n == 1 for n in launches)
+        assert any(n > 10 for n in launches)
+
+    def test_validate_is_a_noop(self):
+        generate_workload(5).validate()
+
+
+class TestSchedulability:
+    def test_eas_runs_on_synthetic_workload(self, desktop,
+                                            desktop_characterization):
+        from repro.core.metrics import EDP
+        from repro.core.scheduler import EnergyAwareScheduler
+        from repro.harness.experiment import run_application
+
+        workload = generate_workload(11)
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP)
+        run = run_application(desktop, workload, scheduler, "EAS")
+        total = sum(r.cpu_items + r.gpu_items for r in run.invocations)
+        assert total == pytest.approx(workload.total_items(), rel=1e-6)

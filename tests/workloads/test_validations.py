@@ -1,0 +1,18 @@
+"""Every workload's real implementation validates against its reference.
+
+These are the repro's algorithmic-correctness gates: BFS/CC/SSSP vs
+networkx, Black-Scholes vs scipy, Barnes-Hut vs the exact O(N^2) sum,
+matmul vs numpy, N-Body conservation laws, and structural invariants
+for the rest.
+"""
+
+import pytest
+
+from repro.workloads.registry import all_workloads
+
+WORKLOADS = {w.abbrev: w for w in all_workloads()}
+
+
+@pytest.mark.parametrize("abbrev", sorted(WORKLOADS))
+def test_workload_validates(abbrev):
+    WORKLOADS[abbrev].validate()

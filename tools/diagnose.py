@@ -1,0 +1,52 @@
+"""Calibration diagnostic: per-workload alpha landscape and EAS behaviour.
+
+Usage: python tools/diagnose.py [desktop|tablet] [ABBREV ...]
+"""
+
+import sys
+import time
+
+from repro.core.metrics import EDP, ENERGY
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness import get_characterization, run_application, sweep_alphas
+from repro.soc import baytrail_tablet, haswell_desktop
+from repro.workloads.registry import suite_workloads, workload_by_abbrev
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    tablet = bool(args) and args[0] == "tablet"
+    if args and args[0] in ("desktop", "tablet"):
+        args = args[1:]
+    spec = baytrail_tablet() if tablet else haswell_desktop()
+    char = get_characterization(spec)
+    workloads = ([workload_by_abbrev(a) for a in args] if args
+                 else suite_workloads(tablet=tablet))
+
+    for w in workloads:
+        t0 = time.time()
+        sweep = sweep_alphas(spec, w, tablet=tablet)
+        line = [f"{w.abbrev:4s}"]
+        for metric in (EDP, ENERGY):
+            eas = EnergyAwareScheduler(char, metric)
+            run = run_application(spec, w, eas, "EAS", tablet=tablet)
+            oracle = sweep.oracle(metric)
+            eff = 100 * oracle.metric_value(metric) / run.metric_value(metric)
+            d = next((d for d in eas.decisions if not d.from_table), None)
+            cat = d.category_code if d else "?"
+            line.append(
+                f"{metric.name}: orc_a={sweep.oracle_alpha(metric):.1f} "
+                f"eas_a={run.final_alpha:.2f} ({cat}) eff={eff:5.1f}%")
+        line.append(f"perf_a={sweep.perf_alpha():.1f}")
+        gpu_eff = {m.name: 100 * sweep.oracle(m).metric_value(m)
+                   / sweep.run_at(1.0).metric_value(m) for m in (EDP, ENERGY)}
+        perf_eff = {m.name: 100 * sweep.oracle(m).metric_value(m)
+                    / sweep.perf().metric_value(m) for m in (EDP, ENERGY)}
+        line.append(f"gpu_eff={gpu_eff['edp']:.0f}/{gpu_eff['energy']:.0f}")
+        line.append(f"perf_eff={perf_eff['edp']:.0f}/{perf_eff['energy']:.0f}")
+        line.append(f"[{time.time() - t0:.0f}s]")
+        print("  ".join(line), flush=True)
+
+
+if __name__ == "__main__":
+    main()
