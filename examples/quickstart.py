@@ -21,7 +21,6 @@ from repro.core.scheduler import EnergyAwareScheduler
 from repro.harness.experiment import run_application
 from repro.harness.report import format_table, heading
 from repro.harness.suite import get_characterization
-from repro.runtime.kernel import Kernel
 from repro.soc.cost_model import KernelCostModel
 from repro.soc.spec import haswell_desktop
 from repro.workloads.base import InvocationSpec, Workload

@@ -106,14 +106,14 @@ class HintedEnergyAwareScheduler(EnergyAwareScheduler):
     # -- base-class hook ----------------------------------------------------------
 
     def _derive_alpha(self, aggregate: ProfileAggregate,
-                      remaining_items: float, total_items: float):
+                      remaining_items: float, total_items: float, key: str):
         """Capture profiled throughputs per kernel for the hint model."""
-        alpha, category = super()._derive_alpha(
-            aggregate, remaining_items, total_items)
+        alpha, category, sanity_note = super()._derive_alpha(
+            aggregate, remaining_items, total_items, key)
         if self._active_key is not None:
             self._profiled[self._active_key] = (
                 aggregate.cpu_throughput, aggregate.gpu_throughput, category)
-        return alpha, category
+        return alpha, category, sanity_note
 
     # -- internals ------------------------------------------------------------------
 

@@ -103,6 +103,12 @@ class KernelTableEntry:
     #: network BFS launches a 1-item frontier first, and pinning the
     #: whole application to the CPU because of it would be absurd.
     provisional: bool = False
+    #: True when the alpha was derived while the scheduler observed
+    #: device faults (failed/retried GPU launches, insane throughput
+    #: readings).  Quarantined entries are never reused for scheduling
+    #: and never dilute a clean entry - one bad profile must not poison
+    #: every future invocation of the kernel.
+    quarantined: bool = False
 
     def accumulate(self, alpha: float, weight: float) -> None:
         """Sample-weighted running average of alpha."""
@@ -130,11 +136,14 @@ class KernelTable:
 
     def record(self, key: str, alpha: float, weight: float,
                category: Optional[WorkloadCategory] = None,
-               provisional: bool = False) -> KernelTableEntry:
+               provisional: bool = False,
+               quarantined: bool = False) -> KernelTableEntry:
         """First-time record, or sample-weighted accumulation thereafter.
 
         A profiled (non-provisional) record replaces a provisional one
-        outright instead of averaging with it.
+        outright instead of averaging with it.  Quarantined records
+        (derived under observed faults) never dilute a clean entry, and
+        the first clean record replaces a quarantined one outright.
         """
         if not 0.0 <= alpha <= 1.0:
             raise SchedulingError(f"alpha {alpha} outside [0, 1]")
@@ -142,13 +151,19 @@ class KernelTable:
         if entry is None:
             entry = KernelTableEntry(alpha=alpha, weight=weight,
                                      category=category, provisional=provisional,
-                                     derived_at_items=weight)
+                                     derived_at_items=weight,
+                                     quarantined=quarantined)
             self._entries[key] = entry
-        elif entry.provisional and not provisional:
+        elif quarantined and not entry.quarantined:
+            # Fault-tainted observations must not poison a clean entry.
+            pass
+        elif (entry.provisional and not provisional) or \
+                (entry.quarantined and not quarantined):
             entry.alpha = alpha
             entry.weight = weight
             entry.category = category
-            entry.provisional = False
+            entry.provisional = provisional
+            entry.quarantined = False
             entry.derived_at_items = weight
         elif provisional and not entry.provisional:
             # A small-N CPU-only fast-path record carries no information

@@ -3,7 +3,8 @@
 Per kernel invocation:
 
 1. If the GPU is busy with other work (performance counter A26),
-   execute entirely on the CPU (Section 5).
+   execute entirely on the CPU (Section 5).  The check is debounced:
+   a transiently flapping counter must not needlessly forfeit the GPU.
 2. If table G already holds an alpha for this kernel, reuse it for all
    N iterations (lines 2-4).
 3. If N is below GPU_PROFILE_SIZE, run CPU-alone and record alpha=0
@@ -23,13 +24,25 @@ Per kernel invocation:
 The scheduler's own decision cost (the alpha grid search) is measured
 with the host's performance clock; the paper reports 1-2 microseconds
 per invocation and our benchmark harness tracks the same quantity.
+
+**Resilience** (see docs/ROBUSTNESS.md): every GPU interaction may
+raise :class:`~repro.errors.GpuFaultError` on a faulty platform.
+Failed profiling chunks are retried with bounded backoff; a per-kernel
+fault budget triggers graceful degradation to CPU-only execution
+(sticky, recorded as ``notes=["gpu-faulted-fallback"]``);
+:meth:`EnergyAwareScheduler._derive_alpha` rejects NaN/zero/absurd
+throughput readings and falls back to the last-known-good table-G
+alpha; alphas derived under observed faults are quarantined in table G
+so one bad profile cannot poison future invocations; and a watchdog
+caps the number of profiling rounds per invocation.
 """
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.characterization import PlatformCharacterization
 from repro.core.classification import ClassificationInputs, OnlineClassifier
@@ -37,8 +50,16 @@ from repro.core.metrics import EnergyMetric
 from repro.core.optimizer import DEFAULT_ALPHA_STEP, AlphaOptimizer
 from repro.core.profiling import KernelTable, ProfileAggregate
 from repro.core.time_model import ExecutionTimeModel
-from repro.errors import SchedulingError
-from repro.runtime.runtime import KernelLaunch, SchedulerRecord
+from repro.errors import GpuFaultError
+from repro.runtime.runtime import KernelLaunch, ProfileObservation, SchedulerRecord
+
+#: Throughputs above this (items/s) are treated as sensor garbage.
+MAX_SANE_THROUGHPUT = 1e15
+
+#: Note recorded whenever the scheduler degrades to CPU-only because
+#: of GPU faults (per-kernel fault budget exhausted, or a faulted
+#: partitioned phase drained on the CPU).
+GPU_FAULTED_FALLBACK = "gpu-faulted-fallback"
 
 
 @dataclass
@@ -69,6 +90,45 @@ class EasConfig:
     #: Override the platform's GPU_PROFILE_SIZE (None = use spec).
     gpu_profile_size: Optional[int] = None
 
+    # -- resilience knobs (docs/ROBUSTNESS.md) -----------------------------------
+
+    #: Retries for one failed GPU profiling chunk (0 = no retry).
+    max_profile_retries: int = 2
+    #: Simulated idle backoff before a retry; grows linearly with the
+    #: attempt number.  Defaults to 0 (immediate retry): on an
+    #: integrated part an idle backoff drops the package into its
+    #: low-power state, and the post-idle DVFS ramp costs far more than
+    #: the backoff buys.  Raise it on platforms whose transients need
+    #: settle time.
+    retry_backoff_s: float = 0.0
+    #: After any observed GPU fault, route *new* invocations of that
+    #: kernel to the CPU for this long (a circuit-breaker half-open
+    #: window).  Defaults to 0 (disabled): on the integrated platform a
+    #: cooldown makes many-tiny-invocation workloads alternate between
+    #: GPU and CPU execution, and every alternation pays the package's
+    #: post-idle DVFS ramp tax - measured campaigns show the cooldown
+    #: *raising* EDP under faults.  The knob remains for discrete-GPU
+    #: style platforms where backing off a flaky device is cheap.
+    fault_cooldown_s: float = 0.0
+    #: Per-kernel GPU-fault budget with leaky-bucket semantics: every
+    #: observed fault fills the bucket by one, every successful GPU
+    #: operation drains it by one.  When the bucket reaches this level
+    #: the kernel degrades to CPU-only execution for the rest of the
+    #: run (sticky).  Transient faults on a mostly-healthy GPU never
+    #: exhaust it; a dead GPU exhausts it after ~budget consecutive
+    #: failures, bounding the total time wasted on a lost cause.
+    fault_budget: int = 8
+    #: Watchdog cap on profiling rounds per invocation - a faulty
+    #: platform must not trap the scheduler in an endless profile loop.
+    max_profile_rounds: int = 12
+    #: Re-reads of a busy ``gpu_busy`` counter before trusting it
+    #: (debounce against transient flapping; 0 = trust the first read).
+    gpu_busy_rechecks: int = 1
+    #: Idle pause between ``gpu_busy`` re-reads.  An immediate re-read
+    #: (0.0, the default) already filters a transient flap; a positive
+    #: pause trades simulated time for robustness to longer glitches.
+    gpu_busy_recheck_idle_s: float = 0.0
+
 
 @dataclass
 class EasDecision:
@@ -82,6 +142,8 @@ class EasDecision:
     gpu_throughput: Optional[float] = None
     #: Host-side cost of the scheduling computation itself, seconds.
     decision_overhead_s: float = 0.0
+    #: GPU faults the scheduler observed while serving this invocation.
+    faults_observed: int = 0
 
 
 class EnergyAwareScheduler:
@@ -98,6 +160,16 @@ class EnergyAwareScheduler:
         self.table = KernelTable()
         self.optimizer = AlphaOptimizer(metric=metric, step=self.config.alpha_step)
         self.decisions: list = []
+        #: Leaky-bucket fault level per kernel key (faults fill,
+        #: successes drain; degradation triggers at the budget).
+        self.fault_counts: Dict[str, int] = {}
+        #: Lifetime GPU-fault totals per kernel key (diagnostics only).
+        self.fault_totals: Dict[str, int] = {}
+        #: Kernels whose fault budget is exhausted: CPU-only from now on.
+        self.degraded_kernels: Set[str] = set()
+        #: Per-kernel circuit-breaker: simulated time before which new
+        #: invocations stay on the CPU after an observed GPU fault.
+        self.gpu_retry_after: Dict[str, float] = {}
 
     # -- SchedulerProtocol ---------------------------------------------------------
 
@@ -105,109 +177,300 @@ class EnergyAwareScheduler:
         key = launch.kernel.key
         self.table.note_invocation(key)
 
-        # GPU busy with other work: CPU-alone fallback (Section 5).
-        if launch.processor.gpu_busy:
+        # GPU busy with other work: CPU-alone fallback (Section 5),
+        # debounced against transient counter flapping.
+        if self._gpu_busy_debounced(launch):
             launch.run_cpu_only()
             return SchedulerRecord(alpha=0.0, notes=["gpu-busy-fallback"])
 
-        profile_size_early = (self.config.gpu_profile_size
-                              or launch.processor.spec.gpu_profile_size)
+        # Fault budget exhausted earlier: the GPU is not to be trusted
+        # for this kernel any more.  Graceful degradation, not a crash.
+        # A kernel still inside its post-fault cooldown window gets the
+        # same CPU-only treatment, but only until the window closes.
+        if (key in self.degraded_kernels
+                or launch.processor.now < self.gpu_retry_after.get(key, 0.0)):
+            launch.run_cpu_only()
+            self._record_decision(alpha=0.0, category=None, from_table=True,
+                                  rounds=0)
+            return SchedulerRecord(alpha=0.0, notes=[GPU_FAULTED_FALLBACK])
+
+        profile_size = (self.config.gpu_profile_size
+                        or launch.processor.spec.gpu_profile_size)
+
         # Lines 2-4: reuse alpha from table G.  Provisional entries
         # (small-N fast path) are only reused for further small
         # launches; a launch big enough to profile supersedes them, as
         # does one far larger than the entry was derived from.
+        # Quarantined entries (derived under faults) are never reused.
         entry = self.table.lookup(key)
-        if entry is not None and launch.n_items >= profile_size_early:
+        if entry is not None and entry.quarantined:
+            entry = None
+        if entry is not None and launch.n_items >= profile_size:
             outgrown = launch.n_items > (self.config.reprofile_growth
                                          * max(entry.derived_at_items, 1.0))
             if entry.provisional or outgrown:
                 entry = None
         if entry is not None and not self.config.always_reprofile:
-            launch.run_partitioned(entry.alpha)
-            self.decisions.append(EasDecision(
-                alpha=entry.alpha,
-                category_code=(entry.category.short_code
-                               if entry.category else None),
-                from_table=True, profile_rounds=0))
-            return SchedulerRecord(alpha=entry.alpha, profiled=False)
+            record = self._run_remainder(launch, key, entry.alpha)
+            self._record_decision(alpha=record.alpha,
+                                  category=entry.category,
+                                  from_table=True, rounds=0)
+            record.profiled = False
+            return record
 
         # Lines 6-10: too little parallelism for the GPU at all.
-        profile_size = (self.config.gpu_profile_size
-                        or launch.processor.spec.gpu_profile_size)
         if launch.n_items < profile_size:
             launch.run_cpu_only()
             self.table.record(key, alpha=0.0, weight=launch.n_items,
                               provisional=True)
-            self.decisions.append(EasDecision(
-                alpha=0.0, category_code=None, from_table=False,
-                profile_rounds=0))
+            self._record_decision(alpha=0.0, category=None, from_table=False,
+                                  rounds=0)
             return SchedulerRecord(alpha=0.0, profiled=False,
                                    notes=["small-n-cpu-only"])
 
-        # Lines 13-22: repeated profiling for half of the iterations.
+        # Lines 13-22: repeated profiling for half of the iterations,
+        # capped by the round watchdog on hostile platforms.
         aggregate = ProfileAggregate()
         profiling_time = 0.0
         chunk = float(profile_size)
-        alpha = None
+        alpha: Optional[float] = None
         category = None
+        sanity_note: Optional[str] = None
+        faulted = False
         decision_overhead = 0.0
         keep_profiling_above = launch.n_items * (1.0 - self.config.profile_fraction)
-        while launch.remaining_items > keep_profiling_above:
+        while (launch.remaining_items > keep_profiling_above
+               and aggregate.num_rounds < self.config.max_profile_rounds):
             # Never hand the GPU more than half the remainder: a
             # profiling round must leave work for the partitioned run.
             chunk_now = min(chunk, launch.remaining_items * 0.5)
             if chunk_now < 64.0:
                 break
-            observation = launch.profile_chunk(chunk_now)
+            observation, had_fault = self._profile_with_retry(launch, key,
+                                                              chunk_now)
+            faulted = faulted or had_fault
+            if observation is None:
+                if key in self.degraded_kernels:
+                    # Fault budget exhausted: the GPU really is gone.
+                    return self._degrade(launch, key, aggregate,
+                                         profiling_time)
+                # Retries exhausted but budget remains: keep trying -
+                # each failure fills the leaky bucket, so this persists
+                # for at most ~budget attempts before degrading.
+                continue
             profiling_time += observation.cpu_time_s
             aggregate.add(observation)
             t_host = time.perf_counter()
             prev_alpha = alpha
-            alpha, category = self._derive_alpha(
-                aggregate, launch.remaining_items, launch.n_items)
+            alpha, category, sanity_note = self._derive_alpha(
+                aggregate, launch.remaining_items, launch.n_items, key)
             decision_overhead += time.perf_counter() - t_host
             chunk *= self.config.chunk_growth
             if (prev_alpha is not None
                     and abs(alpha - prev_alpha) <= self.config.convergence_tolerance):
                 break
 
-        if alpha is None:
-            # The while loop never ran (e.g. N barely above the profile
-            # size): take a single minimal profiling round.
-            observation = launch.profile_chunk(
-                min(chunk, launch.remaining_items * 0.5))
+        while alpha is None:
+            # No successful profiling round yet - either the while loop
+            # never ran (e.g. N barely above the profile size, or a
+            # pathological profile fraction) or every round faulted
+            # without exhausting the budget.  Take a minimal round,
+            # persisting until it succeeds or the budget is gone.
+            # Clamp the chunk to the 64-item floor used in the main
+            # loop so a tiny remainder cannot trip profile_chunk's
+            # positivity check.
+            chunk_now = max(64.0, min(chunk, launch.remaining_items * 0.5))
+            observation, had_fault = self._profile_with_retry(launch, key,
+                                                              chunk_now)
+            faulted = faulted or had_fault
+            if observation is None:
+                if key in self.degraded_kernels:
+                    return self._degrade(launch, key, aggregate,
+                                         profiling_time)
+                continue
             profiling_time += observation.cpu_time_s
             aggregate.add(observation)
             t_host = time.perf_counter()
-            alpha, category = self._derive_alpha(
-                aggregate, launch.remaining_items, launch.n_items)
+            alpha, category, sanity_note = self._derive_alpha(
+                aggregate, launch.remaining_items, launch.n_items, key)
             decision_overhead += time.perf_counter() - t_host
 
-        # Lines 23-25: partitioned execution of the remainder.
-        if launch.remaining_items > 0:
-            launch.run_partitioned(alpha)
+        faulted = faulted or sanity_note is not None
 
-        # Line 26: sample-weighted accumulation into G.
+        # Lines 23-25: partitioned execution of the remainder.
+        record = self._run_remainder(launch, key, alpha)
+        fell_back = GPU_FAULTED_FALLBACK in record.notes
+        faulted = faulted or fell_back
+
+        # Line 26: sample-weighted accumulation into G.  An alpha
+        # derived while faults were observed is quarantined: recorded
+        # for diagnostics, never reused, never diluting a clean entry.
         self.table.record(key, alpha=alpha, weight=launch.n_items,
-                          category=category)
+                          category=category, quarantined=faulted)
+        self._record_decision(
+            alpha=record.alpha, category=category, from_table=False,
+            rounds=aggregate.num_rounds,
+            cpu_throughput=aggregate.cpu_throughput,
+            gpu_throughput=aggregate.gpu_throughput,
+            decision_overhead=decision_overhead,
+            faults=self.fault_totals.get(key, 0))
+        record.profiled = True
+        record.profile_rounds = aggregate.num_rounds
+        record.profiling_time_s = profiling_time
+        if category is not None:
+            record.notes.insert(0, f"category={category.short_code}")
+        if sanity_note is not None:
+            record.notes.append(sanity_note)
+        return record
+
+    # -- resilience internals ------------------------------------------------------
+
+    def _gpu_busy_debounced(self, launch: KernelLaunch) -> bool:
+        """A26 check that a transiently flapping counter cannot spoof.
+
+        A clean read costs nothing; only a busy reading triggers the
+        (cheap) re-check loop.
+        """
+        if not launch.processor.gpu_busy:
+            return False
+        for _ in range(max(0, self.config.gpu_busy_rechecks)):
+            if self.config.gpu_busy_recheck_idle_s > 0.0:
+                launch.processor.idle(self.config.gpu_busy_recheck_idle_s)
+            if not launch.processor.gpu_busy:
+                return False
+        return True
+
+    def _register_fault(self, launch: KernelLaunch, key: str) -> bool:
+        """Fill the kernel's fault bucket; True when the budget is gone.
+
+        Every fault also arms the circuit-breaker cooldown: new
+        invocations of this kernel stay CPU-only until it expires.
+        """
+        count = self.fault_counts.get(key, 0) + 1
+        self.fault_counts[key] = count
+        self.fault_totals[key] = self.fault_totals.get(key, 0) + 1
+        self.gpu_retry_after[key] = (launch.processor.now
+                                     + self.config.fault_cooldown_s)
+        if count >= self.config.fault_budget:
+            self.degraded_kernels.add(key)
+            return True
+        return False
+
+    def _register_success(self, key: str) -> None:
+        """A successful GPU operation drains the leaky fault bucket."""
+        count = self.fault_counts.get(key, 0)
+        if count > 0:
+            self.fault_counts[key] = count - 1
+
+    def _profile_with_retry(
+            self, launch: KernelLaunch, key: str, chunk: float,
+    ) -> "Tuple[Optional[ProfileObservation], bool]":
+        """One profiling round with bounded retry-with-backoff.
+
+        An observation in which the GPU made *zero progress* on a
+        nonzero chunk is itself a fault manifestation (a hung or lying
+        device): it is discarded and retried, never averaged into the
+        throughput estimates.  Returns ``(observation, had_fault)``;
+        observation is None when the retries (or the kernel's whole
+        fault budget) are exhausted and the caller must degrade to
+        CPU-only execution.
+        """
+        had_fault = False
+        attempts = max(0, self.config.max_profile_retries) + 1
+        for attempt in range(attempts):
+            try:
+                observation = launch.profile_chunk(chunk)
+            except GpuFaultError:
+                observation = None
+            if observation is not None and observation.gpu_items > 0.0:
+                self._register_success(key)
+                return observation, had_fault
+            had_fault = True
+            if self._register_fault(launch, key):
+                return None, True
+            self._backoff(launch, attempt)
+        return None, True
+
+    def _backoff(self, launch: KernelLaunch, attempt: int) -> None:
+        backoff = self.config.retry_backoff_s * (attempt + 1)
+        if backoff > 0.0:
+            launch.processor.idle(backoff)
+
+    def _run_remainder(self, launch: KernelLaunch, key: str,
+                       alpha: float) -> SchedulerRecord:
+        """Run everything still pooled at ``alpha``, surviving GPU faults.
+
+        A faulted partitioned phase leaves its items pooled: the launch
+        is retried until it succeeds or the kernel's fault budget runs
+        out (a transient failure must not forfeit the GPU - and its
+        characterized gains - for a whole remainder), after which the
+        remainder is drained on the CPU and the invocation flagged, so
+        the runtime's all-items-processed contract holds on any
+        platform.
+        """
+        notes: List[str] = []
+        if launch.remaining_items > 0 and alpha > 0.0:
+            attempt = 0
+            while True:
+                try:
+                    launch.run_partitioned(alpha)
+                    self._register_success(key)
+                    return SchedulerRecord(alpha=alpha, notes=notes)
+                except GpuFaultError:
+                    if self._register_fault(launch, key):
+                        break
+                    self._backoff(launch, attempt)
+                    attempt += 1
+            if not launch.is_done:
+                launch.run_cpu_only()
+            alpha = 0.0
+            notes.append(GPU_FAULTED_FALLBACK)
+        elif launch.remaining_items > 0:
+            launch.run_partitioned(alpha)
+        return SchedulerRecord(alpha=alpha, notes=notes)
+
+    def _degrade(self, launch: KernelLaunch, key: str,
+                 aggregate: ProfileAggregate,
+                 profiling_time: float) -> SchedulerRecord:
+        """Graceful degradation: drain the remainder on the CPU."""
+        self.degraded_kernels.add(key)
+        if not launch.is_done:
+            launch.run_cpu_only()
+        self._record_decision(alpha=0.0, category=None, from_table=False,
+                              rounds=aggregate.num_rounds,
+                              faults=self.fault_totals.get(key, 0))
+        return SchedulerRecord(alpha=0.0, profiled=True,
+                               profile_rounds=aggregate.num_rounds,
+                               profiling_time_s=profiling_time,
+                               notes=[GPU_FAULTED_FALLBACK])
+
+    def _record_decision(self, alpha: float, category, from_table: bool,
+                         rounds: int, cpu_throughput: Optional[float] = None,
+                         gpu_throughput: Optional[float] = None,
+                         decision_overhead: float = 0.0,
+                         faults: int = 0) -> None:
         self.decisions.append(EasDecision(
             alpha=alpha,
             category_code=category.short_code if category else None,
-            from_table=False,
-            profile_rounds=aggregate.num_rounds,
-            cpu_throughput=aggregate.cpu_throughput,
-            gpu_throughput=aggregate.gpu_throughput,
-            decision_overhead_s=decision_overhead))
-        return SchedulerRecord(
-            alpha=alpha, profiled=True,
-            profile_rounds=aggregate.num_rounds,
-            profiling_time_s=profiling_time,
-            notes=[f"category={category.short_code}" if category else "?"])
+            from_table=from_table,
+            profile_rounds=rounds,
+            cpu_throughput=cpu_throughput,
+            gpu_throughput=gpu_throughput,
+            decision_overhead_s=decision_overhead,
+            faults_observed=faults))
 
     # -- internals ---------------------------------------------------------------
 
+    @staticmethod
+    def _sane_throughput(value: float) -> float:
+        """Clamp a throughput reading to [0, sane); garbage becomes 0."""
+        if not math.isfinite(value) or value < 0.0 or value >= MAX_SANE_THROUGHPUT:
+            return 0.0
+        return value
+
     def _derive_alpha(self, aggregate: ProfileAggregate,
-                      remaining_items: float, total_items: float):
+                      remaining_items: float, total_items: float,
+                      key: str) -> "Tuple[float, object, Optional[str]]":
         """Classify, select the power curve, and minimize the objective.
 
         T(alpha) is linear in N, so the argmin over alpha does not
@@ -215,15 +478,28 @@ class EnergyAwareScheduler:
         the pool (tiny invocations), a nominal fraction of the full
         invocation keeps the model non-degenerate instead of letting
         every objective tie at zero.
+
+        Returns ``(alpha, category, sanity_note)``.  On insane inputs
+        (NaN/zero/absurd throughputs - a faulty counter bank, a dud GPU
+        launch) the sanity_note explains the fallback taken: the
+        last-known-good table-G alpha when one exists, CPU-only
+        otherwise.  This method never raises on bad measurements.
         """
-        r_c = aggregate.cpu_throughput
-        r_g = aggregate.gpu_throughput
-        if r_c <= 0 and r_g <= 0:
-            raise SchedulingError("profiling observed no progress on either device")
+        r_c = self._sane_throughput(aggregate.cpu_throughput)
+        r_g = self._sane_throughput(aggregate.gpu_throughput)
+        if r_c <= 0.0 and r_g <= 0.0:
+            # Profiling observed no progress on either device: the
+            # observations are unusable.  Fall back to the last-known-
+            # good table entry, else to the CPU-only safe default.
+            entry = self.table.lookup(key)
+            if (entry is not None and not entry.provisional
+                    and not entry.quarantined):
+                return entry.alpha, entry.category, "alpha-from-last-good"
+            return 0.0, None, "alpha-fallback-cpu-only"
         n_model = max(remaining_items, 0.25 * total_items, 1.0)
         inputs = ClassificationInputs(
-            l3_misses=aggregate.l3_misses,
-            loadstore_instructions=aggregate.loadstore_instructions,
+            l3_misses=max(0.0, aggregate.l3_misses),
+            loadstore_instructions=max(0.0, aggregate.loadstore_instructions),
             cpu_throughput=r_c,
             gpu_throughput=r_g,
             remaining_items=n_model)
@@ -232,4 +508,4 @@ class EnergyAwareScheduler:
         model = ExecutionTimeModel(cpu_throughput=r_c, gpu_throughput=r_g,
                                    n_items=n_model)
         alpha, _ = self.optimizer.best_alpha(curve, model)
-        return alpha, category
+        return alpha, category, None

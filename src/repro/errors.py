@@ -25,6 +25,16 @@ class CounterError(ReproError):
     """A performance counter was misused (e.g. stopped before started)."""
 
 
+class GpuFaultError(ReproError):
+    """A GPU launch failed or hung (transient device-level fault).
+
+    Raised by the fault-injection substrate (:mod:`repro.soc.faults`)
+    in place of a completed phase.  Schedulers that talk to the GPU
+    must treat this as a recoverable condition: the offloaded items
+    remain in the shared pool and can be retried or drained on the CPU.
+    """
+
+
 class RuntimeLayerError(ReproError):
     """The parallel_for runtime layer was misused."""
 

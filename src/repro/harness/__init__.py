@@ -6,10 +6,17 @@
   comparisons, and Oracle-relative efficiency tables (Figs. 9-12);
 * :mod:`repro.harness.figures` - one regenerator per paper table and
   figure;
+* :mod:`repro.harness.chaos` - the robustness chaos campaign: EAS on a
+  fault-injecting SoC across a swept fault level (docs/ROBUSTNESS.md);
 * :mod:`repro.harness.report` - ASCII rendering of tables and series;
 * :mod:`repro.harness.cli` - ``python -m repro.harness --figure N``.
 """
 
+from repro.harness.chaos import (
+    ChaosCampaignResult,
+    ChaosCell,
+    run_chaos_campaign,
+)
 from repro.harness.experiment import ApplicationRun, run_application
 from repro.harness.suite import (
     AlphaSweep,
@@ -23,6 +30,9 @@ from repro.harness.suite import (
 __all__ = [
     "ApplicationRun",
     "run_application",
+    "ChaosCampaignResult",
+    "ChaosCell",
+    "run_chaos_campaign",
     "AlphaSweep",
     "sweep_alphas",
     "StrategyOutcome",

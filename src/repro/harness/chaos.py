@@ -1,0 +1,295 @@
+"""Chaos campaign: the EAS runtime under swept fault injection.
+
+The campaign runs a workload suite on a :class:`~repro.soc.faults.FaultySoC`
+at increasing fault levels and asserts the robustness invariants the
+hardened runtime guarantees (see docs/ROBUSTNESS.md):
+
+1. **no unhandled exception** - every cell completes; faults surface
+   as fallbacks and quarantines, never as crashes;
+2. **no lost work** - every invocation processes all N items (the
+   runtime's ``parallel_for`` contract), verified against the
+   simulator's ground-truth counters;
+3. **bounded degradation** - EAS-under-faults EDP stays at or below
+   the clean CPU-alone baseline's EDP at every fault level: at worst
+   the scheduler degrades *to* the CPU, it never does worse than
+   having had no GPU at all;
+4. **determinism** - the same campaign run twice with the same seed
+   produces byte-identical results (:meth:`ChaosCampaignResult.fingerprint`).
+
+Cell metrics come from the simulator's *ground truth* (``inner.now``,
+``inner.msr.lifetime_joules``), not from the software-visible MSR
+reads: under MSR fault injection the software measurement itself is
+corrupted, and an experiment must not let a broken sensor grade its
+own homework.  Each cell also records the software-*measured* energy
+so the discrepancy is visible in reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.baselines import CpuOnlyScheduler
+from repro.core.metrics import EDP, EnergyMetric
+from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.errors import ReproError
+from repro.harness.report import format_table, heading
+from repro.harness.suite import get_characterization
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.faults import FaultConfig, FaultySoC
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import PlatformSpec, haswell_desktop
+from repro.workloads.base import Workload
+from repro.workloads.registry import workload_by_abbrev
+
+#: Default fault-probability sweep (the campaign's x-axis).
+DEFAULT_FAULT_LEVELS: Tuple[float, ...] = (0.0, 0.1, 0.25, 0.5)
+
+#: Default campaign workloads: four suite applications spanning single-
+#: and many-invocation launch structures.  (FD is excluded by design:
+#: even fault-free, EAS trails plain CPU execution on it - the paper's
+#: known miss - so it cannot carry a degradation *bound* against the
+#: CPU baseline.)
+DEFAULT_WORKLOADS: Tuple[str, ...] = ("MB", "BS", "MM", "RT")
+
+
+def cell_seed(campaign_seed: int, workload: str, level: float) -> int:
+    """Deterministic per-cell fault seed (stable across processes)."""
+    tag = f"{campaign_seed}:{workload}:{level:.6f}".encode()
+    return zlib.crc32(tag) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One (workload, fault level) cell of the campaign."""
+
+    workload: str
+    fault_level: float
+    ok: bool
+    error: str = ""
+    #: Ground-truth wall time and energy of the whole application.
+    time_s: float = 0.0
+    energy_j: float = 0.0
+    #: Energy as read through the (possibly faulty) software MSR
+    #: protocol - may disagree with ground truth under MSR faults.
+    measured_energy_j: float = 0.0
+    items_expected: float = 0.0
+    items_processed: float = 0.0
+    invocations: int = 0
+    #: Invocations that ended in a GPU-fault CPU fallback.
+    fallback_invocations: int = 0
+    #: Kernels whose fault budget was exhausted (sticky degradation).
+    degraded_kernels: int = 0
+    #: Injected fault counts by kind, from the substrate's fault log.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def edp(self) -> float:
+        return self.energy_j * self.time_s
+
+    @property
+    def all_items_processed(self) -> bool:
+        return abs(self.items_processed - self.items_expected) <= max(
+            1e-6 * self.items_expected, 1e-6)
+
+    def canonical(self) -> str:
+        """Byte-stable serialization for the determinism fingerprint."""
+        counts = ",".join(f"{k}={v}" for k, v in sorted(self.fault_counts.items()))
+        return (f"{self.workload}|{self.fault_level!r}|{self.ok}|{self.error}|"
+                f"{self.time_s!r}|{self.energy_j!r}|{self.measured_energy_j!r}|"
+                f"{self.items_processed!r}|{self.invocations}|"
+                f"{self.fallback_invocations}|{self.degraded_kernels}|{counts}")
+
+
+@dataclass
+class ChaosCampaignResult:
+    """Full sweep: workloads x fault levels, plus clean CPU baselines."""
+
+    platform: str
+    seed: int
+    levels: List[float]
+    workloads: List[str]
+    #: Clean CPU-alone (time_s, energy_j) per workload.
+    cpu_baselines: Dict[str, Tuple[float, float]]
+    cells: List[ChaosCell]
+
+    # -- invariants -------------------------------------------------------------
+
+    @property
+    def all_ok(self) -> bool:
+        """Invariant 1: every cell completed without an exception."""
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def all_items_processed(self) -> bool:
+        """Invariant 2: no invocation lost work, at any fault level."""
+        return all(cell.all_items_processed for cell in self.cells if cell.ok)
+
+    def cpu_edp(self, workload: str) -> float:
+        time_s, energy_j = self.cpu_baselines[workload]
+        return energy_j * time_s
+
+    def edp_bound_violations(self) -> List[ChaosCell]:
+        """Invariant 3: cells whose EDP exceeds the CPU-alone baseline."""
+        return [cell for cell in self.cells
+                if cell.ok and cell.edp > self.cpu_edp(cell.workload)]
+
+    @property
+    def edp_bounded(self) -> bool:
+        return not self.edp_bound_violations()
+
+    def fingerprint(self) -> str:
+        """Invariant 4: byte-identical reruns hash identically."""
+        payload = "\n".join([
+            f"{self.platform}|{self.seed}",
+            *(f"{w}|{t!r}|{e!r}" for w, (t, e) in sorted(self.cpu_baselines.items())),
+            *(cell.canonical() for cell in self.cells),
+        ])
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def total_fault_counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for cell in self.cells:
+            for kind, count in cell.fault_counts.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def render(self) -> str:
+        rows = []
+        for cell in self.cells:
+            status = "ok" if cell.ok else f"FAILED: {cell.error}"
+            ratio = (cell.edp / self.cpu_edp(cell.workload)
+                     if cell.ok and self.cpu_edp(cell.workload) > 0 else float("nan"))
+            rows.append((
+                cell.workload, f"{cell.fault_level:.2f}",
+                cell.fault_counts and sum(cell.fault_counts.values()) or 0,
+                cell.fallback_invocations, cell.degraded_kernels,
+                cell.edp if cell.ok else float("nan"), ratio, status))
+        table = format_table(
+            ["workload", "fault p", "faults", "fallbacks", "degraded",
+             "EDP (J*s)", "EDP / CPU", "status"], rows, float_digits=3)
+        invariants = [
+            f"no unhandled exceptions: {'PASS' if self.all_ok else 'FAIL'}",
+            f"all items processed:     "
+            f"{'PASS' if self.all_items_processed else 'FAIL'}",
+            f"EDP <= CPU baseline:     {'PASS' if self.edp_bounded else 'FAIL'}",
+            f"fingerprint: {self.fingerprint()}",
+        ]
+        totals = ", ".join(f"{k}={v}" for k, v in
+                           sorted(self.total_fault_counts().items())) or "none"
+        return "\n".join([
+            heading(f"Chaos campaign on {self.platform} (seed {self.seed})"),
+            table,
+            "",
+            f"injected faults: {totals}",
+            "",
+            *invariants,
+        ])
+
+
+def run_chaos_cell(spec: PlatformSpec, workload: Workload, characterization,
+                   fault_level: float, seed: int,
+                   metric: EnergyMetric = EDP,
+                   eas_config: Optional[EasConfig] = None) -> ChaosCell:
+    """One workload under EAS on a faulty SoC at one fault level.
+
+    Any :class:`ReproError` escaping the runtime marks the cell failed
+    (invariant 1 is *asserted by the caller*, not hidden here).
+    """
+    inner = IntegratedProcessor(spec)
+    faulty = FaultySoC(inner, FaultConfig.from_level(fault_level, seed=seed))
+    runtime = ConcordRuntime(faulty)
+    scheduler = EnergyAwareScheduler(characterization, metric,
+                                    config=eas_config)
+    kernel = workload.make_kernel()
+    invocations = workload.invocations()
+    expected = sum(inv.n_items for inv in invocations)
+
+    t0 = inner.now
+    e0 = inner.msr.lifetime_joules
+    counters0 = inner.snapshot_counters()
+    msr0 = faulty.read_energy_msr()
+    fallbacks = 0
+    processed = 0.0
+    try:
+        for inv in invocations:
+            result = runtime.parallel_for(kernel, inv.n_items, scheduler)
+            if "gpu-faulted-fallback" in result.notes:
+                fallbacks += 1
+    except ReproError as exc:
+        return ChaosCell(workload=workload.abbrev, fault_level=fault_level,
+                         ok=False, error=f"{type(exc).__name__}: {exc}",
+                         items_expected=expected,
+                         fault_counts=faulty.fault_log.kinds())
+    msr1 = faulty.read_energy_msr()
+    counters1 = inner.snapshot_counters()
+    processed = (counters1.cpu_items - counters0.cpu_items
+                 + counters1.gpu_items - counters0.gpu_items)
+    return ChaosCell(
+        workload=workload.abbrev,
+        fault_level=fault_level,
+        ok=True,
+        time_s=inner.now - t0,
+        energy_j=inner.msr.lifetime_joules - e0,
+        measured_energy_j=inner.msr.joules_between(msr0, msr1),
+        items_expected=expected,
+        items_processed=processed,
+        invocations=len(invocations),
+        fallback_invocations=fallbacks,
+        degraded_kernels=len(scheduler.degraded_kernels),
+        fault_counts=faulty.fault_log.kinds(),
+    )
+
+
+def run_chaos_campaign(spec: Optional[PlatformSpec] = None,
+                       workloads: Optional[Sequence[Workload]] = None,
+                       fault_levels: Sequence[float] = DEFAULT_FAULT_LEVELS,
+                       seed: int = 2016,
+                       metric: EnergyMetric = EDP,
+                       eas_config: Optional[EasConfig] = None
+                       ) -> ChaosCampaignResult:
+    """Sweep fault probability over the workload suite under EAS.
+
+    Fully deterministic given ``seed``: per-cell fault streams are
+    derived via :func:`cell_seed`, and every reported quantity comes
+    from the deterministic simulation.
+    """
+    spec = spec or haswell_desktop()
+    if workloads is None:
+        workloads = [workload_by_abbrev(a) for a in DEFAULT_WORKLOADS]
+    characterization = get_characterization(spec)
+
+    cpu_baselines: Dict[str, Tuple[float, float]] = {}
+    for workload in workloads:
+        inner = IntegratedProcessor(spec)
+        runtime = ConcordRuntime(inner)
+        scheduler = CpuOnlyScheduler()
+        kernel = workload.make_kernel()
+        t0, e0 = inner.now, inner.msr.lifetime_joules
+        for inv in workload.invocations():
+            runtime.parallel_for(kernel, inv.n_items, scheduler)
+        cpu_baselines[workload.abbrev] = (inner.now - t0,
+                                          inner.msr.lifetime_joules - e0)
+
+    cells = [
+        run_chaos_cell(spec, workload, characterization, level,
+                       seed=cell_seed(seed, workload.abbrev, level),
+                       metric=metric, eas_config=eas_config)
+        for workload in workloads
+        for level in fault_levels
+    ]
+    return ChaosCampaignResult(
+        platform=spec.name,
+        seed=seed,
+        levels=list(fault_levels),
+        workloads=[w.abbrev for w in workloads],
+        cpu_baselines=cpu_baselines,
+        cells=cells,
+    )
+
+
+def regenerate_chaos() -> ChaosCampaignResult:
+    """Registry entry point: the default desktop chaos campaign."""
+    return run_chaos_campaign()

@@ -34,7 +34,11 @@ from repro.workloads.registry import workload_by_abbrev
 
 
 def _figure_id(number: str) -> str:
-    return f"fig{int(number)}"
+    """Accept a bare figure number or a named experiment id."""
+    try:
+        return f"fig{int(number)}"
+    except ValueError:
+        return number.lower()
 
 
 def _run_custom(args: argparse.Namespace) -> int:
@@ -92,7 +96,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "platforms.")
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--figure", metavar="N",
-                       help="regenerate figure N (1-6, 9-12)")
+                       help="regenerate figure N (1-6, 9-12) or a named "
+                            "experiment (e.g. table1, chaos)")
     group.add_argument("--experiment", metavar="ID",
                        help="regenerate by id (fig1..fig12, table1)")
     group.add_argument("--all", action="store_true",

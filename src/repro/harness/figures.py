@@ -18,21 +18,23 @@ Index (see DESIGN.md for the full mapping):
 * Fig. 10 - desktop energy efficiency vs Oracle
 * Fig. 11 - tablet EDP efficiency vs Oracle
 * Fig. 12 - tablet energy efficiency vs Oracle
+* chaos   - robustness chaos campaign: EAS under swept fault injection
+  (not a paper figure; see docs/ROBUSTNESS.md)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core.categories import all_categories
+from repro.core.categories import WorkloadCategory, all_categories
 from repro.core.characterization import PlatformCharacterization
 from repro.core.classification import ClassificationInputs, OnlineClassifier
 from repro.core.metrics import EDP, ENERGY, EnergyMetric
 from repro.errors import HarnessError
-from repro.harness.experiment import run_application
+from repro.harness.chaos import regenerate_chaos
 from repro.harness.report import format_bar_chart, format_series, format_table, heading
 from repro.harness.suite import (
     AlphaSweep,
@@ -47,9 +49,8 @@ from repro.soc.spec import PlatformSpec, baytrail_tablet, haswell_desktop
 from repro.soc.trace import PowerTrace
 from repro.soc.work import CostProfile, WorkRegion, split_for_offload
 from repro.workloads.base import Workload
-from repro.workloads.microbench import microbench_for, standard_microbenches
+from repro.workloads.microbench import microbench_for
 from repro.workloads.registry import suite_workloads, workload_by_abbrev
-from repro.core.categories import Boundedness, DeviceDuration, WorkloadCategory
 
 #: Sweeps are metric-independent and expensive; cache per process.
 _sweep_cache: Dict[Tuple[str, str], AlphaSweep] = {}
@@ -463,6 +464,7 @@ REGENERATORS = {
     "fig10": regenerate_figure_10,
     "fig11": regenerate_figure_11,
     "fig12": regenerate_figure_12,
+    "chaos": regenerate_chaos,
 }
 
 

@@ -19,11 +19,14 @@ of such a processor:
   bandwidth contention, GPU occupancy and divergence);
 * :mod:`repro.soc.work` - irregular iteration-space work regions;
 * :mod:`repro.soc.simulator` - the virtual-clock execution engine;
-* :mod:`repro.soc.trace` - power/time traces for the paper's figures.
+* :mod:`repro.soc.trace` - power/time traces for the paper's figures;
+* :mod:`repro.soc.faults` - seeded fault injection behind the same
+  software-visible interface (see docs/ROBUSTNESS.md).
 """
 
 from repro.soc.cost_model import KernelCostModel
 from repro.soc.counters import CounterSnapshot, PerfCounters
+from repro.soc.faults import FaultConfig, FaultEvent, FaultLog, FaultySoC
 from repro.soc.msr import EnergyMsr
 from repro.soc.simulator import IntegratedProcessor, PhaseRequest, PhaseResult
 from repro.soc.spec import (
@@ -52,6 +55,10 @@ __all__ = [
     "PerfCounters",
     "CounterSnapshot",
     "EnergyMsr",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultLog",
+    "FaultySoC",
     "IntegratedProcessor",
     "PhaseRequest",
     "PhaseResult",

@@ -38,11 +38,38 @@ class EnergyMsr:
 
     @staticmethod
     def delta_units(before: int, after: int) -> int:
-        """Units elapsed between two raw reads, handling one wraparound."""
+        """Units elapsed between two raw reads, handling one wraparound.
+
+        **Multi-wraparound hazard**: the modular subtraction recovers
+        the true delta only while fewer than 2**32 units elapsed
+        between the reads.  A measurement window long enough for the
+        register to wrap *more than once* silently under-reports by a
+        whole multiple of 2**32 units - the arithmetic cannot detect
+        it, exactly as on real RAPL hardware.  Harness code must keep
+        each window below :meth:`max_window_joules` (on the simulated
+        Haswell unit, 2**32 * 2**-14 J is roughly 262 kJ, or about
+        75 minutes at a 58 W package draw).
+        """
         return (after - before) & _MSR_MASK
 
+    def max_window_joules(self) -> float:
+        """Largest energy a single read/read window can measure safely.
+
+        Windows whose true energy meets or exceeds this bound alias
+        under the 32-bit modular arithmetic of :meth:`delta_units`
+        (see the multi-wraparound hazard note there).  Measurement
+        loops should sample the register often enough that every
+        window stays strictly below this value.
+        """
+        return float(1 << _MSR_BITS) * self.energy_unit_j
+
     def joules_between(self, before: int, after: int) -> float:
-        """Joules elapsed between two raw reads of *this* register."""
+        """Joules elapsed between two raw reads of *this* register.
+
+        Subject to the multi-wraparound hazard of :meth:`delta_units`:
+        callers are responsible for keeping the window below
+        :meth:`max_window_joules`.
+        """
         return self.delta_units(before, after) * self.energy_unit_j
 
     @property

@@ -21,8 +21,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
-
 from repro.errors import WorkloadError
 from repro.soc.cost_model import KernelCostModel
 from repro.workloads.base import InvocationSpec, Workload

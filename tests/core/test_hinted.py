@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.hinted import HintedEnergyAwareScheduler
-from repro.core.metrics import EDP, ENERGY
+from repro.core.metrics import ENERGY
 from repro.core.scheduler import EnergyAwareScheduler
 from repro.errors import SchedulingError, SimulationError
 from repro.harness.experiment import run_application

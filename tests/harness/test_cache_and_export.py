@@ -4,7 +4,6 @@ import os
 
 import pytest
 
-from repro.core.characterization import PlatformCharacterization
 from repro.harness.suite import clear_characterization_cache, get_characterization
 from repro.soc.simulator import IntegratedProcessor, PhaseRequest
 from repro.soc.trace import write_csv

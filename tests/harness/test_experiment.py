@@ -6,7 +6,7 @@ from repro.core.baselines import StaticAlphaScheduler
 from repro.core.metrics import EDP, ENERGY
 from repro.errors import HarnessError
 from repro.harness.experiment import run_application
-from repro.harness.suite import AlphaSweep, sweep_alphas
+from repro.harness.suite import sweep_alphas
 from repro.workloads.registry import workload_by_abbrev
 
 

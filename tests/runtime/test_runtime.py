@@ -112,6 +112,18 @@ class TestConcordRuntime:
         with pytest.raises(SchedulingError):
             runtime.parallel_for(kernel, 1000.0, _LazyScheduler())
 
+    def test_parallel_for_rejects_partial_scheduler(self, runtime, kernel):
+        """A scheduler that consumes *some* items but abandons the rest
+        must trip the all-items-processed contract, not pass silently."""
+
+        class _PartialScheduler:
+            def execute(self, launch):
+                launch.profile_chunk(2048.0)  # consumes a prefix only
+                return SchedulerRecord(alpha=0.5)
+
+        with pytest.raises(SchedulingError, match="unprocessed"):
+            runtime.parallel_for(kernel, 1_000_000.0, _PartialScheduler())
+
     def test_cost_profile_cached_per_kernel_key(self, runtime, kernel):
         first = runtime._cost_profile(kernel)
         second = runtime._cost_profile(kernel)

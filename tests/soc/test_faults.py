@@ -1,0 +1,191 @@
+"""Fault-injection substrate: determinism and per-class behaviour."""
+
+import pytest
+
+from repro.errors import GpuFaultError, SimulationError
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.faults import FaultConfig, FaultySoC
+from repro.soc.simulator import IntegratedProcessor, PhaseRequest
+from repro.soc.work import CostProfile, WorkRegion
+
+
+@pytest.fixture
+def cost():
+    return KernelCostModel(name="faulty-test", instructions_per_item=500.0,
+                           loadstore_fraction=0.2, l3_miss_rate=0.1)
+
+
+def make_faulty(desktop, **config):
+    inner = IntegratedProcessor(desktop)
+    return FaultySoC(inner, FaultConfig(**config))
+
+
+def gpu_request(cost, n=50_000.0):
+    profile = CostProfile(cost)
+    return PhaseRequest(cost=cost, cpu_region=None,
+                        gpu_region=WorkRegion.for_span(profile, n, 0.0, n))
+
+
+def cpu_request(cost, n=50_000.0):
+    profile = CostProfile(cost)
+    return PhaseRequest(cost=cost, gpu_region=None,
+                        cpu_region=WorkRegion.for_span(profile, n, 0.0, n))
+
+
+class TestFaultConfig:
+    def test_rejects_probability_outside_unit_interval(self):
+        with pytest.raises(SimulationError):
+            FaultConfig(msr_glitch_prob=1.5)
+        with pytest.raises(SimulationError):
+            FaultConfig(gpu_hang_prob=-0.1)
+
+    def test_rejects_negative_noise_sigma(self):
+        with pytest.raises(SimulationError):
+            FaultConfig(counter_noise_sigma=-0.5)
+
+    def test_rejects_negative_hang_cost(self):
+        with pytest.raises(SimulationError):
+            FaultConfig(hang_cost_s=-1.0)
+
+    def test_from_level_bounds(self):
+        with pytest.raises(SimulationError):
+            FaultConfig.from_level(1.5)
+        cfg = FaultConfig.from_level(1.0, seed=7)
+        assert cfg.seed == 7
+        assert 0.0 < cfg.gpu_launch_failure_prob <= 1.0
+
+    def test_from_level_zero_is_fault_free(self):
+        cfg = FaultConfig.from_level(0.0)
+        for name in ("msr_glitch_prob", "msr_extra_wrap_prob",
+                     "counter_dropout_prob", "counter_noise_prob",
+                     "gpu_launch_failure_prob", "gpu_hang_prob",
+                     "gpu_zero_progress_prob", "gpu_busy_flap_prob"):
+            assert getattr(cfg, name) == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_stream(self, desktop, cost):
+        def run(seed):
+            faulty = make_faulty(desktop, seed=seed,
+                                 gpu_launch_failure_prob=0.3,
+                                 msr_glitch_prob=0.3,
+                                 counter_noise_prob=0.3)
+            reads, outcomes = [], []
+            for _ in range(30):
+                reads.append(faulty.read_energy_msr())
+                try:
+                    result = faulty.run_phase(gpu_request(cost, 10_000.0))
+                    outcomes.append(round(result.counters.instructions_retired))
+                except GpuFaultError:
+                    outcomes.append(-1)
+            return reads, outcomes, [e.kind for e in faulty.fault_log.events]
+
+        assert run(42) == run(42)
+
+    def test_different_seeds_differ(self, desktop, cost):
+        def kinds(seed):
+            faulty = make_faulty(desktop, seed=seed,
+                                 gpu_launch_failure_prob=0.4)
+            for _ in range(20):
+                try:
+                    faulty.run_phase(gpu_request(cost, 10_000.0))
+                except GpuFaultError:
+                    pass
+            return [e.t for e in faulty.fault_log.events]
+
+        assert kinds(1) != kinds(2)
+
+    def test_fault_free_config_draws_nothing(self, desktop, cost):
+        """probability 0 must not consume RNG draws, so enabling one
+        class never perturbs another class's stream."""
+        faulty = make_faulty(desktop)
+        clean = IntegratedProcessor(desktop)
+        assert faulty.read_energy_msr() == clean.read_energy_msr()
+        fr = faulty.run_phase(gpu_request(cost))
+        cr = clean.run_phase(gpu_request(cost))
+        assert fr.gpu_items == cr.gpu_items
+        assert faulty.fault_log.count() == 0
+
+
+class TestMsrFaults:
+    def test_glitch_corrupts_single_read(self, desktop):
+        faulty = make_faulty(desktop, seed=3, msr_glitch_prob=1.0)
+        glitched = faulty.read_energy_msr()
+        assert glitched != faulty.inner.read_energy_msr() or glitched != 0
+        assert faulty.fault_log.count("msr-glitch") == 1
+
+    def test_extra_wrap_shifts_register_persistently(self, desktop):
+        faulty = make_faulty(desktop, seed=3, msr_extra_wrap_prob=1.0)
+        first = faulty.read_energy_msr()
+        # The 2**32 part of the jump vanishes in the 32-bit mask; the
+        # "plus change" residue persists on every later read.
+        assert first != 0
+        assert faulty.fault_log.count("msr-extra-wrap") >= 1
+
+
+class TestCounterFaults:
+    def test_dropout_zeroes_activity_fields(self, desktop, cost):
+        faulty = make_faulty(desktop, seed=5, counter_dropout_prob=1.0)
+        result = faulty.run_phase(cpu_request(cost))
+        assert result.counters.instructions_retired == 0.0
+        assert result.counters.loadstore_instructions == 0.0
+        assert result.counters.l3_misses == 0.0
+        # Physical work still happened - only the observation dropped.
+        assert result.cpu_items == pytest.approx(50_000.0, rel=1e-6)
+
+    def test_noise_perturbs_but_preserves_sign(self, desktop, cost):
+        faulty = make_faulty(desktop, seed=5, counter_noise_prob=1.0)
+        clean = IntegratedProcessor(desktop).run_phase(cpu_request(cost))
+        noisy = faulty.run_phase(cpu_request(cost))
+        assert noisy.counters.instructions_retired > 0.0
+        assert noisy.counters.instructions_retired != pytest.approx(
+            clean.counters.instructions_retired, rel=1e-9)
+
+
+class TestGpuFaults:
+    def test_launch_failure_raises_and_costs_overhead(self, desktop, cost):
+        faulty = make_faulty(desktop, seed=9, gpu_launch_failure_prob=1.0)
+        t0 = faulty.now
+        with pytest.raises(GpuFaultError):
+            faulty.run_phase(gpu_request(cost))
+        assert faulty.now - t0 >= desktop.gpu.kernel_launch_overhead_s
+
+    def test_hang_burns_watchdog_time(self, desktop, cost):
+        faulty = make_faulty(desktop, seed=9, gpu_hang_prob=1.0,
+                             hang_cost_s=0.004)
+        t0 = faulty.now
+        with pytest.raises(GpuFaultError):
+            faulty.run_phase(gpu_request(cost))
+        assert faulty.now - t0 >= 0.004
+
+    def test_zero_progress_lies_but_work_happened(self, desktop, cost):
+        faulty = make_faulty(desktop, seed=9, gpu_zero_progress_prob=1.0)
+        result = faulty.run_phase(gpu_request(cost, 20_000.0))
+        assert result.gpu_items == 0.0  # the observation lies...
+        counters = faulty.inner.snapshot_counters()
+        assert counters.gpu_items == pytest.approx(20_000.0, rel=1e-6)
+
+    def test_cpu_only_phase_never_trips_gpu_faults(self, desktop, cost):
+        faulty = make_faulty(desktop, seed=9, gpu_launch_failure_prob=1.0,
+                             gpu_hang_prob=1.0)
+        result = faulty.run_phase(cpu_request(cost))
+        assert result.cpu_items == pytest.approx(50_000.0, rel=1e-6)
+        assert faulty.fault_log.count() == 0
+
+
+class TestGpuBusyFlap:
+    def test_flap_reads_busy_once(self, desktop):
+        faulty = make_faulty(desktop, seed=11, gpu_busy_flap_prob=1.0)
+        assert faulty.gpu_busy is True
+        assert faulty.inner.gpu_busy is False
+        assert faulty.fault_log.count("gpu-busy-flap") == 1
+
+
+class TestFaultLog:
+    def test_kinds_and_count(self, desktop):
+        faulty = make_faulty(desktop, seed=13, msr_glitch_prob=1.0)
+        faulty.read_energy_msr()
+        faulty.read_energy_msr()
+        assert faulty.fault_log.count() == 2
+        assert faulty.fault_log.kinds() == {"msr-glitch": 2}
+        assert faulty.fault_log.count("gpu-hang") == 0

@@ -71,6 +71,42 @@ class TestWraparound:
         assert EnergyMsr.delta_units(start, after) == delta
 
 
+class TestMultiWrapHazard:
+    """The documented limit of the read/subtract protocol: a window in
+    which the register wraps more than once silently under-reports by a
+    whole multiple of 2**32 units, exactly as on real RAPL hardware."""
+
+    def test_double_wrap_silently_underreports(self):
+        msr = EnergyMsr(UNIT)
+        before = msr.read()
+        true_units = 2 ** 33 + 500  # two full wraps plus change
+        msr.deposit(true_units * UNIT)
+        after = msr.read()
+        measured = EnergyMsr.delta_units(before, after)
+        assert measured == 500  # aliased: both wraps are invisible
+        assert measured == true_units - 2 * 2 ** 32
+
+    def test_max_window_joules_is_the_aliasing_bound(self):
+        msr = EnergyMsr(UNIT)
+        assert msr.max_window_joules() == pytest.approx((2 ** 32) * UNIT)
+        # Just below the bound: the delta survives the wraparound math.
+        below = 2 ** 32 - 1
+        msr_ok = EnergyMsr(UNIT)
+        b = msr_ok.read()
+        msr_ok.deposit(below * UNIT)
+        assert msr_ok.joules_between(b, msr_ok.read()) == pytest.approx(
+            below * UNIT, abs=2 * UNIT)
+        # At the bound: a full-wrap window aliases to zero.
+        msr_bad = EnergyMsr(UNIT)
+        b = msr_bad.read()
+        msr_bad.deposit((2 ** 32) * UNIT)
+        assert msr_bad.joules_between(b, msr_bad.read()) == pytest.approx(0.0)
+
+    def test_max_window_scales_with_energy_unit(self):
+        assert EnergyMsr(2 * UNIT).max_window_joules() == pytest.approx(
+            2 * EnergyMsr(UNIT).max_window_joules())
+
+
 class TestLifetime:
     def test_lifetime_joules_not_wrapped(self):
         msr = EnergyMsr(UNIT)

@@ -6,10 +6,7 @@ import pytest
 
 from repro.errors import SpecError
 from repro.soc.spec import (
-    CpuSpec,
-    GpuSpec,
     MemorySpec,
-    PcuSpec,
     baytrail_tablet,
     haswell_desktop,
 )

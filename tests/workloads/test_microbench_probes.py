@@ -5,7 +5,6 @@ when run on the simulated desktop: that is what makes the curve table
 trustworthy.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.categories import DeviceDuration
@@ -15,7 +14,6 @@ from repro.soc.simulator import IntegratedProcessor
 from repro.workloads.microbench import (
     ComputeProbe,
     MemoryProbe,
-    microbench_for,
     standard_microbenches,
 )
 
