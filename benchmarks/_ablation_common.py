@@ -11,7 +11,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.characterization import PlatformCharacterization
 from repro.core.metrics import EDP, EnergyMetric
-from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.core.scheduler import SchedulerConfig, EnergyAwareScheduler
 from repro.harness.experiment import run_application
 from repro.harness.figures import _cached_sweep
 from repro.harness.suite import get_characterization
@@ -25,7 +25,7 @@ ABLATION_WORKLOADS = ("NB", "BS", "CC")
 
 def eas_efficiency(workload_abbrev: str,
                    characterization: Optional[PlatformCharacterization] = None,
-                   config: Optional[EasConfig] = None,
+                   config: Optional[SchedulerConfig] = None,
                    metric: EnergyMetric = EDP) -> float:
     """Oracle-relative efficiency (%) of one EAS configuration."""
     spec = haswell_desktop()
@@ -33,7 +33,7 @@ def eas_efficiency(workload_abbrev: str,
     sweep = _cached_sweep(spec, workload, tablet=False)
     characterization = characterization or get_characterization(spec)
     scheduler = EnergyAwareScheduler(characterization, metric,
-                                     config=config or EasConfig())
+                                     config=config or SchedulerConfig())
     run = run_application(spec, workload, scheduler, "EAS")
     oracle = sweep.oracle(metric).metric_value(metric)
     return 100.0 * oracle / run.metric_value(metric)

@@ -5,14 +5,14 @@ option, noting the evaluation cost is negligible either way.  This
 ablation compares 0.25 / 0.1 / 0.05 / 0.02 steps.
 """
 
-from repro.core.scheduler import EasConfig
+from repro.core.scheduler import SchedulerConfig
 
 from benchmarks._ablation_common import mean_efficiency
 
 
 def test_ablation_alpha_grid(benchmark):
     def run():
-        return {step: mean_efficiency(config=EasConfig(alpha_step=step))
+        return {step: mean_efficiency(config=SchedulerConfig(alpha_step=step))
                 for step in (0.25, 0.1, 0.05, 0.02)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -6,7 +6,7 @@ and mis-measure R_G; much larger ones waste no accuracy but commit
 more work before the first decision.
 """
 
-from repro.core.scheduler import EasConfig
+from repro.core.scheduler import SchedulerConfig
 
 from benchmarks._ablation_common import mean_efficiency
 
@@ -14,7 +14,7 @@ from benchmarks._ablation_common import mean_efficiency
 def test_ablation_profile_size(benchmark):
     def run():
         return {size: mean_efficiency(
-                    config=EasConfig(gpu_profile_size=size))
+                    config=SchedulerConfig(gpu_profile_size=size))
                 for size in (256, 1024, 2048, 8192)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -6,16 +6,16 @@ compares: one fixed-size round only, the default (converging rounds),
 and exhaustive profiling of the full half with no early stop.
 """
 
-from repro.core.scheduler import EasConfig
+from repro.core.scheduler import SchedulerConfig
 
 from benchmarks._ablation_common import mean_efficiency
 
 
 def test_ablation_repeat_profiling(benchmark):
     def run():
-        one_round = EasConfig(profile_fraction=0.01, chunk_growth=1.0)
-        default = EasConfig()
-        exhaustive = EasConfig(convergence_tolerance=-1.0)
+        one_round = SchedulerConfig(profile_fraction=0.01, chunk_growth=1.0)
+        default = SchedulerConfig()
+        exhaustive = SchedulerConfig(convergence_tolerance=-1.0)
         return {
             "single round": mean_efficiency(config=one_round),
             "converging (default)": mean_efficiency(config=default),

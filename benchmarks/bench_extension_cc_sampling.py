@@ -11,7 +11,7 @@ the first profilable invocation's prefix).
 """
 
 from repro.core.metrics import EDP
-from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.core.scheduler import SchedulerConfig, EnergyAwareScheduler
 from repro.harness.experiment import run_application
 from repro.harness.figures import _cached_sweep
 from repro.harness.suite import get_characterization
@@ -19,7 +19,7 @@ from repro.soc.spec import haswell_desktop
 from repro.workloads.registry import workload_by_abbrev
 
 
-def cc_efficiency(config: EasConfig) -> "tuple[float, float]":
+def cc_efficiency(config: SchedulerConfig) -> "tuple[float, float]":
     spec = haswell_desktop()
     workload = workload_by_abbrev("CC")
     sweep = _cached_sweep(spec, workload, tablet=False)
@@ -32,9 +32,9 @@ def cc_efficiency(config: EasConfig) -> "tuple[float, float]":
 
 def test_extension_cc_sampling(benchmark):
     def run():
-        default_eff, default_alpha = cc_efficiency(EasConfig())
+        default_eff, default_alpha = cc_efficiency(SchedulerConfig())
         high_eff, high_alpha = cc_efficiency(
-            EasConfig(always_reprofile=True))
+            SchedulerConfig(always_reprofile=True))
         return {
             "default": (default_eff, default_alpha),
             "high-sampling": (high_eff, high_alpha),

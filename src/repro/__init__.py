@@ -18,6 +18,9 @@ Typical usage::
     scheduler = EnergyAwareScheduler(curves, EDP)
     result = run_application(platform, workload, scheduler, "EAS")
 
+The full blessed import surface lives in :mod:`repro.api` (everything
+there is re-exported here); ``tests/test_public_api.py`` pins it.
+
 Subpackages:
 
 * :mod:`repro.soc` - the simulated integrated CPU-GPU package;
@@ -25,48 +28,14 @@ Subpackages:
 * :mod:`repro.core` - the paper's contribution (characterization,
   classification, T(alpha), the EAS algorithm, baselines);
 * :mod:`repro.workloads` - benchmarks and micro-benchmarks;
-* :mod:`repro.harness` - experiments, sweeps and figure regenerators.
+* :mod:`repro.harness` - experiments, sweeps and figure regenerators;
+* :mod:`repro.obs` - the observability layer (tracing, metrics,
+  decision audit records; see docs/OBSERVABILITY.md).
 """
 
-from repro.core.baselines import (
-    CpuOnlyScheduler,
-    GpuOnlyScheduler,
-    ProfiledPerfScheduler,
-    StaticAlphaScheduler,
-)
-from repro.core.characterization import PlatformCharacterization
-from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric, metric_by_name
-from repro.core.scheduler import EasConfig, EnergyAwareScheduler
-from repro.errors import ReproError
-from repro.harness.experiment import ApplicationRun, run_application
-from repro.harness.suite import evaluate_suite, get_characterization, sweep_alphas
-from repro.runtime.kernel import Kernel
-from repro.runtime.runtime import ConcordRuntime
-from repro.soc.cost_model import KernelCostModel
-from repro.soc.simulator import IntegratedProcessor
-from repro.soc.spec import PlatformSpec, baytrail_tablet, haswell_desktop
-from repro.workloads.base import InvocationSpec, Workload
-from repro.workloads.registry import all_workloads, workload_by_abbrev
+from repro.api import *  # noqa: F401,F403 - the curated surface
+from repro.api import __all__ as _api_all
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "__version__",
-    "ReproError",
-    # metrics
-    "EnergyMetric", "ENERGY", "EDP", "ED2", "metric_by_name",
-    # platforms & simulator
-    "PlatformSpec", "haswell_desktop", "baytrail_tablet",
-    "IntegratedProcessor", "KernelCostModel",
-    # runtime
-    "Kernel", "ConcordRuntime",
-    # schedulers
-    "EnergyAwareScheduler", "EasConfig", "CpuOnlyScheduler",
-    "GpuOnlyScheduler", "StaticAlphaScheduler", "ProfiledPerfScheduler",
-    # characterization
-    "PlatformCharacterization", "get_characterization",
-    # workloads
-    "Workload", "InvocationSpec", "all_workloads", "workload_by_abbrev",
-    # harness
-    "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
-]
+__all__ = ["__version__", *_api_all]

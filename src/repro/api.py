@@ -1,0 +1,117 @@
+"""``repro.api``: the curated public API surface.
+
+This module is the library's *blessed* import surface: everything a
+downstream user should reach for is re-exported here (and from the
+top-level :mod:`repro` package, which star-imports this module), and
+``__all__`` below is the authoritative inventory.  The snapshot test
+``tests/test_public_api.py`` pins this list - adding or removing a
+name is an API change and must update the snapshot deliberately.
+
+Grouped by layer:
+
+* **errors** - the exception hierarchy callers may catch;
+* **platforms & simulator** - the two simulated SoCs and their specs;
+* **runtime** - ``parallel_for`` over the simulated processor;
+* **schedulers** - EAS (with :class:`SchedulerConfig`), the hinted
+  extension, and the comparison baselines;
+* **characterization & metrics** - P(alpha) curves and objectives;
+* **workloads** - the Table-1 benchmark suite;
+* **harness** - application runs, sweeps, suite evaluation, figure
+  regenerators, and the chaos campaign;
+* **observability** - the flight recorder: observers, decision
+  records, metric registries, exporters, and validators
+  (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+    StaticAlphaScheduler,
+)
+from repro.core.characterization import PlatformCharacterization
+from repro.core.hinted import HintedEnergyAwareScheduler
+from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric, metric_by_name
+from repro.core.scheduler import (
+    EasConfig,
+    EnergyAwareScheduler,
+    SchedulerConfig,
+)
+from repro.errors import (
+    GpuFaultError,
+    HarnessError,
+    ObservabilityError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    UnknownNameError,
+    WorkloadError,
+)
+from repro.harness.chaos import (
+    ChaosCampaignResult,
+    ChaosCell,
+    run_chaos_campaign,
+)
+from repro.harness.experiment import ApplicationRun, run_application
+from repro.harness.figures import REGENERATORS, experiment_id, regenerate
+from repro.harness.suite import (
+    evaluate_suite,
+    get_characterization,
+    sweep_alphas,
+)
+from repro.obs import (
+    ALL_EXIT_PATHS,
+    NULL_OBSERVER,
+    DecisionRecord,
+    MetricsRegistry,
+    NullObserver,
+    Observer,
+)
+from repro.obs.export import (
+    TraceSection,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.validate import validate_file
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.faults import FaultConfig, FaultySoC
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import PlatformSpec, baytrail_tablet, haswell_desktop
+from repro.workloads.base import InvocationSpec, Workload
+from repro.workloads.registry import all_workloads, workload_by_abbrev
+
+__all__ = [
+    # errors
+    "ReproError", "SimulationError", "SchedulingError", "WorkloadError",
+    "HarnessError", "ObservabilityError", "UnknownNameError",
+    "GpuFaultError",
+    # platforms & simulator
+    "PlatformSpec", "haswell_desktop", "baytrail_tablet",
+    "IntegratedProcessor", "KernelCostModel",
+    # fault injection
+    "FaultConfig", "FaultySoC",
+    # runtime
+    "Kernel", "ConcordRuntime",
+    # schedulers
+    "EnergyAwareScheduler", "SchedulerConfig", "EasConfig",
+    "HintedEnergyAwareScheduler", "CpuOnlyScheduler", "GpuOnlyScheduler",
+    "StaticAlphaScheduler", "ProfiledPerfScheduler",
+    # characterization & metrics
+    "PlatformCharacterization", "get_characterization",
+    "EnergyMetric", "ENERGY", "EDP", "ED2", "metric_by_name",
+    # workloads
+    "Workload", "InvocationSpec", "all_workloads", "workload_by_abbrev",
+    # harness
+    "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
+    "REGENERATORS", "regenerate", "experiment_id",
+    "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
+    # observability
+    "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
+    "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",
+    "write_chrome_trace", "write_jsonl", "write_metrics", "validate_file",
+]

@@ -36,7 +36,7 @@ from repro.core.metrics import EnergyMetric
 from repro.core.optimizer import alpha_grid
 from repro.core.power_curve import PowerCurve
 from repro.core.profiling import ProfileAggregate
-from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
 from repro.core.time_model import ExecutionTimeModel
 from repro.errors import SchedulingError
 from repro.runtime.runtime import KernelLaunch, SchedulerRecord
@@ -61,7 +61,7 @@ class HintedEnergyAwareScheduler(EnergyAwareScheduler):
     def __init__(self, characterization: PlatformCharacterization,
                  metric: EnergyMetric,
                  classifier: Optional[OnlineClassifier] = None,
-                 config: Optional[EasConfig] = None,
+                 config: Optional[SchedulerConfig] = None,
                  hint_levels: Tuple[float, ...] = (0.0, 0.5, 1.0)) -> None:
         super().__init__(characterization, metric, classifier, config)
         if not hint_levels or any(not 0.0 <= h <= 1.0 for h in hint_levels):

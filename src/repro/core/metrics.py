@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, UnknownNameError, closest_names
 
 MetricFn = Callable[[float, float], float]
 
@@ -66,10 +66,16 @@ _BY_NAME: Dict[str, EnergyMetric] = {m.name: m for m in (ENERGY, EDP, ED2)}
 
 
 def metric_by_name(name: str) -> EnergyMetric:
-    """Look up one of the standard metrics by name."""
+    """Look up one of the standard metrics by name.
+
+    Raises :class:`~repro.errors.UnknownNameError` (which is also a
+    :class:`~repro.errors.SchedulingError`) with did-you-mean
+    suggestions on a miss.
+    """
     try:
         return _BY_NAME[name.lower()]
     except KeyError:
-        raise SchedulingError(
-            f"unknown metric {name!r}; expected one of {sorted(_BY_NAME)}"
+        raise UnknownNameError(
+            f"unknown metric {name!r}; expected one of {sorted(_BY_NAME)}",
+            suggestions=closest_names(name, list(_BY_NAME)),
         ) from None

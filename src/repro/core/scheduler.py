@@ -35,13 +35,25 @@ throughput readings and falls back to the last-known-good table-G
 alpha; alphas derived under observed faults are quarantined in table G
 so one bad profile cannot poison future invocations; and a watchdog
 caps the number of profiling rounds per invocation.
+
+**Observability** (see docs/OBSERVABILITY.md): every invocation emits
+one :class:`~repro.obs.records.DecisionRecord` - whatever exit path it
+takes, including all degradation branches - into
+:attr:`EnergyAwareScheduler.decisions` and, when an
+:class:`~repro.obs.Observer` is attached, into the observer's decision
+stream.  An attached observer additionally collects spans
+(``eas.invocation``, ``eas.profiling_round``, ``eas.grid_search``) and
+metrics (rounds, retries, faults, fault-bucket levels, grid-search
+microseconds).  With no observer the scheduler pays one attribute load
+per hook: the shared :data:`~repro.obs.NULL_OBSERVER` no-ops.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.characterization import PlatformCharacterization
@@ -49,8 +61,18 @@ from repro.core.classification import ClassificationInputs, OnlineClassifier
 from repro.core.metrics import EnergyMetric
 from repro.core.optimizer import DEFAULT_ALPHA_STEP, AlphaOptimizer
 from repro.core.profiling import KernelTable, ProfileAggregate
-from repro.core.time_model import ExecutionTimeModel
-from repro.errors import GpuFaultError
+from repro.errors import GpuFaultError, SchedulingError
+from repro.obs.observer import NULL_OBSERVER, Observer, resolve
+from repro.obs.records import (
+    EXIT_COOLDOWN,
+    EXIT_DEGRADED,
+    EXIT_FAULT_DEGRADED,
+    EXIT_GPU_BUSY,
+    EXIT_PROFILED,
+    EXIT_SMALL_N,
+    EXIT_TABLE_HIT,
+    DecisionRecord,
+)
 from repro.runtime.runtime import KernelLaunch, ProfileObservation, SchedulerRecord
 
 #: Throughputs above this (items/s) are treated as sensor garbage.
@@ -63,8 +85,16 @@ GPU_FAULTED_FALLBACK = "gpu-faulted-fallback"
 
 
 @dataclass
-class EasConfig:
-    """Tunables of the EAS algorithm (ablation knobs)."""
+class SchedulerConfig:
+    """Validated tunables of the EAS algorithm (ablation + resilience).
+
+    This is the blessed configuration object (it superseded the PR-1
+    ``EasConfig`` pile of loose knobs); invalid values raise
+    :class:`~repro.errors.SchedulingError` at construction instead of
+    misbehaving mid-run.
+    """
+
+    # -- profiling / optimization knobs -------------------------------------------
 
     #: Grid increment for the alpha search (the paper uses 0.1).
     alpha_step: float = DEFAULT_ALPHA_STEP
@@ -76,7 +106,8 @@ class EasConfig:
     #: Stop profiling early once successive alpha estimates agree
     #: within this tolerance (after at least two rounds).  Keeps the
     #: paper's "near-zero overhead" property: profiling up to half the
-    #: iterations is the worst case, not the common case.
+    #: iterations is the worst case, not the common case.  A negative
+    #: tolerance disables convergence (ablation use).
     convergence_tolerance: float = 0.05
     #: Re-derive alpha by profiling again on every invocation instead
     #: of reusing table G (ablation; the paper reuses G).
@@ -129,21 +160,64 @@ class EasConfig:
     #: pause trades simulated time for robustness to longer glitches.
     gpu_busy_recheck_idle_s: float = 0.0
 
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject out-of-range knob values with a precise message."""
+        def _require(ok: bool, name: str, why: str) -> None:
+            if not ok:
+                raise SchedulingError(
+                    f"SchedulerConfig.{name}={getattr(self, name)!r} "
+                    f"invalid: {why}")
+
+        _require(0.0 < self.alpha_step <= 1.0, "alpha_step",
+                 "must be in (0, 1]")
+        _require(0.0 < self.profile_fraction <= 1.0, "profile_fraction",
+                 "must be in (0, 1]")
+        _require(self.chunk_growth >= 1.0, "chunk_growth", "must be >= 1")
+        _require(self.reprofile_growth >= 1.0, "reprofile_growth",
+                 "must be >= 1")
+        _require(self.gpu_profile_size is None or self.gpu_profile_size > 0,
+                 "gpu_profile_size", "must be positive (or None)")
+        _require(self.max_profile_retries >= 0, "max_profile_retries",
+                 "must be >= 0")
+        _require(self.retry_backoff_s >= 0.0, "retry_backoff_s",
+                 "must be >= 0")
+        _require(self.fault_cooldown_s >= 0.0, "fault_cooldown_s",
+                 "must be >= 0")
+        _require(self.fault_budget >= 1, "fault_budget", "must be >= 1")
+        _require(self.max_profile_rounds >= 1, "max_profile_rounds",
+                 "must be >= 1")
+        _require(self.gpu_busy_rechecks >= 0, "gpu_busy_rechecks",
+                 "must be >= 0")
+        _require(self.gpu_busy_recheck_idle_s >= 0.0,
+                 "gpu_busy_recheck_idle_s", "must be >= 0")
+
+
+_CONFIG_FIELD_NAMES = tuple(f.name for f in fields(SchedulerConfig))
+
 
 @dataclass
-class EasDecision:
-    """Diagnostics for one scheduled invocation."""
+class EasConfig(SchedulerConfig):
+    """Deprecated alias of :class:`SchedulerConfig` (PR-1 name).
 
-    alpha: float
-    category_code: Optional[str]
-    from_table: bool
-    profile_rounds: int
-    cpu_throughput: Optional[float] = None
-    gpu_throughput: Optional[float] = None
-    #: Host-side cost of the scheduling computation itself, seconds.
-    decision_overhead_s: float = 0.0
-    #: GPU faults the scheduler observed while serving this invocation.
-    faults_observed: int = 0
+    Constructing it still works - the fields are identical - but emits
+    a :class:`DeprecationWarning`.  New code should build a
+    :class:`SchedulerConfig`.
+    """
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "EasConfig is deprecated; use repro.SchedulerConfig instead",
+            DeprecationWarning, stacklevel=3)
+        super().__post_init__()
+
+
+#: Deprecated alias: per-invocation diagnostics are now full
+#: :class:`~repro.obs.records.DecisionRecord` audit records (the old
+#: ``EasDecision`` field names are preserved as a subset).
+EasDecision = DecisionRecord
 
 
 class EnergyAwareScheduler:
@@ -152,14 +226,35 @@ class EnergyAwareScheduler:
     def __init__(self, characterization: PlatformCharacterization,
                  metric: EnergyMetric,
                  classifier: Optional[OnlineClassifier] = None,
-                 config: Optional[EasConfig] = None) -> None:
+                 config: Optional[SchedulerConfig] = None,
+                 observer: Optional[Observer] = None,
+                 **legacy_knobs) -> None:
+        if legacy_knobs:
+            unknown = [k for k in legacy_knobs
+                       if k not in _CONFIG_FIELD_NAMES]
+            if unknown:
+                raise SchedulingError(
+                    f"unknown scheduler option(s) {sorted(unknown)}; "
+                    f"valid SchedulerConfig fields: "
+                    f"{sorted(_CONFIG_FIELD_NAMES)}")
+            if config is not None:
+                raise SchedulingError(
+                    "pass tuning knobs via SchedulerConfig or as keyword "
+                    "arguments, not both")
+            warnings.warn(
+                "passing scheduler knobs as loose keyword arguments is "
+                "deprecated; pass config=SchedulerConfig(...) instead",
+                DeprecationWarning, stacklevel=2)
+            config = SchedulerConfig(**legacy_knobs)
         self.characterization = characterization
         self.metric = metric
         self.classifier = classifier or OnlineClassifier()
-        self.config = config or EasConfig()
+        self.config = config or SchedulerConfig()
+        self.observer = resolve(observer)
         self.table = KernelTable()
         self.optimizer = AlphaOptimizer(metric=metric, step=self.config.alpha_step)
-        self.decisions: list = []
+        #: One :class:`DecisionRecord` per invocation, every exit path.
+        self.decisions: List[DecisionRecord] = []
         #: Leaky-bucket fault level per kernel key (faults fill,
         #: successes drain; degradation triggers at the budget).
         self.fault_counts: Dict[str, int] = {}
@@ -170,28 +265,66 @@ class EnergyAwareScheduler:
         #: Per-kernel circuit-breaker: simulated time before which new
         #: invocations stay on the CPU after an observed GPU fault.
         self.gpu_retry_after: Dict[str, float] = {}
+        #: Most recent fault events per kernel, so later CPU-only
+        #: invocations of a degraded kernel can still name the faults
+        #: that tripped its budget.
+        self.last_fault_events: Dict[str, List[str]] = {}
+        #: Fault events observed during the invocation in flight.
+        self._fault_events: List[str] = []
 
     # -- SchedulerProtocol ---------------------------------------------------------
 
     def execute(self, launch: KernelLaunch) -> SchedulerRecord:
         key = launch.kernel.key
+        obs = self.observer
+        if obs.enabled:
+            with obs.span("eas.invocation", kernel=key,
+                          n_items=launch.n_items):
+                record = self._execute(launch, key)
+        else:
+            record = self._execute(launch, key)
+        if self._fault_events:
+            self.last_fault_events[key] = list(self._fault_events)
+        return record
+
+    def _execute(self, launch: KernelLaunch, key: str) -> SchedulerRecord:
+        obs = self.observer
+        obs.inc("eas.invocations")
         self.table.note_invocation(key)
+        self._fault_events = []
+        table_hit = self.table.lookup(key) is not None
 
         # GPU busy with other work: CPU-alone fallback (Section 5),
         # debounced against transient counter flapping.
         if self._gpu_busy_debounced(launch):
             launch.run_cpu_only()
+            self._emit_decision(
+                launch, key, EXIT_GPU_BUSY, alpha=0.0, table_hit=table_hit,
+                fallback_reason="GPU busy with other work (A26 counter)",
+                notes=["gpu-busy-fallback"])
             return SchedulerRecord(alpha=0.0, notes=["gpu-busy-fallback"])
 
         # Fault budget exhausted earlier: the GPU is not to be trusted
         # for this kernel any more.  Graceful degradation, not a crash.
         # A kernel still inside its post-fault cooldown window gets the
         # same CPU-only treatment, but only until the window closes.
-        if (key in self.degraded_kernels
-                or launch.processor.now < self.gpu_retry_after.get(key, 0.0)):
+        degraded = key in self.degraded_kernels
+        if degraded or launch.processor.now < self.gpu_retry_after.get(key, 0.0):
             launch.run_cpu_only()
-            self._record_decision(alpha=0.0, category=None, from_table=True,
-                                  rounds=0)
+            if degraded:
+                reason = (f"fault budget ({self.config.fault_budget}) "
+                          "exhausted on an earlier invocation; kernel is "
+                          "CPU-only (sticky)")
+                exit_path = EXIT_DEGRADED
+            else:
+                reason = (f"inside post-fault cooldown window (until "
+                          f"t={self.gpu_retry_after.get(key, 0.0):.6f}s)")
+                exit_path = EXIT_COOLDOWN
+            self._emit_decision(
+                launch, key, exit_path, alpha=0.0, from_table=True,
+                table_hit=table_hit, fallback_reason=reason,
+                fault_events=self.last_fault_events.get(key, []),
+                notes=[GPU_FAULTED_FALLBACK])
             return SchedulerRecord(alpha=0.0, notes=[GPU_FAULTED_FALLBACK])
 
         profile_size = (self.config.gpu_profile_size
@@ -212,9 +345,13 @@ class EnergyAwareScheduler:
                 entry = None
         if entry is not None and not self.config.always_reprofile:
             record = self._run_remainder(launch, key, entry.alpha)
-            self._record_decision(alpha=record.alpha,
-                                  category=entry.category,
-                                  from_table=True, rounds=0)
+            fell_back = GPU_FAULTED_FALLBACK in record.notes
+            self._emit_decision(
+                launch, key, EXIT_TABLE_HIT, alpha=record.alpha,
+                category=entry.category, from_table=True, table_hit=True,
+                fallback_reason=("partitioned phase faulted; remainder "
+                                 "drained on the CPU" if fell_back else None),
+                notes=record.notes)
             record.profiled = False
             return record
 
@@ -223,8 +360,11 @@ class EnergyAwareScheduler:
             launch.run_cpu_only()
             self.table.record(key, alpha=0.0, weight=launch.n_items,
                               provisional=True)
-            self._record_decision(alpha=0.0, category=None, from_table=False,
-                                  rounds=0)
+            self._emit_decision(
+                launch, key, EXIT_SMALL_N, alpha=0.0, table_hit=table_hit,
+                fallback_reason=(f"N={launch.n_items:.0f} below "
+                                 f"GPU_PROFILE_SIZE={profile_size}"),
+                notes=["small-n-cpu-only"])
             return SchedulerRecord(alpha=0.0, profiled=False,
                                    notes=["small-n-cpu-only"])
 
@@ -246,8 +386,10 @@ class EnergyAwareScheduler:
             chunk_now = min(chunk, launch.remaining_items * 0.5)
             if chunk_now < 64.0:
                 break
-            observation, had_fault = self._profile_with_retry(launch, key,
-                                                              chunk_now)
+            with obs.span("eas.profiling_round", kernel=key,
+                          round=aggregate.num_rounds, chunk=chunk_now):
+                observation, had_fault = self._profile_with_retry(
+                    launch, key, chunk_now)
             faulted = faulted or had_fault
             if observation is None:
                 if key in self.degraded_kernels:
@@ -258,13 +400,17 @@ class EnergyAwareScheduler:
                 # each failure fills the leaky bucket, so this persists
                 # for at most ~budget attempts before degrading.
                 continue
+            obs.inc("eas.profiling_rounds")
             profiling_time += observation.cpu_time_s
             aggregate.add(observation)
             t_host = time.perf_counter()
             prev_alpha = alpha
-            alpha, category, sanity_note = self._derive_alpha(
-                aggregate, launch.remaining_items, launch.n_items, key)
-            decision_overhead += time.perf_counter() - t_host
+            with obs.span("eas.grid_search", kernel=key):
+                alpha, category, sanity_note = self._derive_alpha(
+                    aggregate, launch.remaining_items, launch.n_items, key)
+            round_overhead = time.perf_counter() - t_host
+            decision_overhead += round_overhead
+            obs.observe("eas.grid_search_us", round_overhead * 1e6)
             chunk *= self.config.chunk_growth
             if (prev_alpha is not None
                     and abs(alpha - prev_alpha) <= self.config.convergence_tolerance):
@@ -280,22 +426,31 @@ class EnergyAwareScheduler:
             # loop so a tiny remainder cannot trip profile_chunk's
             # positivity check.
             chunk_now = max(64.0, min(chunk, launch.remaining_items * 0.5))
-            observation, had_fault = self._profile_with_retry(launch, key,
-                                                              chunk_now)
+            with obs.span("eas.profiling_round", kernel=key,
+                          round=aggregate.num_rounds, chunk=chunk_now,
+                          minimal=True):
+                observation, had_fault = self._profile_with_retry(
+                    launch, key, chunk_now)
             faulted = faulted or had_fault
             if observation is None:
                 if key in self.degraded_kernels:
                     return self._degrade(launch, key, aggregate,
                                          profiling_time)
                 continue
+            obs.inc("eas.profiling_rounds")
             profiling_time += observation.cpu_time_s
             aggregate.add(observation)
             t_host = time.perf_counter()
-            alpha, category, sanity_note = self._derive_alpha(
-                aggregate, launch.remaining_items, launch.n_items, key)
-            decision_overhead += time.perf_counter() - t_host
+            with obs.span("eas.grid_search", kernel=key):
+                alpha, category, sanity_note = self._derive_alpha(
+                    aggregate, launch.remaining_items, launch.n_items, key)
+            round_overhead = time.perf_counter() - t_host
+            decision_overhead += round_overhead
+            obs.observe("eas.grid_search_us", round_overhead * 1e6)
 
-        faulted = faulted or sanity_note is not None
+        if sanity_note is not None:
+            faulted = True
+            self._fault_events.append(f"derive-alpha: {sanity_note}")
 
         # Lines 23-25: partitioned execution of the remainder.
         record = self._run_remainder(launch, key, alpha)
@@ -307,13 +462,6 @@ class EnergyAwareScheduler:
         # for diagnostics, never reused, never diluting a clean entry.
         self.table.record(key, alpha=alpha, weight=launch.n_items,
                           category=category, quarantined=faulted)
-        self._record_decision(
-            alpha=record.alpha, category=category, from_table=False,
-            rounds=aggregate.num_rounds,
-            cpu_throughput=aggregate.cpu_throughput,
-            gpu_throughput=aggregate.gpu_throughput,
-            decision_overhead=decision_overhead,
-            faults=self.fault_totals.get(key, 0))
         record.profiled = True
         record.profile_rounds = aggregate.num_rounds
         record.profiling_time_s = profiling_time
@@ -321,6 +469,16 @@ class EnergyAwareScheduler:
             record.notes.insert(0, f"category={category.short_code}")
         if sanity_note is not None:
             record.notes.append(sanity_note)
+        self._emit_decision(
+            launch, key, EXIT_PROFILED, alpha=record.alpha,
+            category=category, rounds=aggregate.num_rounds,
+            cpu_throughput=aggregate.cpu_throughput,
+            gpu_throughput=aggregate.gpu_throughput,
+            decision_overhead=decision_overhead,
+            quarantined=faulted, table_hit=table_hit,
+            fallback_reason=("partitioned phase faulted; remainder "
+                             "drained on the CPU" if fell_back else None),
+            notes=record.notes)
         return record
 
     # -- resilience internals ------------------------------------------------------
@@ -337,10 +495,12 @@ class EnergyAwareScheduler:
             if self.config.gpu_busy_recheck_idle_s > 0.0:
                 launch.processor.idle(self.config.gpu_busy_recheck_idle_s)
             if not launch.processor.gpu_busy:
+                self.observer.inc("eas.gpu_busy_flaps_filtered")
                 return False
         return True
 
-    def _register_fault(self, launch: KernelLaunch, key: str) -> bool:
+    def _register_fault(self, launch: KernelLaunch, key: str,
+                        stage: str = "gpu", detail: str = "") -> bool:
         """Fill the kernel's fault bucket; True when the budget is gone.
 
         Every fault also arms the circuit-breaker cooldown: new
@@ -351,6 +511,14 @@ class EnergyAwareScheduler:
         self.fault_totals[key] = self.fault_totals.get(key, 0) + 1
         self.gpu_retry_after[key] = (launch.processor.now
                                      + self.config.fault_cooldown_s)
+        event = f"{stage}: {detail}" if detail else stage
+        self._fault_events.append(event)
+        obs = self.observer
+        if obs.enabled:
+            obs.inc("eas.gpu_faults")
+            obs.set_gauge(f"eas.fault_bucket.{key}", count)
+            obs.event("eas.gpu_fault", kernel=key, stage=stage, detail=detail,
+                      bucket_level=count)
         if count >= self.config.fault_budget:
             self.degraded_kernels.add(key)
             return True
@@ -361,6 +529,8 @@ class EnergyAwareScheduler:
         count = self.fault_counts.get(key, 0)
         if count > 0:
             self.fault_counts[key] = count - 1
+            if self.observer.enabled:
+                self.observer.set_gauge(f"eas.fault_bucket.{key}", count - 1)
 
     def _profile_with_retry(
             self, launch: KernelLaunch, key: str, chunk: float,
@@ -378,15 +548,22 @@ class EnergyAwareScheduler:
         had_fault = False
         attempts = max(0, self.config.max_profile_retries) + 1
         for attempt in range(attempts):
+            if attempt > 0:
+                self.observer.inc("eas.profile_retries")
+            detail = ""
             try:
                 observation = launch.profile_chunk(chunk)
-            except GpuFaultError:
+            except GpuFaultError as exc:
                 observation = None
+                detail = str(exc)
             if observation is not None and observation.gpu_items > 0.0:
                 self._register_success(key)
                 return observation, had_fault
+            if observation is not None:
+                detail = "GPU reported zero progress on a nonzero chunk"
             had_fault = True
-            if self._register_fault(launch, key):
+            if self._register_fault(launch, key, stage="profile-chunk",
+                                    detail=detail):
                 return None, True
             self._backoff(launch, attempt)
         return None, True
@@ -416,8 +593,9 @@ class EnergyAwareScheduler:
                     launch.run_partitioned(alpha)
                     self._register_success(key)
                     return SchedulerRecord(alpha=alpha, notes=notes)
-                except GpuFaultError:
-                    if self._register_fault(launch, key):
+                except GpuFaultError as exc:
+                    if self._register_fault(launch, key, stage="partitioned",
+                                            detail=str(exc)):
                         break
                     self._backoff(launch, attempt)
                     attempt += 1
@@ -436,20 +614,36 @@ class EnergyAwareScheduler:
         self.degraded_kernels.add(key)
         if not launch.is_done:
             launch.run_cpu_only()
-        self._record_decision(alpha=0.0, category=None, from_table=False,
-                              rounds=aggregate.num_rounds,
-                              faults=self.fault_totals.get(key, 0))
+        self._emit_decision(
+            launch, key, EXIT_FAULT_DEGRADED, alpha=0.0,
+            rounds=aggregate.num_rounds,
+            fallback_reason=(f"fault budget ({self.config.fault_budget}) "
+                             f"exhausted during profiling after "
+                             f"{aggregate.num_rounds} successful round(s); "
+                             "remainder drained on the CPU"),
+            notes=[GPU_FAULTED_FALLBACK])
         return SchedulerRecord(alpha=0.0, profiled=True,
                                profile_rounds=aggregate.num_rounds,
                                profiling_time_s=profiling_time,
                                notes=[GPU_FAULTED_FALLBACK])
 
-    def _record_decision(self, alpha: float, category, from_table: bool,
-                         rounds: int, cpu_throughput: Optional[float] = None,
-                         gpu_throughput: Optional[float] = None,
-                         decision_overhead: float = 0.0,
-                         faults: int = 0) -> None:
-        self.decisions.append(EasDecision(
+    def _emit_decision(self, launch: KernelLaunch, key: str, exit_path: str,
+                       alpha: float, category=None, from_table: bool = False,
+                       rounds: int = 0,
+                       cpu_throughput: Optional[float] = None,
+                       gpu_throughput: Optional[float] = None,
+                       decision_overhead: float = 0.0,
+                       fallback_reason: Optional[str] = None,
+                       quarantined: bool = False, table_hit: bool = False,
+                       fault_events: Optional[List[str]] = None,
+                       notes: Optional[List[str]] = None) -> DecisionRecord:
+        """Build and store the invocation's audit record (every exit)."""
+        events = list(self._fault_events if fault_events is None
+                      else fault_events)
+        record = DecisionRecord(
+            exit_path=exit_path,
+            kernel=key,
+            n_items=launch.n_items,
             alpha=alpha,
             category_code=category.short_code if category else None,
             from_table=from_table,
@@ -457,7 +651,22 @@ class EnergyAwareScheduler:
             cpu_throughput=cpu_throughput,
             gpu_throughput=gpu_throughput,
             decision_overhead_s=decision_overhead,
-            faults_observed=faults))
+            faults_observed=self.fault_totals.get(key, 0),
+            fault_events=events,
+            fallback_reason=fallback_reason,
+            quarantined=quarantined,
+            table_hit=table_hit,
+            sim_time_s=launch.processor.now,
+            notes=list(notes or []))
+        self.decisions.append(record)
+        obs = self.observer
+        if obs.enabled:
+            obs.decision(record)
+            obs.inc(f"eas.exit.{exit_path}")
+            if decision_overhead > 0.0:
+                obs.observe("eas.decision_overhead_us",
+                            decision_overhead * 1e6)
+        return record
 
     # -- internals ---------------------------------------------------------------
 
@@ -509,3 +718,7 @@ class EnergyAwareScheduler:
                                    n_items=n_model)
         alpha, _ = self.optimizer.best_alpha(curve, model)
         return alpha, category, None
+
+
+# Imported late to keep the module header focused on the algorithm.
+from repro.core.time_model import ExecutionTimeModel  # noqa: E402

@@ -57,3 +57,39 @@ class WorkloadError(ReproError):
 
 class HarnessError(ReproError):
     """The experiment harness was asked for an unknown experiment."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused or an export failed validation."""
+
+
+class UnknownNameError(HarnessError, SchedulingError, WorkloadError):
+    """A by-name lookup (metric, workload, experiment id) failed.
+
+    One exception type for every registry miss, so the CLI and harness
+    can catch a single class and print its did-you-mean suggestion.
+    It additionally derives from the legacy per-layer classes
+    (:class:`SchedulingError` for metrics, :class:`WorkloadError` for
+    workloads) so pre-existing callers keep working.
+    """
+
+    def __init__(self, message: str, suggestions: "tuple[str, ...]" = ()) -> None:
+        if suggestions:
+            message = f"{message} (did you mean: {', '.join(suggestions)}?)"
+        super().__init__(message)
+        self.suggestions = tuple(suggestions)
+
+
+def closest_names(name: str, candidates: "list[str] | tuple[str, ...]",
+                  limit: int = 3) -> "tuple[str, ...]":
+    """Did-you-mean candidates for a failed by-name lookup.
+
+    Case-insensitive fuzzy match over the registry's names, for
+    embedding in an :class:`UnknownNameError`.
+    """
+    import difflib
+
+    lowered = {c.lower(): c for c in candidates}
+    matches = difflib.get_close_matches(name.lower(), list(lowered),
+                                        n=limit, cutoff=0.4)
+    return tuple(lowered[m] for m in matches)

@@ -33,8 +33,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.baselines import CpuOnlyScheduler
 from repro.core.metrics import EDP, EnergyMetric
-from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
 from repro.errors import ReproError
+from repro.obs.records import (
+    EXIT_DEGRADED,
+    EXIT_FAULT_DEGRADED,
+    DecisionRecord,
+)
 from repro.harness.report import format_table, heading
 from repro.harness.suite import get_characterization
 from repro.runtime.runtime import ConcordRuntime
@@ -84,6 +89,13 @@ class ChaosCell:
     degraded_kernels: int = 0
     #: Injected fault counts by kind, from the substrate's fault log.
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-invocation scheduler audit records (the observability
+    #: layer's decision stream), in invocation order.  Deliberately
+    #: EXCLUDED from :meth:`canonical`: the determinism fingerprint is
+    #: pinned by the measured quantities, and keeping its input set
+    #: frozen lets fingerprints compare across code revisions that
+    #: only enrich the audit trail.
+    decision_records: Tuple[DecisionRecord, ...] = ()
 
     @property
     def edp(self) -> float:
@@ -101,6 +113,21 @@ class ChaosCell:
                 f"{self.time_s!r}|{self.energy_j!r}|{self.measured_energy_j!r}|"
                 f"{self.items_processed!r}|{self.invocations}|"
                 f"{self.fallback_invocations}|{self.degraded_kernels}|{counts}")
+
+    def degradation_explanations(self) -> List[str]:
+        """One line per decision that degraded or fell back to the CPU.
+
+        Every degraded kernel in the cell is explained by at least one
+        of these lines, naming the specific fault event(s) observed and
+        the fallback reason the scheduler recorded.
+        """
+        lines = []
+        for record in self.decision_records:
+            if (record.fallback_reason is not None
+                    or record.exit_path in (EXIT_DEGRADED,
+                                            EXIT_FAULT_DEGRADED)):
+                lines.append(record.explain())
+        return lines
 
 
 @dataclass
@@ -179,11 +206,24 @@ class ChaosCampaignResult:
         ]
         totals = ", ".join(f"{k}={v}" for k, v in
                            sorted(self.total_fault_counts().items())) or "none"
+        audit: List[str] = []
+        for cell in self.cells:
+            if not (cell.degraded_kernels or cell.fallback_invocations):
+                continue
+            lines = cell.degradation_explanations()
+            for line in lines[:3]:
+                audit.append(f"  [{cell.workload} @ p={cell.fault_level:.2f}] "
+                             f"{line}")
+            if len(lines) > 3:
+                audit.append(f"  [{cell.workload} @ p={cell.fault_level:.2f}] "
+                             f"... and {len(lines) - 3} more")
         return "\n".join([
             heading(f"Chaos campaign on {self.platform} (seed {self.seed})"),
             table,
             "",
             f"injected faults: {totals}",
+            *(["", "degradation audit (from decision records):", *audit]
+              if audit else []),
             "",
             *invariants,
         ])
@@ -192,7 +232,7 @@ class ChaosCampaignResult:
 def run_chaos_cell(spec: PlatformSpec, workload: Workload, characterization,
                    fault_level: float, seed: int,
                    metric: EnergyMetric = EDP,
-                   eas_config: Optional[EasConfig] = None) -> ChaosCell:
+                   eas_config: Optional[SchedulerConfig] = None) -> ChaosCell:
     """One workload under EAS on a faulty SoC at one fault level.
 
     Any :class:`ReproError` escaping the runtime marks the cell failed
@@ -222,7 +262,8 @@ def run_chaos_cell(spec: PlatformSpec, workload: Workload, characterization,
         return ChaosCell(workload=workload.abbrev, fault_level=fault_level,
                          ok=False, error=f"{type(exc).__name__}: {exc}",
                          items_expected=expected,
-                         fault_counts=faulty.fault_log.kinds())
+                         fault_counts=faulty.fault_log.kinds(),
+                         decision_records=tuple(scheduler.decisions))
     msr1 = faulty.read_energy_msr()
     counters1 = inner.snapshot_counters()
     processed = (counters1.cpu_items - counters0.cpu_items
@@ -240,6 +281,7 @@ def run_chaos_cell(spec: PlatformSpec, workload: Workload, characterization,
         fallback_invocations=fallbacks,
         degraded_kernels=len(scheduler.degraded_kernels),
         fault_counts=faulty.fault_log.kinds(),
+        decision_records=tuple(scheduler.decisions),
     )
 
 
@@ -248,7 +290,7 @@ def run_chaos_campaign(spec: Optional[PlatformSpec] = None,
                        fault_levels: Sequence[float] = DEFAULT_FAULT_LEVELS,
                        seed: int = 2016,
                        metric: EnergyMetric = EDP,
-                       eas_config: Optional[EasConfig] = None
+                       eas_config: Optional[SchedulerConfig] = None
                        ) -> ChaosCampaignResult:
     """Sweep fault probability over the workload suite under EAS.
 

@@ -8,14 +8,28 @@ Examples::
     python -m repro.harness --all
     python -m repro.harness --run CC --platform desktop --metric edp
     python -m repro.harness --run SL --strategies cpu,gpu,eas --metric energy
+    python -m repro.harness --run CC --trace /tmp/cc.json --metrics-out /tmp/cc-metrics.json
+    python -m repro.harness --run MM --strategies eas --fault-level 0.3 --seed 7
+
+``--figure`` and ``--experiment`` are interchangeable: both accept a
+bare number (``9``), a ``figN`` id, or a named experiment (``table1``,
+``chaos``).  Unknown names fail with did-you-mean suggestions.
+
+``--trace`` writes a Chrome trace-event JSON (load it in
+``chrome://tracing`` or Perfetto) merging scheduler/runtime spans,
+per-invocation decision records, and the simulated power timeline -
+one trace *process* per strategy.  ``--metrics-out`` writes the
+strategies' metric registries as one JSON snapshot.  Both are
+schema-validated formats (``python -m repro.obs.validate FILE``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.baselines import (
     CpuOnlyScheduler,
@@ -25,20 +39,40 @@ from repro.core.baselines import (
 from repro.core.metrics import metric_by_name
 from repro.core.scheduler import EnergyAwareScheduler
 from repro.errors import HarnessError
+from repro.harness.chaos import run_chaos_campaign
 from repro.harness.experiment import run_application
-from repro.harness.figures import REGENERATORS, regenerate
+from repro.harness.figures import REGENERATORS, experiment_id
 from repro.harness.report import format_table, heading
 from repro.harness.suite import get_characterization
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    TraceSection,
+    write_chrome_trace,
+)
+from repro.obs.observer import Observer
+from repro.soc.faults import FaultConfig
 from repro.soc.spec import baytrail_tablet, haswell_desktop
 from repro.workloads.registry import workload_by_abbrev
 
 
-def _figure_id(number: str) -> str:
-    """Accept a bare figure number or a named experiment id."""
-    try:
-        return f"fig{int(number)}"
-    except ValueError:
-        return number.lower()
+def _write_merged_metrics(path: str, observers: "Dict[str, Observer]",
+                          metadata: Dict[str, Any]) -> None:
+    """One metrics snapshot covering every strategy (names prefixed)."""
+    merged: Dict[str, Dict[str, Any]] = {
+        "counters": {}, "gauges": {}, "histograms": {}}
+    for strategy, observer in observers.items():
+        snapshot = observer.metrics.snapshot()
+        for kind in merged:
+            for name, value in snapshot[kind].items():
+                merged[kind][f"{strategy}/{name}"] = value
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": metadata,
+        "metrics": merged,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _run_custom(args: argparse.Namespace) -> int:
@@ -48,6 +82,9 @@ def _run_custom(args: argparse.Namespace) -> int:
     workload = workload_by_abbrev(args.run)
     metric = metric_by_name(args.metric)
     wanted = [s.strip().lower() for s in args.strategies.split(",")]
+    observing = bool(args.trace or args.metrics_out)
+    fault_config = (FaultConfig.from_level(args.fault_level, seed=args.seed)
+                    if args.fault_level > 0.0 else None)
 
     def make(name: str):
         if name == "cpu":
@@ -67,11 +104,28 @@ def _run_custom(args: argparse.Namespace) -> int:
                            "(use --strategies eas, for example)")
 
     print(heading(f"{workload.name} ({workload.abbrev}) on {spec.name}, "
-                  f"metric={metric.name}"))
+                  f"metric={metric.name}"
+                  + (f", fault-level={args.fault_level}"
+                     if fault_config else "")))
     rows = []
+    sections: List[TraceSection] = []
+    observers: Dict[str, Observer] = {}
     for name in wanted:
+        observer = None
+        if observing:
+            observer = Observer(metadata={
+                "workload": workload.abbrev, "platform": spec.name,
+                "strategy": name, "metric": metric.name,
+                "seed": args.seed, "fault_level": args.fault_level})
+            observers[name] = observer
         run = run_application(spec, workload, make(name), name,
-                              tablet=tablet, trace=bool(args.trace_csv))
+                              tablet=tablet,
+                              trace=bool(args.trace_csv) or bool(args.trace),
+                              observer=observer,
+                              fault_config=fault_config)
+        if observing:
+            sections.append(TraceSection(name=name, observer=observer,
+                                         power_trace=run.trace))
         alpha = "-" if run.final_alpha is None else f"{run.final_alpha:.2f}"
         rows.append((name.upper(), alpha, run.time_s, run.energy_j,
                      run.metric_value(metric)))
@@ -85,6 +139,16 @@ def _run_custom(args: argparse.Namespace) -> int:
          f"{metric.name} value"], rows))
     best = min(rows, key=lambda r: r[4])
     print(f"\nbest {metric.name}: {best[0]}")
+
+    metadata = {"workload": workload.abbrev, "platform": spec.name,
+                "metric": metric.name, "strategies": wanted,
+                "seed": args.seed, "fault_level": args.fault_level}
+    if args.trace:
+        count = write_chrome_trace(args.trace, sections, metadata)
+        print(f"[wrote {count} trace events to {args.trace}]")
+    if args.metrics_out:
+        _write_merged_metrics(args.metrics_out, observers, metadata)
+        print(f"[wrote metrics snapshot to {args.metrics_out}]")
     return 0
 
 
@@ -99,7 +163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="regenerate figure N (1-6, 9-12) or a named "
                             "experiment (e.g. table1, chaos)")
     group.add_argument("--experiment", metavar="ID",
-                       help="regenerate by id (fig1..fig12, table1)")
+                       help="alias of --figure: a number, figN id or "
+                            "experiment name")
     group.add_argument("--all", action="store_true",
                        help="regenerate every table and figure")
     group.add_argument("--list", action="store_true",
@@ -119,30 +184,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="directory for cached platform "
                              "characterizations (JSON)")
+    parser.add_argument("--seed", type=int, default=2016,
+                        help="seed for seeded experiments: the chaos "
+                             "campaign and --fault-level injection "
+                             "(default: 2016)")
+    parser.add_argument("--fault-level", type=float, default=0.0,
+                        metavar="P",
+                        help="with --run: execute on a faulty SoC at "
+                             "fault probability P (0 disables; "
+                             "see docs/ROBUSTNESS.md)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="with --run: write a Chrome trace-event JSON "
+                             "(spans + decisions + power timeline) to PATH")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="with --run: write the metrics registry "
+                             "snapshot to PATH as JSON")
     parser.add_argument("--trace-csv", default=None, metavar="PATH",
                         help="with --run and a single strategy: write the "
                              "power timeline of the run to PATH as CSV")
     args = parser.parse_args(argv)
+
+    if args.run is not None:
+        return _run_custom(args)
+
+    if args.trace or args.metrics_out or args.fault_level:
+        raise HarnessError(
+            "--trace/--metrics-out/--fault-level require --run")
 
     if args.list:
         for name in REGENERATORS:
             print(name)
         return 0
 
-    if args.run is not None:
-        return _run_custom(args)
-
     names: List[str]
     if args.all:
         names = list(REGENERATORS)
-    elif args.figure is not None:
-        names = [_figure_id(args.figure)]
     else:
-        names = [args.experiment]
+        names = [experiment_id(args.figure if args.figure is not None
+                               else args.experiment)]
 
     for name in names:
         started = time.perf_counter()
-        result = regenerate(name)
+        if name == "chaos":
+            result = run_chaos_campaign(seed=args.seed)
+        else:
+            result = REGENERATORS[name]()
         elapsed = time.perf_counter() - started
         print(result.render())
         print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")

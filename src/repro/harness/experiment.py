@@ -11,7 +11,9 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.core.metrics import EnergyMetric
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.runtime.runtime import ConcordRuntime, InvocationResult
+from repro.soc.faults import FaultConfig, FaultySoC
 from repro.soc.simulator import IntegratedProcessor
 from repro.soc.spec import PlatformSpec
 from repro.soc.trace import PowerTrace
@@ -51,14 +53,26 @@ class ApplicationRun:
 def run_application(spec: PlatformSpec, workload: Workload,
                     scheduler: object, strategy_name: str,
                     tablet: bool = False,
-                    trace: bool = False) -> ApplicationRun:
+                    trace: bool = False,
+                    observer: Optional[Observer] = None,
+                    fault_config: Optional[FaultConfig] = None) -> ApplicationRun:
     """Run all invocations of ``workload`` under ``scheduler``.
 
     A fresh processor is created per run, mirroring the paper's
-    per-experiment measurement methodology.
+    per-experiment measurement methodology.  An ``observer`` collects
+    spans, metrics, and the scheduler's decision records for the run
+    (and is also attached to the scheduler when it supports one); a
+    ``fault_config`` wraps the processor in the fault-injection
+    substrate so CLI runs can exercise the resilience paths.
     """
-    processor = IntegratedProcessor(spec, trace_enabled=trace)
-    runtime = ConcordRuntime(processor)
+    processor = IntegratedProcessor(spec, trace_enabled=trace,
+                                    observer=observer)
+    if fault_config is not None:
+        processor = FaultySoC(processor, fault_config)
+    runtime = ConcordRuntime(processor, observer=observer)
+    if observer is not None and getattr(scheduler, "observer",
+                                        None) is NULL_OBSERVER:
+        scheduler.observer = observer
     kernel = workload.make_kernel(tablet=tablet)
     t0 = processor.now
     msr0 = processor.read_energy_msr()

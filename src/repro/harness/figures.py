@@ -33,7 +33,7 @@ from repro.core.categories import WorkloadCategory, all_categories
 from repro.core.characterization import PlatformCharacterization
 from repro.core.classification import ClassificationInputs, OnlineClassifier
 from repro.core.metrics import EDP, ENERGY, EnergyMetric
-from repro.errors import HarnessError
+from repro.errors import UnknownNameError, closest_names
 from repro.harness.chaos import regenerate_chaos
 from repro.harness.report import format_bar_chart, format_series, format_table, heading
 from repro.harness.suite import (
@@ -468,12 +468,26 @@ REGENERATORS = {
 }
 
 
-def regenerate(name: str):
-    """Regenerate one experiment by id (e.g. ``fig9`` or ``table1``)."""
+def experiment_id(name: str) -> str:
+    """Normalize an experiment name: ``9``/``fig9``/``FIG9`` -> ``fig9``.
+
+    Raises :class:`~repro.errors.UnknownNameError` (a
+    :class:`~repro.errors.HarnessError`) with did-you-mean suggestions
+    when the result is not a registered experiment.
+    """
+    normalized = name.strip().lower()
     try:
-        factory = REGENERATORS[name.lower()]
-    except KeyError:
-        raise HarnessError(
+        normalized = f"fig{int(normalized)}"
+    except ValueError:
+        pass
+    if normalized not in REGENERATORS:
+        raise UnknownNameError(
             f"unknown experiment {name!r}; expected one of "
-            f"{sorted(REGENERATORS)}") from None
-    return factory()
+            f"{sorted(REGENERATORS)}",
+            suggestions=closest_names(normalized, list(REGENERATORS)))
+    return normalized
+
+
+def regenerate(name: str):
+    """Regenerate one experiment by id (e.g. ``9``, ``fig9``, ``table1``)."""
+    return REGENERATORS[experiment_id(name)]()

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.baselines import ProfiledPerfScheduler, StaticAlphaScheduler
 from repro.core.characterization import PlatformCharacterization, PowerCharacterizer
 from repro.core.metrics import EnergyMetric
-from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
 from repro.errors import HarnessError
 from repro.harness.experiment import ApplicationRun, run_application
 from repro.soc.simulator import IntegratedProcessor
@@ -179,7 +179,7 @@ class SuiteEvaluation:
 def evaluate_suite(spec: PlatformSpec, workloads: Sequence[Workload],
                    metric: EnergyMetric, tablet: bool = False,
                    sweeps: Optional[Dict[str, AlphaSweep]] = None,
-                   eas_config: Optional[EasConfig] = None) -> SuiteEvaluation:
+                   eas_config: Optional[SchedulerConfig] = None) -> SuiteEvaluation:
     """Run the full Fig. 9/10/11/12-style comparison for one metric.
 
     ``sweeps`` may carry precomputed alpha sweeps (they are metric-
@@ -199,7 +199,7 @@ def evaluate_suite(spec: PlatformSpec, workloads: Sequence[Workload],
 
         eas_scheduler = EnergyAwareScheduler(
             characterization=characterization, metric=metric,
-            config=eas_config or EasConfig())
+            config=eas_config or SchedulerConfig())
         eas_run = run_application(spec, workload, eas_scheduler,
                                   strategy_name="EAS", tablet=tablet)
         perf_run = run_application(spec, workload, ProfiledPerfScheduler(),

@@ -1,0 +1,183 @@
+"""Exporters: JSONL event log and Chrome trace-event JSON.
+
+Two file formats, both schema-validated by :mod:`repro.obs.validate`:
+
+* **JSONL** (``--metrics-out`` companion, chaos artifacts): one JSON
+  object per line, each tagged with a ``"type"`` of ``meta``, ``span``,
+  ``event``, ``decision`` or ``metrics``.  Line-oriented so campaign
+  logs can be grepped and streamed.
+
+* **Chrome trace-event** (``--trace``): the ``chrome://tracing`` /
+  Perfetto JSON object format (``{"traceEvents": [...]}``).  Scheduler
+  and runtime spans become ``"X"`` complete events, decision records
+  and fault events become ``"i"`` instant events, and the simulator's
+  :class:`~repro.soc.trace.PowerTrace` samples are merged onto the
+  *same simulated timeline* as ``"C"`` counter events - so the power
+  staircase of a profiling round lines up under the span that caused
+  it.  Timestamps are simulated microseconds when a simulated clock
+  was bound, host-wall microseconds otherwise (never mixed within one
+  section).
+
+Multiple runs (e.g. one per CLI strategy) export as separate trace
+*processes* via :class:`TraceSection`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.observer import Observer
+from repro.obs.spans import SpanRecord
+from repro.soc.trace import PowerTrace
+
+#: Schema version stamped into every export.
+SCHEMA_VERSION = 1
+
+#: Cap on power counter events per section; longer traces are
+#: decimated (and the decimation factor recorded in the metadata).
+MAX_POWER_EVENTS = 4000
+
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+
+def jsonl_lines(observer: Observer,
+                extra_meta: Optional[Dict[str, Any]] = None) -> List[Dict[str, Any]]:
+    """The event log as a list of JSON-ready dicts (one per line)."""
+    meta: Dict[str, Any] = {"type": "meta", "schema_version": SCHEMA_VERSION}
+    meta.update(observer.metadata)
+    if extra_meta:
+        meta.update(extra_meta)
+    lines: List[Dict[str, Any]] = [meta]
+    lines.extend({"type": "span", **span.to_dict()} for span in observer.spans)
+    lines.extend({"type": "event", **event.to_dict()}
+                 for event in observer.events)
+    lines.extend({"type": "decision", **record.to_dict()}
+                 for record in observer.decisions)
+    lines.append({"type": "metrics", "metrics": observer.metrics.snapshot()})
+    return lines
+
+
+def write_jsonl(path: str, observer: Observer,
+                extra_meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write the JSONL event log; returns the number of lines."""
+    lines = jsonl_lines(observer, extra_meta)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(lines)
+
+
+def write_metrics(path: str, observer: Observer,
+                  extra_meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write the metrics snapshot (``--metrics-out``) as one JSON object."""
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": {**observer.metadata, **(extra_meta or {})},
+        "metrics": observer.metrics.snapshot(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TraceSection:
+    """One run's worth of observability, exported as one trace process."""
+
+    name: str
+    observer: Optional[Observer] = None
+    power_trace: Optional[PowerTrace] = None
+
+
+def _span_ts_us(span: SpanRecord, wall_origin: float) -> "tuple[float, float]":
+    """(ts, dur) in microseconds on the section's timeline."""
+    if span.sim_start_s is not None:
+        ts = span.sim_start_s * 1e6
+        dur = (span.sim_duration_s or 0.0) * 1e6
+    else:
+        ts = (span.wall_start_s - wall_origin) * 1e6
+        dur = (span.wall_duration_s or 0.0) * 1e6
+    return ts, max(dur, 0.0)
+
+
+def chrome_trace_events(section: TraceSection, pid: int) -> List[Dict[str, Any]]:
+    """All trace events of one section, as JSON-ready dicts."""
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": section.name},
+    }]
+    observer = section.observer
+    if observer is not None:
+        wall_origin = observer.spans[0].wall_start_s if observer.spans else 0.0
+        for span in observer.spans:
+            ts, dur = _span_ts_us(span, wall_origin)
+            args: Dict[str, Any] = dict(span.attrs)
+            if span.wall_duration_s is not None:
+                args["wall_us"] = span.wall_duration_s * 1e6
+            events.append({
+                "ph": "X", "pid": pid, "tid": 0, "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ts": ts, "dur": dur, "args": args,
+            })
+        for point in observer.events:
+            ts = (point.sim_s * 1e6 if point.sim_s is not None
+                  else (point.wall_s - wall_origin) * 1e6)
+            events.append({
+                "ph": "i", "pid": pid, "tid": 0, "name": point.name,
+                "cat": "event", "s": "t", "ts": ts,
+                "args": dict(point.attrs),
+            })
+        for record in observer.decisions:
+            ts = (record.sim_time_s or 0.0) * 1e6
+            events.append({
+                "ph": "i", "pid": pid, "tid": 0,
+                "name": f"decision:{record.exit_path}",
+                "cat": "decision", "s": "t", "ts": ts,
+                "args": record.to_dict(),
+            })
+    trace = section.power_trace
+    if trace is not None and len(trace):
+        stride = max(1, -(-len(trace.samples) // MAX_POWER_EVENTS))
+        for sample in trace.samples[::stride]:
+            events.append({
+                "ph": "C", "pid": pid, "tid": 0, "name": "power_w",
+                "ts": sample.t * 1e6,
+                "args": {"package": round(sample.package_w, 4),
+                         "cpu": round(sample.cpu_w, 4),
+                         "gpu": round(sample.gpu_w, 4)},
+            })
+        if stride > 1:
+            events[0]["args"]["power_decimation"] = stride
+    return events
+
+
+def chrome_trace(sections: Sequence[TraceSection],
+                 metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The full trace object (``{"traceEvents": [...]}``)."""
+    events: List[Dict[str, Any]] = []
+    for pid, section in enumerate(sections, start=1):
+        events.extend(chrome_trace_events(section, pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema_version": SCHEMA_VERSION,
+                      **(metadata or {})},
+    }
+
+
+def write_chrome_trace(path: str, sections: Sequence[TraceSection],
+                       metadata: Optional[Dict[str, Any]] = None) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    trace = chrome_trace(sections, metadata)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, sort_keys=True)
+        fh.write("\n")
+    return len(trace["traceEvents"])

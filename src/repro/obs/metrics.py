@@ -1,0 +1,140 @@
+"""Metrics registry: counters, gauges, and summary histograms.
+
+The registry is deliberately small - the runtime's instrumentation
+points need only three shapes:
+
+* :class:`Counter` - monotone totals (profiling rounds, retries,
+  steals, injected-fault observations);
+* :class:`Gauge` - last-written values (a kernel's leaky-bucket fault
+  level, the MSR's lifetime wrap count);
+* :class:`Histogram` - bounded-memory summaries of repeated
+  measurements (grid-search microseconds, per-invocation decision
+  overhead).
+
+Metric names are dotted strings (``eas.profiling_rounds``); per-kernel
+instances append the kernel key (``eas.fault_bucket.nbody``).  The
+whole registry snapshots to one JSON-ready dict, which is what
+``--metrics-out`` writes and what the schema validator checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+#: Histograms keep at most this many raw samples for percentiles; the
+#: running count/sum/min/max stay exact beyond it.
+_RESERVOIR_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Running summary (count/sum/min/max) plus a capped reservoir."""
+
+    __slots__ = ("count", "total", "min", "max", "_samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < _RESERVOIR_CAP:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1,
+                   max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created named metrics with a JSON-ready snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as one sorted, JSON-serializable dict."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].summary()
+                           for name in sorted(self._histograms)},
+        }

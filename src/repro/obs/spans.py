@@ -1,0 +1,88 @@
+"""Span records: nested, wall- and simulated-time stamped intervals.
+
+A span brackets one unit of runtime work ("invocation",
+"profiling_round", "grid_search", "phase", ...).  Every span carries
+*two* clocks:
+
+* **wall time** (``time.perf_counter``) - what the scheduling
+  computation actually costs on the host, the quantity the paper's
+  Section 5 reports as 1-2 microseconds per invocation;
+* **simulated time** - where the work falls on the SoC's virtual
+  timeline, so spans can be merged with the simulator's
+  :class:`~repro.soc.trace.PowerTrace` onto one Chrome-trace timeline.
+
+Spans nest: the observer maintains a stack, and each record stores its
+depth and its parent's sequence number, so exporters can reconstruct
+the tree without any global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    #: Hierarchical name, e.g. ``eas.profiling_round``.
+    name: str
+    #: Sequence number, unique within one observer (preorder).
+    seq: int
+    #: Sequence number of the enclosing span (None at the root).
+    parent_seq: Optional[int]
+    #: Nesting depth (0 = root).
+    depth: int
+    #: Host wall clock (``time.perf_counter``) at entry/exit.
+    wall_start_s: float
+    wall_end_s: Optional[float] = None
+    #: Simulated SoC time at entry/exit (None when no clock is bound).
+    sim_start_s: Optional[float] = None
+    sim_end_s: Optional[float] = None
+    #: Free-form structured attributes (JSON-serializable values).
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_duration_s(self) -> Optional[float]:
+        if self.wall_end_s is None:
+            return None
+        return self.wall_end_s - self.wall_start_s
+
+    @property
+    def sim_duration_s(self) -> Optional[float]:
+        if self.sim_start_s is None or self.sim_end_s is None:
+            return None
+        return self.sim_end_s - self.sim_start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the JSONL exporter)."""
+        return {
+            "name": self.name,
+            "seq": self.seq,
+            "parent_seq": self.parent_seq,
+            "depth": self.depth,
+            "wall_start_s": self.wall_start_s,
+            "wall_end_s": self.wall_end_s,
+            "sim_start_s": self.sim_start_s,
+            "sim_end_s": self.sim_end_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class EventRecord:
+    """One point event (no duration), e.g. an observed GPU fault."""
+
+    name: str
+    wall_s: float
+    sim_s: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "sim_s": self.sim_s,
+            "attrs": dict(self.attrs),
+        }

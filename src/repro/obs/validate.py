@@ -1,0 +1,210 @@
+"""Schema validation for observability exports.
+
+Hand-rolled structural validators (no third-party schema dependency)
+for the three file formats :mod:`repro.obs.export` emits:
+
+* Chrome trace-event JSON (``--trace``),
+* metrics snapshots (``--metrics-out``),
+* JSONL event logs.
+
+Every validator raises :class:`~repro.errors.ObservabilityError` with
+a path-qualified message on the first violation, so a CI smoke step
+can simply run::
+
+    python -m repro.obs.validate /tmp/t.json
+
+which sniffs the format from the payload and exits non-zero on an
+invalid file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ObservabilityError
+
+_NUM = (int, float)
+
+#: Chrome event phases the exporter emits.
+_KNOWN_PHASES = {"X", "i", "C", "M"}
+
+_JSONL_TYPES = {"meta", "span", "event", "decision", "metrics"}
+
+_HISTOGRAM_KEYS = {"count", "sum", "min", "max", "mean", "p50", "p95"}
+
+
+def _fail(where: str, message: str) -> None:
+    raise ObservabilityError(f"{where}: {message}")
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        _fail(where, message)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+def validate_trace_events(obj: Any) -> int:
+    """Validate a Chrome trace object; returns the event count."""
+    _require(isinstance(obj, dict), "trace", "top level must be an object")
+    _require("traceEvents" in obj, "trace", "missing 'traceEvents'")
+    events = obj["traceEvents"]
+    _require(isinstance(events, list), "traceEvents", "must be a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        _require(isinstance(event, dict), where, "must be an object")
+        ph = event.get("ph")
+        _require(isinstance(ph, str) and ph in _KNOWN_PHASES, where,
+                 f"bad phase {ph!r} (expected one of {sorted(_KNOWN_PHASES)})")
+        _require(isinstance(event.get("pid"), int), where, "missing int 'pid'")
+        _require(isinstance(event.get("tid"), int), where, "missing int 'tid'")
+        _require(isinstance(event.get("name"), str), where, "missing 'name'")
+        if ph != "M":
+            _require(isinstance(event.get("ts"), _NUM), where,
+                     "missing numeric 'ts'")
+        if ph == "X":
+            _require(isinstance(event.get("dur"), _NUM)
+                     and event["dur"] >= 0,
+                     where, "'X' event needs non-negative numeric 'dur'")
+        if ph == "i":
+            _require(event.get("s") in ("t", "p", "g"), where,
+                     "'i' event needs scope 's' of t/p/g")
+        if "args" in event:
+            _require(isinstance(event["args"], dict), where,
+                     "'args' must be an object")
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Metrics snapshots
+# ---------------------------------------------------------------------------
+
+def _validate_metrics_snapshot(snapshot: Any, where: str) -> None:
+    _require(isinstance(snapshot, dict), where, "must be an object")
+    for kind in ("counters", "gauges", "histograms"):
+        _require(kind in snapshot, where, f"missing '{kind}'")
+        _require(isinstance(snapshot[kind], dict), f"{where}.{kind}",
+                 "must be an object")
+    for name, value in snapshot["counters"].items():
+        _require(isinstance(value, _NUM), f"{where}.counters[{name!r}]",
+                 "must be numeric")
+    for name, value in snapshot["gauges"].items():
+        _require(isinstance(value, _NUM), f"{where}.gauges[{name!r}]",
+                 "must be numeric")
+    for name, summary in snapshot["histograms"].items():
+        hwhere = f"{where}.histograms[{name!r}]"
+        _require(isinstance(summary, dict), hwhere, "must be an object")
+        missing = _HISTOGRAM_KEYS - set(summary)
+        _require(not missing, hwhere, f"missing keys {sorted(missing)}")
+        for key in _HISTOGRAM_KEYS:
+            _require(isinstance(summary[key], _NUM), f"{hwhere}.{key}",
+                     "must be numeric")
+
+
+def validate_metrics(obj: Any) -> None:
+    """Validate a ``--metrics-out`` payload."""
+    _require(isinstance(obj, dict), "metrics", "top level must be an object")
+    _require(isinstance(obj.get("schema_version"), int), "metrics",
+             "missing int 'schema_version'")
+    _require(isinstance(obj.get("metadata"), dict), "metrics",
+             "missing 'metadata' object")
+    _validate_metrics_snapshot(obj.get("metrics"), "metrics.metrics")
+
+
+# ---------------------------------------------------------------------------
+# JSONL event logs
+# ---------------------------------------------------------------------------
+
+def validate_jsonl(lines: Iterable[Dict[str, Any]]) -> int:
+    """Validate parsed JSONL event-log lines; returns the line count."""
+    count = 0
+    saw_meta = False
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        _require(isinstance(line, dict), where, "must be an object")
+        kind = line.get("type")
+        _require(kind in _JSONL_TYPES, where,
+                 f"bad type {kind!r} (expected one of {sorted(_JSONL_TYPES)})")
+        if kind == "meta":
+            saw_meta = True
+            _require(isinstance(line.get("schema_version"), int), where,
+                     "meta line needs int 'schema_version'")
+        elif kind == "span":
+            for key in ("name", "seq", "depth", "wall_start_s"):
+                _require(key in line, where, f"span line missing {key!r}")
+        elif kind == "event":
+            _require("name" in line and "wall_s" in line, where,
+                     "event line missing 'name'/'wall_s'")
+        elif kind == "decision":
+            for key in ("exit_path", "kernel", "alpha", "fault_events"):
+                _require(key in line, where, f"decision line missing {key!r}")
+        elif kind == "metrics":
+            _validate_metrics_snapshot(line.get("metrics"), where)
+        count += 1
+    _require(saw_meta, "jsonl", "no meta line")
+    return count
+
+
+# ---------------------------------------------------------------------------
+# File-level sniffing entry point
+# ---------------------------------------------------------------------------
+
+def validate_file(path: str) -> str:
+    """Validate one exported file, sniffing its format.
+
+    Returns the detected format: ``"chrome-trace"``, ``"metrics"`` or
+    ``"jsonl"``.  Raises :class:`ObservabilityError` on violations.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        _fail(path, "empty file")
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError:
+        obj = None
+    if isinstance(obj, dict):
+        if "traceEvents" in obj:
+            validate_trace_events(obj)
+            return "chrome-trace"
+        if "metrics" in obj:
+            validate_metrics(obj)
+            return "metrics"
+        _fail(path, "JSON object is neither a chrome trace nor a "
+                    "metrics snapshot")
+    # Not a single JSON document: try JSONL.
+    lines: List[Dict[str, Any]] = []
+    for i, raw in enumerate(text.splitlines()):
+        if not raw.strip():
+            continue
+        try:
+            lines.append(json.loads(raw))
+        except json.JSONDecodeError as exc:
+            _fail(path, f"line {i + 1} is not valid JSON: {exc}")
+    validate_jsonl(lines)
+    return "jsonl"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.validate FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    for path in argv:
+        try:
+            kind = validate_file(path)
+        except ObservabilityError as exc:
+            print(f"{path}: INVALID - {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: valid {kind}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

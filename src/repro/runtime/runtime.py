@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.errors import RuntimeLayerError, SchedulingError
+from repro.obs.observer import Observer, resolve
 from repro.runtime.kernel import Kernel
 from repro.soc.counters import CounterDelta
 from repro.soc.simulator import IntegratedProcessor, PhaseRequest, PhaseResult
@@ -190,8 +191,13 @@ class KernelLaunch:
 class ConcordRuntime:
     """Owns one simulated processor; runs kernels under a scheduler."""
 
-    def __init__(self, processor: IntegratedProcessor) -> None:
+    def __init__(self, processor: IntegratedProcessor,
+                 observer: Optional[Observer] = None) -> None:
         self.processor = processor
+        self.observer = resolve(observer)
+        # Spans and events opened under this runtime carry simulated
+        # timestamps from its processor's clock.
+        self.observer.bind_sim_clock(lambda: processor.now)
         self._profiles: dict = {}
 
     def _cost_profile(self, kernel: Kernel) -> CostProfile:
@@ -215,12 +221,21 @@ class ConcordRuntime:
                               self._cost_profile(kernel))
         t0 = self.processor.now
         msr0 = self.processor.read_energy_msr()
-        record = scheduler.execute(launch)
+        obs = self.observer
+        if obs.enabled:
+            obs.inc("runtime.invocations")
+            with obs.span("runtime.parallel_for", kernel=kernel.name,
+                          n_items=n_items):
+                record = scheduler.execute(launch)
+        else:
+            record = scheduler.execute(launch)
         if not launch.is_done:
             raise SchedulingError(
                 f"scheduler {type(scheduler).__name__} left "
                 f"{launch.remaining_items:.0f} items unprocessed")
         msr1 = self.processor.read_energy_msr()
+        if obs.enabled:
+            obs.observe("runtime.invocation_s", self.processor.now - t0)
         cpu_items = sum(p.cpu_items for p in launch.phases)
         gpu_items = sum(p.gpu_items for p in launch.phases)
         return InvocationResult(

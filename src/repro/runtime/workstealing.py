@@ -15,6 +15,7 @@ import threading
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import RuntimeLayerError
+from repro.obs.observer import Observer, resolve
 from repro.runtime.deque import ChaseLevDeque
 
 #: Iteration ranges are split into chunks of this many items before
@@ -28,7 +29,7 @@ class WorkStealingPool:
     """A pool of worker threads with per-worker deques and stealing."""
 
     def __init__(self, num_workers: int = 4, chunk: int = DEFAULT_CHUNK,
-                 seed: int = 0) -> None:
+                 seed: int = 0, observer: Optional[Observer] = None) -> None:
         if num_workers < 1:
             raise RuntimeLayerError("num_workers must be >= 1")
         if chunk < 1:
@@ -36,6 +37,7 @@ class WorkStealingPool:
         self.num_workers = num_workers
         self.chunk = chunk
         self._seed = seed
+        self.observer = resolve(observer)
 
     def _deal(self, start: int, stop: int) -> List[ChaseLevDeque[Range]]:
         """Split [start, stop) into chunks dealt round-robin to deques."""
@@ -66,6 +68,9 @@ class WorkStealingPool:
         executed: List[Range] = []
         executed_lock = threading.Lock()
         errors: List[BaseException] = []
+        # Per-worker steal tallies, merged only after the join so the
+        # hot loop takes no extra locks when observability is on.
+        steals = [0] * self.num_workers
 
         def worker_main(wid: int) -> None:
             rng = random.Random(self._seed * 1000003 + wid)
@@ -78,6 +83,8 @@ class WorkStealingPool:
                 if item is None:
                     victim = rng.randrange(self.num_workers)
                     item = deques[victim].steal()
+                    if item is not None:
+                        steals[wid] += 1
                 if item is None:
                     misses += 1
                     continue
@@ -98,6 +105,11 @@ class WorkStealingPool:
             t.start()
         for t in threads:
             t.join()
+        obs = self.observer
+        if obs.enabled:
+            obs.inc("ws.runs")
+            obs.inc("ws.chunks_executed", len(executed))
+            obs.inc("ws.steals", sum(steals))
         if errors:
             raise errors[0]
         return sorted(executed)

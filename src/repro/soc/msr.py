@@ -77,3 +77,14 @@ class EnergyMsr:
         """Exact accumulated energy (test/diagnostic use only - not
         observable through the hardware interface)."""
         return self._accumulated_j
+
+    @property
+    def wrap_count(self) -> int:
+        """How many times the 32-bit register has wrapped so far.
+
+        Diagnostic-only (real hardware cannot report this); the
+        observability layer exports it so a harness can tell whether a
+        long measurement window risked the multi-wraparound hazard of
+        :meth:`delta_units`.
+        """
+        return int(self._accumulated_j / self.energy_unit_j) >> _MSR_BITS

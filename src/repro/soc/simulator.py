@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SimulationError
+from repro.obs.observer import Observer, resolve
 from repro.soc.cost_model import KernelCostModel
 from repro.soc.counters import CounterDelta, CounterSnapshot, PerfCounters
 from repro.soc.device import compute_rates
@@ -86,14 +87,17 @@ class PhaseResult:
 class IntegratedProcessor:
     """A simulated integrated CPU-GPU package with PCU, MSR and counters."""
 
-    def __init__(self, spec: PlatformSpec, trace_enabled: bool = False) -> None:
+    def __init__(self, spec: PlatformSpec, trace_enabled: bool = False,
+                 observer: "Optional[Observer]" = None) -> None:
         self.spec = spec
         self.now = 0.0
         self.pcu = Pcu(spec)
         self.msr = EnergyMsr(spec.energy_unit_j)
         self.counters = PerfCounters()
         self.trace = PowerTrace(enabled=trace_enabled)
+        self.observer = resolve(observer)
         self._last_package_w = idle_power(spec).package_w
+        self._last_phase_ticks = 0
 
     # -- software-visible interface (what schedulers may use) -------------------
 
@@ -143,6 +147,27 @@ class IntegratedProcessor:
 
     def run_phase(self, request: PhaseRequest) -> PhaseResult:
         """Execute one phase to completion and return observations."""
+        obs = self.observer
+        if not obs.enabled:
+            return self._run_phase_inner(request)
+        if request.stop_when_gpu_done:
+            kind = "profiling"
+        elif request.cpu_region is not None and request.gpu_region is not None:
+            kind = "partitioned"
+        elif request.gpu_region is not None:
+            kind = "gpu-only"
+        else:
+            kind = "cpu-only"
+        with obs.span("soc.phase", kernel=request.cost.name, kind=kind):
+            result = self._run_phase_inner(request)
+        obs.inc("soc.phases")
+        obs.inc("soc.ticks", self._last_phase_ticks)
+        obs.observe("soc.phase_ticks", self._last_phase_ticks)
+        obs.observe("soc.phase_s", result.duration_s)
+        obs.set_gauge("soc.msr_wraps", self.msr.wrap_count)
+        return result
+
+    def _run_phase_inner(self, request: PhaseRequest) -> PhaseResult:
         spec = self.spec
         cost = request.cost
         cpu_region = request.cpu_region
@@ -170,6 +195,7 @@ class IntegratedProcessor:
         # ramping, launch completion, a device finishing - snaps it
         # back to the base tick, so transients keep full resolution.
         stable_ticks = 0
+        total_ticks = 0
         prev_cpu_freq = self.pcu.state.cpu_freq_hz
         prev_gpu_freq = self.pcu.state.gpu_freq_hz
 
@@ -264,9 +290,11 @@ class IntegratedProcessor:
             self._account_tick(dt, breakdown.package_w, breakdown.cpu_w,
                                breakdown.gpu_w, breakdown.uncore_w,
                                gpu_active=gpu_running)
+            total_ticks += 1
 
         if gpu_present and gpu_done_t is None:
             gpu_done_t = self.now
+        self._last_phase_ticks = total_ticks
         # The kernel has completed: the GPU busy counter (A26) must
         # read idle, whatever the final tick happened to be doing.
         self.counters.account_gpu_busy(False, 0.0)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.errors import WorkloadError
+from repro.errors import UnknownNameError, closest_names
 from repro.workloads.base import Workload
 
 
@@ -47,10 +47,21 @@ def all_workloads() -> List[Workload]:
 
 
 def workload_by_abbrev(abbrev: str) -> Workload:
-    for workload in all_workloads():
+    """Look up a suite workload by its Table-1 abbreviation.
+
+    Raises :class:`~repro.errors.UnknownNameError` (which is also a
+    :class:`~repro.errors.WorkloadError`) with did-you-mean
+    suggestions on a miss.
+    """
+    workloads = all_workloads()
+    for workload in workloads:
         if workload.abbrev.lower() == abbrev.lower():
             return workload
-    raise WorkloadError(f"unknown workload abbreviation {abbrev!r}")
+    known = [w.abbrev for w in workloads]
+    raise UnknownNameError(
+        f"unknown workload abbreviation {abbrev!r}; "
+        f"expected one of {known}",
+        suggestions=closest_names(abbrev, known))
 
 
 def _suites() -> "tuple[List[str], List[str]]":

@@ -1,0 +1,262 @@
+"""Every EAS exit path emits a structured :class:`DecisionRecord`.
+
+One test per row of the exit-path table in :mod:`repro.obs.records`,
+plus the audit-quality properties the chaos campaign relies on (fault
+events named, fallback reasons explicit) and the semantic-equivalence
+guarantee of the disabled observer.
+"""
+
+import pytest
+
+from repro.core.metrics import EDP
+from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
+from repro.errors import GpuFaultError
+from repro.obs import ALL_EXIT_PATHS, Observer
+from repro.obs.records import (
+    EXIT_COOLDOWN,
+    EXIT_DEGRADED,
+    EXIT_FAULT_DEGRADED,
+    EXIT_GPU_BUSY,
+    EXIT_PROFILED,
+    EXIT_SMALL_N,
+    EXIT_TABLE_HIT,
+)
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.faults import FaultConfig, FaultySoC
+from repro.soc.simulator import IntegratedProcessor
+
+N_ITEMS = 2_000_000.0
+
+
+def make_kernel(name="audit"):
+    return Kernel(name=name, cost=KernelCostModel(
+        name=name, instructions_per_item=500.0,
+        loadstore_fraction=0.2, l3_miss_rate=0.0,
+        cpu_simd_efficiency=0.5, gpu_simd_efficiency=0.5))
+
+
+class _ScriptedGpu:
+    """Fail GPU-bearing phases per an explicit boolean script."""
+
+    def __init__(self, inner, script):
+        self.inner = inner
+        self._script = list(script)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    @property
+    def gpu_busy(self):
+        return self.inner.gpu_busy
+
+    def run_phase(self, request):
+        gpu_present = (request.gpu_region is not None
+                       and request.gpu_region.items_remaining > 1e-9)
+        if gpu_present and self._script and self._script.pop(0):
+            self.inner.idle(self.inner.spec.gpu.kernel_launch_overhead_s)
+            raise GpuFaultError("scripted launch failure")
+        return self.inner.run_phase(request)
+
+
+@pytest.fixture
+def eas(desktop_characterization):
+    return EnergyAwareScheduler(desktop_characterization, EDP)
+
+
+def run_once(processor, kernel, scheduler, n=N_ITEMS):
+    return ConcordRuntime(processor).parallel_for(kernel, n, scheduler)
+
+
+class TestExitPaths:
+    def test_profiled(self, desktop, eas):
+        kernel = make_kernel()
+        run_once(IntegratedProcessor(desktop), kernel, eas)
+        [d] = eas.decisions
+        assert d.exit_path == EXIT_PROFILED
+        assert d.kernel == kernel.key
+        assert d.n_items == N_ITEMS
+        assert d.profile_rounds >= 1
+        assert d.category_code is not None
+        assert d.cpu_throughput > 0 and d.gpu_throughput > 0
+        assert d.decision_overhead_s > 0
+        assert not d.from_table and not d.table_hit
+        assert d.fallback_reason is None and d.fault_events == []
+
+    def test_table_hit(self, desktop, eas):
+        kernel = make_kernel()
+        processor = IntegratedProcessor(desktop)
+        run_once(processor, kernel, eas)
+        run_once(processor, kernel, eas)
+        d = eas.decisions[-1]
+        assert d.exit_path == EXIT_TABLE_HIT
+        assert d.from_table and d.table_hit
+        assert d.alpha == eas.decisions[0].alpha
+        assert d.profile_rounds == 0
+
+    def test_small_n(self, desktop, eas):
+        kernel = make_kernel()
+        n = float(desktop.gpu_profile_size) / 2
+        run_once(IntegratedProcessor(desktop), kernel, eas, n=n)
+        [d] = eas.decisions
+        assert d.exit_path == EXIT_SMALL_N
+        assert d.alpha == 0.0
+        assert "GPU_PROFILE_SIZE" in d.fallback_reason
+
+    def test_gpu_busy(self, desktop, eas):
+        kernel = make_kernel()
+        processor = IntegratedProcessor(desktop)
+        processor.counters.account_gpu_busy(True, 0.0)
+        run_once(processor, kernel, eas)
+        [d] = eas.decisions
+        assert d.exit_path == EXIT_GPU_BUSY
+        assert d.alpha == 0.0
+        assert "busy" in d.fallback_reason
+
+    def test_fault_degraded_then_sticky_degraded(
+            self, desktop, desktop_characterization):
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP)
+        kernel = make_kernel()
+        faulty = FaultySoC(IntegratedProcessor(desktop),
+                           FaultConfig(seed=1, gpu_launch_failure_prob=1.0))
+        runtime = ConcordRuntime(faulty)
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        first = scheduler.decisions[-1]
+        assert first.exit_path == EXIT_FAULT_DEGRADED
+        assert str(scheduler.config.fault_budget) in first.fallback_reason
+        # Named, ordered fault events from *this* invocation.
+        assert len(first.fault_events) >= scheduler.config.fault_budget
+        assert all("GPU" in e or "gpu" in e for e in first.fault_events)
+        assert first.faults_observed >= scheduler.config.fault_budget
+
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        second = scheduler.decisions[-1]
+        assert second.exit_path == EXIT_DEGRADED
+        assert "sticky" in second.fallback_reason
+        # The sticky record still names the original fault events.
+        assert second.fault_events == first.fault_events
+
+    def test_cooldown(self, desktop, desktop_characterization):
+        """A transient fault with a cooldown configured: the *next*
+        invocation inside the window is CPU-only with the window end
+        named, and the one after the window profiles again."""
+        config = SchedulerConfig(fault_budget=100, fault_cooldown_s=1e6)
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                         config=config)
+        kernel = make_kernel()
+        scripted = _ScriptedGpu(IntegratedProcessor(desktop),
+                                [True, False])
+        runtime = ConcordRuntime(scripted)
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        d = scheduler.decisions[-1]
+        assert d.exit_path == EXIT_COOLDOWN
+        assert "cooldown" in d.fallback_reason
+        assert d.alpha == 0.0
+
+    def test_profiled_with_partitioned_fault_names_the_fallback(
+            self, desktop, desktop_characterization):
+        """Profiling succeeds, every partitioned retry faults: the
+        exit is still 'profiled' but the record explains the CPU
+        drain."""
+        config = SchedulerConfig(fault_budget=3, max_profile_retries=0)
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                         config=config)
+        kernel = make_kernel()
+        # Pass profiling chunks through, fail everything afterwards.
+        scripted = _ScriptedGpu(IntegratedProcessor(desktop), [])
+        runtime = ConcordRuntime(scripted)
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)  # warm table G
+        scripted._script = [True] * 50
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        d = scheduler.decisions[-1]
+        assert d.exit_path == EXIT_TABLE_HIT
+        assert d.alpha == 0.0
+        assert d.fallback_reason is not None
+        assert "CPU" in d.fallback_reason
+        # The partitioned-phase faults, named and in order.
+        assert [e for e in d.fault_events if e.startswith("partitioned:")]
+
+    def test_quarantined_alpha_is_flagged(
+            self, desktop, desktop_characterization):
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP)
+        kernel = make_kernel()
+        scripted = _ScriptedGpu(IntegratedProcessor(desktop), [True])
+        run_once(scripted, kernel, scheduler)
+        [d] = scheduler.decisions
+        assert d.exit_path == EXIT_PROFILED
+        assert d.quarantined
+        assert d.fault_events
+
+    def test_every_exit_path_is_reachable(self):
+        """The table in repro.obs.records is the closed set these
+        tests walk: no path untested, no test outside the set."""
+        tested = {EXIT_PROFILED, EXIT_TABLE_HIT, EXIT_SMALL_N,
+                  EXIT_GPU_BUSY, EXIT_DEGRADED, EXIT_COOLDOWN,
+                  EXIT_FAULT_DEGRADED}
+        assert tested == set(ALL_EXIT_PATHS)
+
+
+class TestRecordQuality:
+    def test_records_are_json_ready_and_explainable(self, desktop, eas):
+        import json
+
+        kernel = make_kernel()
+        processor = IntegratedProcessor(desktop)
+        run_once(processor, kernel, eas)
+        run_once(processor, kernel, eas, n=100.0)
+        for d in eas.decisions:
+            payload = json.loads(json.dumps(d.to_dict()))
+            assert payload["exit_path"] == d.exit_path
+            line = d.explain()
+            assert kernel.key in line and d.exit_path in line
+
+    def test_decision_overhead_is_microseconds(self, desktop, eas):
+        run_once(IntegratedProcessor(desktop), make_kernel(), eas)
+        [d] = eas.decisions
+        assert 0.0 < d.decision_overhead_s < 0.01
+
+    def test_observer_receives_the_same_records(
+            self, desktop, desktop_characterization):
+        observer = Observer()
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                         observer=observer)
+        processor = IntegratedProcessor(desktop, observer=observer)
+        ConcordRuntime(processor, observer=observer).parallel_for(
+            make_kernel(), N_ITEMS, scheduler)
+        assert observer.decisions == scheduler.decisions
+        # Stamped on the simulated timeline by the bound clock.
+        assert all(d.sim_time_s is not None for d in observer.decisions)
+
+
+class TestDisabledObserverEquivalence:
+    def test_observed_run_schedules_identically(
+            self, desktop, desktop_characterization):
+        """Observability must never change scheduling: alpha, rounds,
+        items, simulated time and energy all match bit-for-bit between
+        an observed run and a bare one."""
+        def run(observer):
+            scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                             observer=observer)
+            processor = IntegratedProcessor(desktop, observer=observer)
+            runtime = ConcordRuntime(processor, observer=observer)
+            kernel = make_kernel()
+            results = [runtime.parallel_for(kernel, N_ITEMS, scheduler),
+                       runtime.parallel_for(kernel, N_ITEMS / 2, scheduler)]
+            return results, processor.now, processor.msr.lifetime_joules, \
+                scheduler.decisions
+
+        bare_results, bare_t, bare_e, bare_decisions = run(None)
+        obs_results, obs_t, obs_e, obs_decisions = run(Observer())
+
+        assert obs_t == bare_t
+        assert obs_e == bare_e
+        for bare, observed in zip(bare_results, obs_results):
+            assert observed.alpha == bare.alpha
+            assert observed.profile_rounds == bare.profile_rounds
+            assert observed.cpu_items == bare.cpu_items
+            assert observed.gpu_items == bare.gpu_items
+        for bare, observed in zip(bare_decisions, obs_decisions):
+            assert observed.exit_path == bare.exit_path
+            assert observed.alpha == bare.alpha

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.metrics import EDP, ENERGY
-from repro.core.scheduler import EasConfig, EnergyAwareScheduler
+from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
 from repro.runtime.kernel import Kernel
 from repro.runtime.runtime import ConcordRuntime
 from repro.soc.cost_model import KernelCostModel
@@ -97,7 +97,7 @@ class TestTableReuse:
     def test_outgrown_entry_triggers_reprofiling(self, runtime,
                                                  desktop_characterization):
         eas = EnergyAwareScheduler(desktop_characterization, EDP,
-                                   config=EasConfig(reprofile_growth=4.0))
+                                   config=SchedulerConfig(reprofile_growth=4.0))
         kernel = compute_kernel()
         runtime.parallel_for(kernel, 5_000.0, eas)
         grown = runtime.parallel_for(kernel, 1_000_000.0, eas)
@@ -105,7 +105,7 @@ class TestTableReuse:
 
     def test_always_reprofile_config(self, runtime, desktop_characterization):
         eas = EnergyAwareScheduler(desktop_characterization, EDP,
-                                   config=EasConfig(always_reprofile=True))
+                                   config=SchedulerConfig(always_reprofile=True))
         kernel = compute_kernel()
         runtime.parallel_for(kernel, 2_000_000.0, eas)
         second = runtime.parallel_for(kernel, 2_000_000.0, eas)

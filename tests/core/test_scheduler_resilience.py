@@ -14,7 +14,7 @@ from repro.core.metrics import EDP
 from repro.core.profiling import ProfileAggregate
 from repro.core.scheduler import (
     GPU_FAULTED_FALLBACK,
-    EasConfig,
+    SchedulerConfig,
     EnergyAwareScheduler,
 )
 from repro.errors import GpuFaultError
@@ -134,7 +134,7 @@ class TestGracefulDegradation:
             self, desktop, desktop_characterization, kernel):
         """Faults interleaved with successes drain the bucket: a
         lifetime fault count far above the budget must not degrade."""
-        config = EasConfig(fault_budget=3, max_profile_retries=0)
+        config = SchedulerConfig(fault_budget=3, max_profile_retries=0)
         scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
                                          config=config)
         # Strict fail/pass alternation: bucket oscillates 1 -> 0.
@@ -195,7 +195,7 @@ class TestWatchdog:
             self, desktop, desktop_characterization, kernel):
         """With convergence disabled and profiling allowed to consume
         the whole invocation, only the watchdog ends the loop."""
-        config = EasConfig(profile_fraction=1.0, convergence_tolerance=-1.0,
+        config = SchedulerConfig(profile_fraction=1.0, convergence_tolerance=-1.0,
                            max_profile_rounds=3)
         scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
                                          config=config)

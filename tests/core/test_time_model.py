@@ -102,5 +102,8 @@ class TestProperties:
         a profiling round drains the pool (argmin independent of N)."""
         small = ExecutionTimeModel(r_c, r_g, 1e4)
         large = ExecutionTimeModel(r_c, r_g, 1e4 * scale)
+        # remaining_items subtracts two nearly-equal quantities near
+        # alpha_perf (and near the endpoints for tiny alpha), so exact
+        # linearity erodes to ~1e-9 relative; keep headroom below that.
         assert large.total_time(alpha) == pytest.approx(
-            small.total_time(alpha) * scale, rel=1e-9)
+            small.total_time(alpha) * scale, rel=1e-6)

@@ -64,6 +64,60 @@ class TestInvariants:
         assert other.edp_bounded
 
 
+class TestDecisionAudit:
+    """The PR-2 acceptance criterion: a chaos run at fault level
+    >= 0.3 yields decision records naming the specific fault event and
+    the fallback reason for every degraded kernel.
+
+    The resilient defaults absorb faults by design (retries + leaky
+    bucket), so degradation is forced with a brittle scheduler config
+    (budget of one, no retries) - the audit trail, not the resilience,
+    is under test here.
+    """
+
+    @pytest.fixture(scope="class")
+    def brittle_campaign(self) -> ChaosCampaignResult:
+        from repro.core.scheduler import SchedulerConfig
+
+        return run_chaos_campaign(
+            workloads=[workload_by_abbrev("NB")],
+            fault_levels=(0.0, 0.4), seed=99,
+            eas_config=SchedulerConfig(fault_budget=1,
+                                       max_profile_retries=0))
+
+    def test_degraded_kernels_are_explained(self, brittle_campaign):
+        hostile = [c for c in brittle_campaign.cells
+                   if c.fault_level >= 0.3]
+        degraded = [c for c in hostile
+                    if c.degraded_kernels or c.fallback_invocations]
+        assert degraded, "no cell degraded at fault level 0.4"
+        for cell in degraded:
+            lines = cell.degradation_explanations()
+            assert lines
+            joined = "\n".join(lines)
+            # Both halves of the audit: the why and the what.
+            assert "reason=" in joined
+            assert "faults=[" in joined
+            # The events name the injected hazard, not a vague failure.
+            assert "GPU" in joined
+
+    def test_clean_cells_have_nothing_to_explain(self, brittle_campaign):
+        for cell in brittle_campaign.cells:
+            if cell.fault_level == 0.0:
+                assert cell.degradation_explanations() == []
+
+    def test_render_includes_degradation_audit(self, brittle_campaign):
+        text = brittle_campaign.render()
+        assert "degradation audit" in text
+        assert "reason=" in text
+
+    def test_robustness_invariants_still_hold(self, brittle_campaign):
+        """Even a budget-of-one scheduler keeps the PR-1 contract:
+        no escapes, every item processed."""
+        assert brittle_campaign.all_ok
+        assert brittle_campaign.all_items_processed
+
+
 class TestReporting:
     def test_render_shows_all_invariants(self, campaign):
         text = campaign.render()
@@ -71,6 +125,19 @@ class TestReporting:
         assert "all items processed:     PASS" in text
         assert "EDP <= CPU baseline:     PASS" in text
         assert campaign.fingerprint() in text
+
+    def test_every_invocation_has_a_decision_record(self, campaign):
+        for cell in campaign.cells:
+            assert len(cell.decision_records) == cell.invocations
+
+    def test_decision_records_do_not_perturb_fingerprint(self, campaign):
+        """Records are audit payload, not campaign state: stripping
+        them must leave the cell canonicalization unchanged."""
+        import dataclasses
+
+        cell = campaign.cells[0]
+        stripped = dataclasses.replace(cell, decision_records=())
+        assert stripped.canonical() == cell.canonical()
 
     def test_cell_seed_is_stable_across_processes(self):
         # Pinned values: a hash-seed-dependent cell_seed would break

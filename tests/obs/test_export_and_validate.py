@@ -1,0 +1,192 @@
+"""Exporters and schema validators, including a fig-2-style run.
+
+The acceptance criterion: a Chrome trace of a traced partitioned run
+(figure-2 style: one workload, power timeline enabled) must load as
+valid trace-event JSON.  Validity is checked by the same validator the
+CLI exposes (``python -m repro.obs.validate``).
+"""
+
+import json
+
+import pytest
+
+from repro.core.metrics import EDP
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.errors import ObservabilityError
+from repro.harness.experiment import run_application
+from repro.obs.export import (
+    MAX_POWER_EVENTS,
+    SCHEMA_VERSION,
+    TraceSection,
+    chrome_trace,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.observer import Observer
+from repro.obs.records import DecisionRecord
+from repro.obs.validate import (
+    main as validate_main,
+    validate_file,
+    validate_jsonl,
+    validate_metrics,
+    validate_trace_events,
+)
+from repro.workloads.registry import workload_by_abbrev
+
+
+@pytest.fixture(scope="module")
+def fig2_style_run(desktop_characterization):
+    """One traced EAS run of CC on the desktop (what figure 2 plots),
+    with an observer attached - the trace/span/decision source for the
+    export tests below."""
+    from repro.soc.spec import haswell_desktop
+
+    observer = Observer(metadata={"workload": "CC", "strategy": "eas"})
+    run = run_application(
+        haswell_desktop(), workload_by_abbrev("CC"),
+        EnergyAwareScheduler(desktop_characterization, EDP), "eas",
+        trace=True, observer=observer)
+    return run, observer
+
+
+class TestChromeTraceOfRealRun:
+    def test_trace_validates_and_merges_all_streams(self, fig2_style_run):
+        run, observer = fig2_style_run
+        section = TraceSection(name="eas", observer=observer,
+                               power_trace=run.trace)
+        trace = chrome_trace([section], metadata={"workload": "CC"})
+        count = validate_trace_events(trace)
+        events = trace["traceEvents"]
+        assert count == len(events)
+        phases = {e["ph"] for e in events}
+        # Spans, instants (decisions), counters (power), metadata.
+        assert {"X", "i", "C", "M"} <= phases
+        names = {e["name"] for e in events}
+        assert "eas.invocation" in names
+        assert "soc.phase" in names
+        assert "runtime.parallel_for" in names
+        assert "power_w" in names
+        assert any(n.startswith("decision:") for n in names)
+        assert trace["otherData"]["schema_version"] == SCHEMA_VERSION
+
+    def test_trace_file_roundtrip_is_valid_json(self, fig2_style_run,
+                                                tmp_path):
+        run, observer = fig2_style_run
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(
+            path, [TraceSection(name="eas", observer=observer,
+                                power_trace=run.trace)])
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert len(loaded["traceEvents"]) == count
+        assert validate_file(path) == "chrome-trace"
+
+    def test_power_events_are_decimated(self, fig2_style_run):
+        run, observer = fig2_style_run
+        section = TraceSection(name="eas", power_trace=run.trace)
+        events = chrome_trace([section])["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert 0 < len(counters) <= MAX_POWER_EVENTS + 1
+
+    def test_spans_carry_simulated_timestamps(self, fig2_style_run):
+        """Spans opened under the runtime are on the simulated
+        timeline (microseconds of SoC time), not wall time."""
+        _, observer = fig2_style_run
+        invocations = [s for s in observer.spans
+                       if s.name == "eas.invocation"]
+        assert invocations
+        assert all(s.sim_start_s is not None for s in invocations)
+
+    def test_cli_validator_accepts_the_trace(self, fig2_style_run,
+                                             tmp_path, capsys):
+        run, observer = fig2_style_run
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(
+            path, [TraceSection(name="eas", observer=observer)])
+        assert validate_main([path]) == 0
+        assert "valid chrome-trace" in capsys.readouterr().out
+
+
+class TestJsonlAndMetrics:
+    def test_jsonl_roundtrip(self, fig2_style_run, tmp_path):
+        _, observer = fig2_style_run
+        path = str(tmp_path / "events.jsonl")
+        count = write_jsonl(path, observer, extra_meta={"seed": 1})
+        with open(path) as fh:
+            lines = [json.loads(line) for line in fh]
+        assert len(lines) == count
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["seed"] == 1
+        assert lines[-1]["type"] == "metrics"
+        assert validate_jsonl(lines) == count
+        assert validate_file(path) == "jsonl"
+
+    def test_jsonl_contains_every_decision(self, fig2_style_run):
+        _, observer = fig2_style_run
+        lines = jsonl_lines(observer)
+        decisions = [l for l in lines if l["type"] == "decision"]
+        assert len(decisions) == len(observer.decisions)
+
+    def test_metrics_file_validates(self, fig2_style_run, tmp_path):
+        _, observer = fig2_style_run
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path, observer)
+        assert validate_file(path) == "metrics"
+        with open(path) as fh:
+            payload = json.load(fh)
+        validate_metrics(payload)
+        counters = payload["metrics"]["counters"]
+        assert counters["eas.invocations"] >= 1
+        assert counters["soc.phases"] >= 1
+        assert "eas.grid_search_us" in payload["metrics"]["histograms"]
+
+
+class TestValidatorRejections:
+    def test_rejects_non_trace_object(self):
+        with pytest.raises(ObservabilityError):
+            validate_trace_events({"not": "a trace"})
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ObservabilityError, match="ph"):
+            validate_trace_events(
+                {"traceEvents": [{"ph": "Z", "pid": 1, "name": "x"}]})
+
+    def test_rejects_complete_event_without_duration(self):
+        with pytest.raises(ObservabilityError):
+            validate_trace_events(
+                {"traceEvents": [
+                    {"ph": "X", "pid": 1, "tid": 0, "name": "x",
+                     "ts": 0.0}]})
+
+    def test_rejects_metrics_without_schema_version(self):
+        with pytest.raises(ObservabilityError):
+            validate_metrics({"metrics": {
+                "counters": {}, "gauges": {}, "histograms": {}}})
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all\n")
+        with pytest.raises(ObservabilityError):
+            validate_file(str(path))
+
+    def test_cli_validator_fails_on_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"traceEvents": [{"ph": "?"}]}))
+        assert validate_main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestDecisionInstants:
+    def test_decision_records_become_instant_events(self):
+        obs = Observer()
+        obs.decision(DecisionRecord(exit_path="profiled", kernel="k",
+                                    sim_time_s=0.5))
+        events = chrome_trace(
+            [TraceSection(name="s", observer=obs)])["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "decision:profiled"
+        assert instants[0]["ts"] == pytest.approx(0.5e6)
+        assert instants[0]["args"]["kernel"] == "k"

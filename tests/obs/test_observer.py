@@ -1,0 +1,135 @@
+"""The observer core: spans, events, metrics, null-object semantics."""
+
+import pytest
+
+from repro.obs import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import _NULL_SPAN, resolve
+from repro.obs.records import DecisionRecord
+
+
+class TestNullObserver:
+    def test_singleton_is_disabled(self):
+        assert NULL_OBSERVER.enabled is False
+        assert isinstance(NULL_OBSERVER, NullObserver)
+
+    def test_span_returns_shared_null_context(self):
+        """The disabled span path allocates nothing: same object back
+        every time, usable as a context manager."""
+        ctx = NULL_OBSERVER.span("anything", k=1)
+        assert ctx is NULL_OBSERVER.span("other")
+        assert ctx is _NULL_SPAN
+        with ctx:
+            pass
+
+    def test_all_hooks_are_noops(self):
+        NULL_OBSERVER.inc("c")
+        NULL_OBSERVER.set_gauge("g", 1.0)
+        NULL_OBSERVER.observe("h", 2.0)
+        NULL_OBSERVER.event("e", x=1)
+        NULL_OBSERVER.decision(DecisionRecord(kernel="k"))
+        NULL_OBSERVER.bind_sim_clock(lambda: 1.0)
+        assert NULL_OBSERVER.spans == []
+        assert NULL_OBSERVER.events == []
+        assert NULL_OBSERVER.decisions == []
+        assert NULL_OBSERVER.metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_resolve(self):
+        obs = Observer()
+        assert resolve(obs) is obs
+        assert resolve(None) is NULL_OBSERVER
+
+
+class TestSpans:
+    def test_nesting_records_parent_and_depth(self):
+        obs = Observer()
+        with obs.span("outer") as outer:
+            with obs.span("inner", kernel="k") as inner:
+                pass
+        assert outer.depth == 0 and outer.parent_seq is None
+        assert inner.depth == 1 and inner.parent_seq == outer.seq
+        assert inner.attrs["kernel"] == "k"
+        assert [s.name for s in obs.spans] == ["outer", "inner"]
+
+    def test_wall_times_are_monotone(self):
+        obs = Observer()
+        with obs.span("s") as span:
+            pass
+        assert span.wall_end_s >= span.wall_start_s
+
+    def test_sim_clock_stamps_spans_and_events(self):
+        obs = Observer()
+        now = [4.5]
+        obs.bind_sim_clock(lambda: now[0])
+        with obs.span("s") as span:
+            now[0] = 5.25
+            obs.event("tick")
+        assert span.sim_start_s == 4.5
+        assert span.sim_end_s == 5.25
+        assert obs.events[0].sim_s == 5.25
+
+    def test_unbound_clock_leaves_sim_time_none(self):
+        obs = Observer()
+        with obs.span("s") as span:
+            obs.event("e")
+        assert span.sim_start_s is None and span.sim_end_s is None
+        assert obs.events[0].sim_s is None
+
+    def test_exception_unwinds_stack_and_tags_error(self):
+        obs = Observer()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("inner") as inner:
+                    raise ValueError("boom")
+        assert inner.attrs["error"] == "ValueError"
+        # Stack fully unwound: a new span is root-level again.
+        with obs.span("after") as after:
+            pass
+        assert after.depth == 0 and after.parent_seq is None
+
+    def test_decision_gets_sim_time_stamped(self):
+        obs = Observer()
+        obs.bind_sim_clock(lambda: 7.0)
+        record = DecisionRecord(kernel="k")
+        obs.decision(record)
+        assert record.sim_time_s == 7.0
+        # A pre-stamped record keeps its own stamp.
+        stamped = DecisionRecord(kernel="k", sim_time_s=1.0)
+        obs.decision(stamped)
+        assert stamped.sim_time_s == 1.0
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(3.0)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.histogram("h").observe(v)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 3.5
+        assert snap["gauges"]["g"] == 3.0
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 4
+        assert hist["min"] == 1.0 and hist["max"] == 4.0
+        assert hist["mean"] == pytest.approx(2.5)
+
+    def test_registry_instruments_are_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("y") is reg.histogram("y")
+
+    def test_observer_shorthands(self):
+        obs = Observer(metadata={"run": "test"})
+        obs.inc("calls")
+        obs.inc("calls", 4.0)
+        obs.set_gauge("level", 0.5)
+        obs.observe("latency", 1e-6)
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["calls"] == 5.0
+        assert snap["gauges"]["level"] == 0.5
+        assert snap["histograms"]["latency"]["count"] == 1
+        assert obs.metadata == {"run": "test"}

@@ -1,0 +1,92 @@
+"""Snapshot test pinning the public API surface (``repro.api``).
+
+The blessed import surface is a contract: names appear or disappear
+only as deliberate API changes.  If this test fails, either revert the
+accidental surface change or update ``EXPECTED_API`` in the same
+commit that intentionally changes :mod:`repro.api`.
+"""
+
+import repro
+import repro.api
+
+#: The frozen surface, sorted.  Update deliberately, never to
+#: "make the test pass".
+EXPECTED_API = sorted([
+    # errors
+    "ReproError", "SimulationError", "SchedulingError", "WorkloadError",
+    "HarnessError", "ObservabilityError", "UnknownNameError",
+    "GpuFaultError",
+    # platforms & simulator
+    "PlatformSpec", "haswell_desktop", "baytrail_tablet",
+    "IntegratedProcessor", "KernelCostModel",
+    # fault injection
+    "FaultConfig", "FaultySoC",
+    # runtime
+    "Kernel", "ConcordRuntime",
+    # schedulers
+    "EnergyAwareScheduler", "SchedulerConfig", "EasConfig",
+    "HintedEnergyAwareScheduler", "CpuOnlyScheduler", "GpuOnlyScheduler",
+    "StaticAlphaScheduler", "ProfiledPerfScheduler",
+    # characterization & metrics
+    "PlatformCharacterization", "get_characterization",
+    "EnergyMetric", "ENERGY", "EDP", "ED2", "metric_by_name",
+    # workloads
+    "Workload", "InvocationSpec", "all_workloads", "workload_by_abbrev",
+    # harness
+    "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
+    "REGENERATORS", "regenerate", "experiment_id",
+    "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
+    # observability
+    "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
+    "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",
+    "write_chrome_trace", "write_jsonl", "write_metrics", "validate_file",
+])
+
+
+class TestApiSnapshot:
+    def test_api_all_matches_snapshot(self):
+        assert sorted(repro.api.__all__) == EXPECTED_API
+
+    def test_no_duplicates(self):
+        assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+    def test_every_name_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+    def test_top_level_reexports_everything(self):
+        for name in repro.api.__all__:
+            assert getattr(repro, name) is getattr(repro.api, name), name
+        assert set(repro.__all__) == {"__version__", *repro.api.__all__}
+
+    def test_version_is_exposed(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+class TestBackwardCompat:
+    """Names the pre-facade package exported keep working."""
+
+    def test_legacy_imports(self):
+        from repro import (  # noqa: F401
+            EDP,
+            ConcordRuntime,
+            EasConfig,
+            EnergyAwareScheduler,
+            IntegratedProcessor,
+            ReproError,
+            haswell_desktop,
+            run_application,
+        )
+
+    def test_easconfig_is_deprecated_schedulerconfig(self):
+        import warnings
+
+        from repro import EasConfig, SchedulerConfig
+
+        assert issubclass(EasConfig, SchedulerConfig)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            EasConfig()
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
