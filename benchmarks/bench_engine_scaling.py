@@ -1,0 +1,78 @@
+"""Engine scaling: parallel fan-out and cached re-run speedups.
+
+A fig-9-style subset (full alpha sweeps + EAS + PERF for a handful of
+workloads) is evaluated three ways:
+
+* serially (``jobs=1``, no cache) - the baseline;
+* through a 4-worker pool - must be byte-identical and, on a machine
+  with >= 4 cores, >= 3x faster;
+* replayed from a warm result cache - must be byte-identical and
+  >= 10x faster than the serial run on any machine.
+
+The byte-identity asserts are the point: speed without equivalence
+would be a correctness bug, not an optimisation.
+"""
+
+import os
+import time
+
+from repro.core.metrics import EDP
+from repro.harness.engine import ExecutionEngine, ResultCache
+from repro.harness.suite import evaluate_suite
+from repro.soc.spec import haswell_desktop
+from repro.workloads.registry import workload_by_abbrev
+
+#: Enough workloads that pool startup is amortized, few enough that the
+#: serial baseline stays in benchmark territory.
+WORKLOADS = ("MB", "BS", "SP", "SM")
+
+
+def _evaluate(engine):
+    spec = haswell_desktop()
+    workloads = [workload_by_abbrev(a) for a in WORKLOADS]
+    return evaluate_suite(spec, workloads, EDP, engine=engine)
+
+
+def _timed(engine):
+    start = time.perf_counter()
+    result = _evaluate(engine)
+    return result, time.perf_counter() - start
+
+
+def test_engine_scaling(benchmark, tmp_path):
+    serial, serial_s = benchmark.pedantic(
+        lambda: _timed(ExecutionEngine(jobs=1)), rounds=1, iterations=1)
+    fingerprint = serial.fingerprint()
+
+    pooled, pooled_s = _timed(ExecutionEngine(jobs=4))
+    assert pooled.fingerprint() == fingerprint
+
+    cache = ResultCache(str(tmp_path / "runs"))
+    warm_engine = ExecutionEngine(jobs=1, cache=cache)
+    warmed, _ = _timed(warm_engine)
+    assert warmed.fingerprint() == fingerprint
+    cached, cached_s = _timed(warm_engine)
+    assert cached.fingerprint() == fingerprint
+    assert cache.hits == cache.writes  # full replay, nothing recomputed
+
+    pool_speedup = serial_s / pooled_s
+    cache_speedup = serial_s / cached_s
+
+    # The pool-scaling gate needs real cores to mean anything.
+    if (os.cpu_count() or 1) >= 4:
+        assert pool_speedup >= 3.0, (
+            f"--jobs 4 speedup {pool_speedup:.2f}x < 3x "
+            f"({serial_s:.2f}s serial vs {pooled_s:.2f}s pooled)")
+    # Cache replay skips all simulation; 10x holds even on one core.
+    assert cache_speedup >= 10.0, (
+        f"cached re-run speedup {cache_speedup:.2f}x < 10x "
+        f"({serial_s:.2f}s serial vs {cached_s:.2f}s cached)")
+
+    benchmark.extra_info.update({
+        "serial_s": round(serial_s, 2),
+        "jobs4_s": round(pooled_s, 2),
+        "jobs4_speedup (gate 3x)": round(pool_speedup, 2),
+        "cached_s": round(cached_s, 3),
+        "cached_speedup (gate 10x)": round(cache_speedup, 1),
+        "cores": os.cpu_count(),
+    })

@@ -18,6 +18,9 @@ Grouped by layer:
 * **workloads** - the Table-1 benchmark suite;
 * **harness** - application runs, sweeps, suite evaluation, figure
   regenerators, and the chaos campaign;
+* **execution engine** - declarative run specs, the parallel batch
+  executor, and the content-addressed result cache
+  (see docs/PARALLELISM.md);
 * **observability** - the flight recorder: observers, decision
   records, metric registries, exporters, and validators
   (see docs/OBSERVABILITY.md).
@@ -53,6 +56,16 @@ from repro.harness.chaos import (
     ChaosCampaignResult,
     ChaosCell,
     run_chaos_campaign,
+)
+from repro.harness.engine import (
+    ExecutionEngine,
+    ResultCache,
+    RunResult,
+    RunSpec,
+    SchedulerSpec,
+    get_default_engine,
+    set_default_engine,
+    use_engine,
 )
 from repro.harness.experiment import ApplicationRun, run_application
 from repro.harness.figures import REGENERATORS, experiment_id, regenerate
@@ -110,6 +123,9 @@ __all__ = [
     "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
     "REGENERATORS", "regenerate", "experiment_id",
     "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
+    # execution engine (see docs/PARALLELISM.md)
+    "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
+    "ResultCache", "get_default_engine", "set_default_engine", "use_engine",
     # observability
     "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
     "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.categories import WorkloadCategory, all_categories, category_from_codes
 from repro.core.power_curve import DEFAULT_ORDER, PowerCurve, fit_power_curve
@@ -119,10 +119,18 @@ class PowerCharacterizer:
     """Runs the eight-microbenchmark power characterization."""
 
     def __init__(self,
-                 processor_factory: Callable[[], IntegratedProcessor],
-                 microbenches: Sequence[CharacterizationMicrobench],
+                 processor_factory: Optional[
+                     Callable[[], IntegratedProcessor]] = None,
+                 microbenches: Sequence[CharacterizationMicrobench] = (),
                  sweep_step: float = DEFAULT_SWEEP_STEP,
-                 fit_order: int = DEFAULT_ORDER) -> None:
+                 fit_order: int = DEFAULT_ORDER,
+                 spec=None) -> None:
+        """``spec`` (a :class:`~repro.soc.spec.PlatformSpec`) is the
+        declarative alternative to ``processor_factory``: it makes the
+        characterizer picklable and lets :meth:`characterize` fan its
+        per-category sweeps out through an execution engine.  Exactly
+        the factory ``lambda: IntegratedProcessor(spec)`` is implied.
+        """
         if not microbenches:
             raise CharacterizationError("no micro-benchmarks supplied")
         seen = set()
@@ -131,19 +139,34 @@ class PowerCharacterizer:
                 raise CharacterizationError(
                     f"duplicate micro-benchmark for category {mb.category}")
             seen.add(mb.category)
+        if processor_factory is None:
+            if spec is None:
+                raise CharacterizationError(
+                    "need a processor_factory or a platform spec")
+            processor_factory = lambda: IntegratedProcessor(spec)  # noqa: E731
         self.processor_factory = processor_factory
+        self.spec = spec
         self.microbenches = list(microbenches)
         self.sweep_step = sweep_step
         self.fit_order = fit_order
 
     # -- public API ---------------------------------------------------------------
 
-    def characterize(self) -> PlatformCharacterization:
-        """Run every sweep and fit every curve."""
-        spec_name = self.processor_factory().spec.name
+    def characterize(self, engine=None) -> PlatformCharacterization:
+        """Run every sweep and fit every curve.
+
+        With an :class:`~repro.harness.engine.ExecutionEngine` *and* a
+        declarative ``spec``, the per-category alpha sweeps fan out
+        through the engine (parallel and/or memoized); the polynomial
+        fits always happen here, in the calling process.  Sweeps are
+        measurements and measurements are deterministic, so both paths
+        produce bit-identical curves.
+        """
+        spec_name = (self.spec.name if self.spec is not None
+                     else self.processor_factory().spec.name)
         result = PlatformCharacterization(platform_name=spec_name)
-        for bench in self.microbenches:
-            points = self.sweep(bench)
+        per_bench = self._sweep_all(engine)
+        for bench, points in zip(self.microbenches, per_bench):
             curve = fit_power_curve(
                 [p.alpha for p in points],
                 [p.power_w for p in points],
@@ -151,6 +174,20 @@ class PowerCharacterizer:
                 label=bench.category.short_code)
             result.curves[bench.category] = curve
         return result
+
+    def _sweep_all(self, engine) -> List[List[SweepPoint]]:
+        """All sweeps, through the engine when it would help."""
+        useful = engine is not None and (
+            engine.jobs > 1 or engine.cache is not None)
+        if self.spec is None or not useful:
+            return [self.sweep(bench) for bench in self.microbenches]
+        from repro.harness.engine import KIND_CHAR_SWEEP, RunSpec
+
+        specs = [RunSpec(platform=self.spec, kind=KIND_CHAR_SWEEP,
+                         workload=bench.category.short_code,
+                         sweep_step=self.sweep_step, microbench=bench)
+                 for bench in self.microbenches]
+        return [result.payload for result in engine.run_batch(specs)]
 
     def sweep(self, bench: CharacterizationMicrobench) -> List[SweepPoint]:
         """Measure average package power across the alpha grid."""

@@ -290,19 +290,60 @@ def run_chaos_campaign(spec: Optional[PlatformSpec] = None,
                        fault_levels: Sequence[float] = DEFAULT_FAULT_LEVELS,
                        seed: int = 2016,
                        metric: EnergyMetric = EDP,
-                       eas_config: Optional[SchedulerConfig] = None
-                       ) -> ChaosCampaignResult:
+                       eas_config: Optional[SchedulerConfig] = None,
+                       engine=None) -> ChaosCampaignResult:
     """Sweep fault probability over the workload suite under EAS.
 
     Fully deterministic given ``seed``: per-cell fault streams are
     derived via :func:`cell_seed`, and every reported quantity comes
-    from the deterministic simulation.
+    from the deterministic simulation - which is why the whole grid
+    (clean CPU baselines + cells) can fan out through the execution
+    ``engine`` (default: the session's) with unchanged fingerprints.
     """
+    from repro.harness.engine import (
+        KIND_CHAOS_BASELINE,
+        KIND_CHAOS_CELL,
+        RunSpec,
+        SchedulerSpec,
+        get_default_engine,
+        plain_scheduler_config,
+        reconstructible_workload,
+        standard_metric_name,
+    )
+
     spec = spec or haswell_desktop()
     if workloads is None:
         workloads = [workload_by_abbrev(a) for a in DEFAULT_WORKLOADS]
-    characterization = get_characterization(spec)
+    if engine is None:
+        engine = get_default_engine()
 
+    engine_ok = (standard_metric_name(metric) is not None
+                 and plain_scheduler_config(eas_config)
+                 and all(reconstructible_workload(w) for w in workloads))
+    if engine_ok:
+        eas = SchedulerSpec.eas(metric, eas_config)
+        batch = [RunSpec(platform=spec, workload=w.abbrev,
+                         kind=KIND_CHAOS_BASELINE) for w in workloads]
+        batch.extend(
+            RunSpec(platform=spec, workload=workload.abbrev,
+                    scheduler=eas, kind=KIND_CHAOS_CELL, fault_level=level,
+                    seed=cell_seed(seed, workload.abbrev, level))
+            for workload in workloads
+            for level in fault_levels)
+        results = engine.run_batch(batch)
+        cpu_baselines = {w.abbrev: results[i].payload
+                         for i, w in enumerate(workloads)}
+        cells = [r.payload for r in results[len(workloads):]]
+        return ChaosCampaignResult(
+            platform=spec.name,
+            seed=seed,
+            levels=list(fault_levels),
+            workloads=[w.abbrev for w in workloads],
+            cpu_baselines=cpu_baselines,
+            cells=cells,
+        )
+
+    characterization = get_characterization(spec)
     cpu_baselines: Dict[str, Tuple[float, float]] = {}
     for workload in workloads:
         inner = IntegratedProcessor(spec)

@@ -10,6 +10,9 @@ Examples::
     python -m repro.harness --run SL --strategies cpu,gpu,eas --metric energy
     python -m repro.harness --run CC --trace /tmp/cc.json --metrics-out /tmp/cc-metrics.json
     python -m repro.harness --run MM --strategies eas --fault-level 0.3 --seed 7
+    python -m repro.harness --figure 9 --jobs 4
+    python -m repro.harness --all --jobs 4 --cache-dir ~/.cache/repro
+    python -m repro.harness --figure chaos --no-cache
 
 ``--figure`` and ``--experiment`` are interchangeable: both accept a
 bare number (``9``), a ``figN`` id, or a named experiment (``table1``,
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -40,6 +44,7 @@ from repro.core.metrics import metric_by_name
 from repro.core.scheduler import EnergyAwareScheduler
 from repro.errors import HarnessError
 from repro.harness.chaos import run_chaos_campaign
+from repro.harness.engine import ExecutionEngine, ResultCache, use_engine
 from repro.harness.experiment import run_application
 from repro.harness.figures import REGENERATORS, experiment_id
 from repro.harness.report import format_table, heading
@@ -152,6 +157,17 @@ def _run_custom(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """Run-result cache per the flags: ``--no-cache`` wins; otherwise
+    ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) roots both the
+    characterization JSON cache and the ``runs/`` memo store."""
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return ResultCache(os.path.join(args.cache_dir, "runs"))
+    return ResultCache.from_env()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -202,36 +218,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-csv", default=None, metavar="PATH",
                         help="with --run and a single strategy: write the "
                              "power timeline of the run to PATH as CSV")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for figure/suite "
+                             "simulations (default: 1 = serial; results "
+                             "are byte-identical at any N, see "
+                             "docs/PARALLELISM.md)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed run-result "
+                             "cache entirely (no reads, no writes)")
     args = parser.parse_args(argv)
 
-    if args.run is not None:
-        return _run_custom(args)
+    if args.jobs < 1:
+        raise HarnessError("--jobs must be >= 1")
+    engine = ExecutionEngine(jobs=args.jobs, cache=_make_cache(args))
 
-    if args.trace or args.metrics_out or args.fault_level:
-        raise HarnessError(
-            "--trace/--metrics-out/--fault-level require --run")
+    with use_engine(engine):
+        if args.run is not None:
+            return _run_custom(args)
 
-    if args.list:
-        for name in REGENERATORS:
-            print(name)
-        return 0
+        if args.trace or args.metrics_out or args.fault_level:
+            raise HarnessError(
+                "--trace/--metrics-out/--fault-level require --run")
 
-    names: List[str]
-    if args.all:
-        names = list(REGENERATORS)
-    else:
-        names = [experiment_id(args.figure if args.figure is not None
-                               else args.experiment)]
+        if args.list:
+            for name in REGENERATORS:
+                print(name)
+            return 0
 
-    for name in names:
-        started = time.perf_counter()
-        if name == "chaos":
-            result = run_chaos_campaign(seed=args.seed)
+        names: List[str]
+        if args.all:
+            names = list(REGENERATORS)
         else:
-            result = REGENERATORS[name]()
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+            names = [experiment_id(args.figure if args.figure is not None
+                                   else args.experiment)]
+
+        for name in names:
+            started = time.perf_counter()
+            if name == "chaos":
+                result = run_chaos_campaign(seed=args.seed, engine=engine)
+            else:
+                result = REGENERATORS[name]()
+            elapsed = time.perf_counter() - started
+            print(result.render())
+            print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
     return 0
 
 

@@ -1,0 +1,658 @@
+"""Deterministic fan-out execution engine with content-addressed caching.
+
+Every figure, ablation, and chaos campaign in this repo decomposes
+into *independent* simulations: one application run per static alpha,
+one per (workload, strategy) pair, one chaos cell per (workload, fault
+level), one characterization sweep per category.  The simulator is
+deterministic by construction (fresh processor per run, seeded fault
+streams), so these runs can execute in any order, in any process, and
+produce byte-identical results - which is exactly what this engine
+exploits, and what the equivalence tests in
+``tests/harness/test_engine_equivalence.py`` pin down.
+
+Three layers (see docs/PARALLELISM.md):
+
+* :class:`RunSpec` - a frozen, picklable description of one
+  simulation: platform spec, workload id, declarative scheduler
+  config (:class:`SchedulerSpec`), tablet flag, fault level, seed.
+  A spec knows its own :meth:`~RunSpec.cache_key` - a SHA-256 over a
+  canonical JSON serialization plus :data:`CACHE_SCHEMA_VERSION`.
+* :class:`ResultCache` - a content-addressed on-disk memo store for
+  run results, keyed by spec hash.  Entries are checksummed;
+  corrupted or truncated files are evicted and recomputed, never
+  trusted.  Rooted at ``$REPRO_CACHE_DIR/runs`` by default, next to
+  the existing characterization JSON cache.
+* :class:`ExecutionEngine` - executes batches of specs either
+  serially in-process (``jobs=1``, the debugging path and the
+  equivalence baseline) or through a ``ProcessPoolExecutor``
+  (``jobs>1``), fronting both with the cache.  Worker observers
+  (spans, events, decisions, metrics) are merged back into the
+  parent :class:`~repro.obs.observer.Observer` so traces stay whole.
+
+The hot paths - :func:`~repro.harness.suite.sweep_alphas`,
+:func:`~repro.harness.suite.evaluate_suite`,
+:func:`~repro.harness.chaos.run_chaos_campaign`,
+:meth:`~repro.core.characterization.PowerCharacterizer.characterize` -
+all submit their grids through this engine; the CLI exposes
+``--jobs N`` and ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.baselines import (
+    CpuOnlyScheduler,
+    GpuOnlyScheduler,
+    ProfiledPerfScheduler,
+    StaticAlphaScheduler,
+)
+from repro.core.characterization import CharacterizationMicrobench
+from repro.core.metrics import EnergyMetric, metric_by_name
+from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
+from repro.errors import HarnessError
+from repro.harness.experiment import run_application
+from repro.obs.observer import Observer
+from repro.runtime.runtime import ConcordRuntime
+from repro.soc.faults import FaultConfig
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import PlatformSpec
+from repro.workloads.base import Workload
+from repro.workloads.registry import workload_by_abbrev
+
+#: Version stamp folded into every cache key.  Bump whenever the
+#: semantics of a cached payload change (simulator behaviour, result
+#: dataclass layout, worker dispatch) so stale entries miss instead of
+#: resurfacing as wrong results.
+CACHE_SCHEMA_VERSION = 1
+
+# -- task kinds -----------------------------------------------------------------
+
+#: One application run under one scheduler (-> ApplicationRun).
+KIND_APPLICATION = "application"
+#: One chaos-campaign cell: EAS on a faulty SoC (-> ChaosCell).
+KIND_CHAOS_CELL = "chaos-cell"
+#: Clean CPU-alone ground-truth baseline (-> (time_s, energy_j)).
+KIND_CHAOS_BASELINE = "chaos-baseline"
+#: One characterization alpha sweep (-> List[SweepPoint]).
+KIND_CHAR_SWEEP = "char-sweep"
+#: One traced micro-benchmark timeline (-> PowerTrace).
+KIND_MICROBENCH_TIMELINE = "microbench-timeline"
+
+_ALL_KINDS = (KIND_APPLICATION, KIND_CHAOS_CELL, KIND_CHAOS_BASELINE,
+              KIND_CHAR_SWEEP, KIND_MICROBENCH_TIMELINE)
+
+_SCHEDULER_KINDS = ("cpu", "gpu", "perf", "static", "eas")
+_STRATEGY_NAMES = {"cpu": "CPU", "gpu": "GPU", "perf": "PERF", "eas": "EAS"}
+
+
+def config_overrides(config: Optional[SchedulerConfig]
+                     ) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalize a :class:`SchedulerConfig` to its non-default fields.
+
+    The tuple-of-pairs form is hashable (for frozen specs), picklable,
+    and stable under field reordering, so it can participate in cache
+    keys; ``SchedulerConfig(**dict(overrides))`` reconstructs an
+    equivalent config in a worker process.
+    """
+    if config is None:
+        return ()
+    defaults = SchedulerConfig()
+    pairs = [(f.name, getattr(config, f.name)) for f in fields(config)
+             if getattr(config, f.name) != getattr(defaults, f.name)]
+    return tuple(sorted(pairs))
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Declarative, picklable description of one scheduler.
+
+    Workers rebuild the actual scheduler object from this spec (plus
+    the platform characterization, for EAS), so scheduler *instances*
+    - which hold profiling tables and observer references - never
+    cross process boundaries.
+    """
+
+    kind: str
+    #: Static GPU offload ratio (``kind == "static"`` only).
+    alpha: Optional[float] = None
+    #: Objective metric name (``kind == "eas"`` only).
+    metric: str = "edp"
+    #: Non-default :class:`SchedulerConfig` fields, canonicalized.
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SCHEDULER_KINDS:
+            raise HarnessError(
+                f"unknown scheduler kind {self.kind!r}; "
+                f"expected one of {_SCHEDULER_KINDS}")
+        if self.kind == "static" and self.alpha is None:
+            raise HarnessError("static scheduler spec needs an alpha")
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def cpu(cls) -> "SchedulerSpec":
+        return cls(kind="cpu")
+
+    @classmethod
+    def gpu(cls) -> "SchedulerSpec":
+        return cls(kind="gpu")
+
+    @classmethod
+    def perf(cls) -> "SchedulerSpec":
+        return cls(kind="perf")
+
+    @classmethod
+    def static(cls, alpha: float) -> "SchedulerSpec":
+        return cls(kind="static", alpha=alpha)
+
+    @classmethod
+    def eas(cls, metric: object = "edp",
+            config: Optional[SchedulerConfig] = None) -> "SchedulerSpec":
+        name = metric if isinstance(metric, str) else metric.name
+        metric_by_name(name)  # validate early, in the submitting process
+        return cls(kind="eas", metric=name, overrides=config_overrides(config))
+
+    # -- reconstruction ----------------------------------------------------------
+
+    @property
+    def strategy_name(self) -> str:
+        if self.kind == "static":
+            return f"static-{self.alpha:.2f}"
+        return _STRATEGY_NAMES[self.kind]
+
+    def eas_config(self) -> SchedulerConfig:
+        return SchedulerConfig(**dict(self.overrides))
+
+    def build(self, characterization=None) -> object:
+        """Instantiate the scheduler this spec describes."""
+        if self.kind == "cpu":
+            return CpuOnlyScheduler()
+        if self.kind == "gpu":
+            return GpuOnlyScheduler()
+        if self.kind == "perf":
+            return ProfiledPerfScheduler()
+        if self.kind == "static":
+            return StaticAlphaScheduler(alpha=self.alpha)
+        if characterization is None:
+            raise HarnessError("EAS scheduler spec needs a characterization")
+        return EnergyAwareScheduler(
+            characterization, metric_by_name(self.metric),
+            config=self.eas_config())
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation, fully described and picklable.
+
+    ``workload`` is a registry abbreviation for application/chaos
+    kinds and a category short code for characterization kinds;
+    ``params`` carries kind-specific numeric knobs (e.g. the
+    micro-benchmark timeline's alpha and repetition count) as a
+    canonical tuple of pairs.
+    """
+
+    platform: PlatformSpec
+    workload: str = ""
+    scheduler: Optional[SchedulerSpec] = None
+    kind: str = KIND_APPLICATION
+    tablet: bool = False
+    fault_level: float = 0.0
+    seed: int = 0
+    #: Characterization sweep grid step (``char-sweep`` only).
+    sweep_step: float = 0.0
+    #: The probing micro-benchmark (``char-sweep`` only).
+    microbench: Optional[CharacterizationMicrobench] = None
+    #: Kind-specific numeric parameters, canonicalized.
+    params: Tuple[Tuple[str, float], ...] = ()
+    #: Collect an Observer (spans/events/decisions/metrics) in the
+    #: worker and return it for merging into the parent's.
+    observe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ALL_KINDS:
+            raise HarnessError(f"unknown run kind {self.kind!r}; "
+                               f"expected one of {_ALL_KINDS}")
+        if self.kind in (KIND_APPLICATION, KIND_CHAOS_CELL) \
+                and self.scheduler is None:
+            raise HarnessError(f"{self.kind} spec needs a scheduler")
+        if self.kind == KIND_CHAR_SWEEP and (
+                self.microbench is None or self.sweep_step <= 0.0):
+            raise HarnessError("char-sweep spec needs a microbench and step")
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        return dict(self.params).get(name, default)
+
+    # -- content addressing ------------------------------------------------------
+
+    def canonical(self) -> str:
+        """Canonical JSON form: the cache key's preimage.
+
+        Floats serialize via ``repr`` (shortest round-trip form), so
+        two specs hash equal exactly when every field is bit-equal.
+        """
+        bench = None
+        if self.microbench is not None:
+            bench = {
+                "category": self.microbench.category.short_code,
+                "cost": asdict(self.microbench.cost),
+                "cpu_target_s": self.microbench.cpu_target_s,
+                "repetitions": self.microbench.repetitions,
+            }
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "platform": asdict(self.platform),
+            "workload": self.workload,
+            "scheduler": asdict(self.scheduler) if self.scheduler else None,
+            "tablet": self.tablet,
+            "fault_level": self.fault_level,
+            "seed": self.seed,
+            "sweep_step": self.sweep_step,
+            "microbench": bench,
+            "params": list(list(p) for p in self.params),
+            "observe": self.observe,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self) -> str:
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+
+@dataclass
+class RunResult:
+    """One executed (or cache-recalled) :class:`RunSpec`."""
+
+    key: str
+    #: ApplicationRun | ChaosCell | (time_s, energy_j) | List[SweepPoint]
+    #: | PowerTrace, by spec kind.
+    payload: Any
+    #: Worker-side observer, when the spec asked for one.  Its sim
+    #: clock is unbound (clocks do not cross process boundaries).
+    observer: Optional[Observer] = None
+    from_cache: bool = False
+
+
+# -- compatibility probes --------------------------------------------------------
+
+def reconstructible_workload(workload: Workload) -> bool:
+    """True when a worker can rebuild ``workload`` from its registry
+    abbreviation alone: exact registry class, no instance state.
+
+    Ablations that mutate or subclass workloads fail this probe and
+    take the serial in-process path instead of silently simulating the
+    wrong thing in a worker.
+    """
+    try:
+        reference = workload_by_abbrev(workload.abbrev)
+    except Exception:
+        return False
+    return type(reference) is type(workload) and not vars(workload)
+
+
+def standard_metric_name(metric: EnergyMetric) -> Optional[str]:
+    """The metric's registry name, or None for custom metrics (which
+    carry unpicklable objective functions)."""
+    try:
+        return metric.name if metric_by_name(metric.name) == metric else None
+    except Exception:
+        return None
+
+
+def plain_scheduler_config(config: Optional[SchedulerConfig]) -> bool:
+    """True when ``config`` survives the canonicalize/rebuild round trip."""
+    return config is None or type(config) is SchedulerConfig
+
+
+# -- worker-side execution -------------------------------------------------------
+
+def _characterization_for(platform: PlatformSpec):
+    # Lazy import: suite imports this module at load time.
+    from repro.harness.suite import get_characterization
+
+    return get_characterization(platform)
+
+
+def _run_application_spec(spec: RunSpec,
+                          observer: Optional[Observer]) -> Any:
+    workload = workload_by_abbrev(spec.workload)
+    characterization = None
+    if spec.scheduler.kind == "eas":
+        characterization = _characterization_for(spec.platform)
+    scheduler = spec.scheduler.build(characterization)
+    fault_config = (FaultConfig.from_level(spec.fault_level, seed=spec.seed)
+                    if spec.fault_level > 0.0 else None)
+    return run_application(spec.platform, workload, scheduler,
+                           strategy_name=spec.scheduler.strategy_name,
+                           tablet=spec.tablet, observer=observer,
+                           fault_config=fault_config)
+
+
+def _run_chaos_cell_spec(spec: RunSpec, observer: Optional[Observer]) -> Any:
+    from repro.harness.chaos import run_chaos_cell
+
+    workload = workload_by_abbrev(spec.workload)
+    characterization = _characterization_for(spec.platform)
+    return run_chaos_cell(spec.platform, workload, characterization,
+                          spec.fault_level, seed=spec.seed,
+                          metric=metric_by_name(spec.scheduler.metric),
+                          eas_config=spec.scheduler.eas_config())
+
+
+def _run_chaos_baseline_spec(spec: RunSpec,
+                             observer: Optional[Observer]) -> Any:
+    # Ground-truth clean CPU-alone baseline, exactly as the campaign
+    # measured it inline before the engine existed (byte-compatible
+    # fingerprints depend on this).
+    workload = workload_by_abbrev(spec.workload)
+    inner = IntegratedProcessor(spec.platform)
+    runtime = ConcordRuntime(inner, observer=observer)
+    scheduler = CpuOnlyScheduler()
+    kernel = workload.make_kernel()
+    t0, e0 = inner.now, inner.msr.lifetime_joules
+    for inv in workload.invocations():
+        runtime.parallel_for(kernel, inv.n_items, scheduler)
+    return (inner.now - t0, inner.msr.lifetime_joules - e0)
+
+
+def _run_char_sweep_spec(spec: RunSpec, observer: Optional[Observer]) -> Any:
+    from repro.core.characterization import PowerCharacterizer
+
+    characterizer = PowerCharacterizer(
+        microbenches=[spec.microbench], sweep_step=spec.sweep_step,
+        spec=spec.platform)
+    return characterizer.sweep(spec.microbench)
+
+
+def _run_microbench_timeline_spec(spec: RunSpec,
+                                  observer: Optional[Observer]) -> Any:
+    from repro.harness.figures import (
+        _items_for_duration,
+        _run_microbench_partitioned,
+    )
+
+    n_items = _items_for_duration(spec.platform, spec.workload,
+                                  spec.param("cpu_seconds", 1.0))
+    return _run_microbench_partitioned(
+        spec.platform, spec.workload,
+        alpha=spec.param("alpha"), n_items=n_items,
+        repetitions=int(spec.param("repetitions", 1)),
+        gap_s=spec.param("gap_s", 0.05))
+
+
+_DISPATCH = {
+    KIND_APPLICATION: _run_application_spec,
+    KIND_CHAOS_CELL: _run_chaos_cell_spec,
+    KIND_CHAOS_BASELINE: _run_chaos_baseline_spec,
+    KIND_CHAR_SWEEP: _run_char_sweep_spec,
+    KIND_MICROBENCH_TIMELINE: _run_microbench_timeline_spec,
+}
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Execute one spec in the current process (the worker entry point).
+
+    The serial executor calls this directly, so ``jobs=1`` runs the
+    *same code* as the pool workers - the equivalence tests compare
+    the two paths byte for byte.
+    """
+    observer = None
+    if spec.observe:
+        observer = Observer(metadata={
+            "kind": spec.kind, "platform": spec.platform.name,
+            "workload": spec.workload, "engine.worker": True})
+    payload = _DISPATCH[spec.kind](spec, observer)
+    if observer is not None:
+        # Simulated-clock bindings reference the (dead) processor and
+        # do not pickle; spans keep their recorded sim timestamps.
+        observer.bind_sim_clock(None)
+    return RunResult(key=spec.cache_key(), payload=payload, observer=observer)
+
+
+def _seed_worker(characterizations: Dict[str, str]) -> None:
+    """Pool initializer: pre-seed platform characterizations so worker
+    processes never redo the (expensive) one-time characterization."""
+    from repro.core.characterization import PlatformCharacterization
+    from repro.harness import suite
+
+    for name, text in characterizations.items():
+        suite._characterization_cache.setdefault(
+            name, PlatformCharacterization.from_json(text))
+
+
+# -- content-addressed result cache ----------------------------------------------
+
+_MAGIC = b"EAS-RUN-CACHE\n"
+
+
+class ResultCache:
+    """On-disk memo store: ``<root>/<key[:2]>/<key>.pkl``.
+
+    Each entry is ``MAGIC + sha256(payload) + payload`` where payload
+    is the pickled :class:`RunResult`.  ``get`` verifies the magic and
+    checksum and *evicts* (deletes) any entry that fails - a corrupted
+    or truncated file costs one recomputation, never a wrong result.
+    The schema version lives in the cache *key* (see
+    :meth:`RunSpec.canonical`), so version bumps miss cleanly.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writes = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        """Cache rooted under ``$REPRO_CACHE_DIR/runs``, if set."""
+        root = os.environ.get("REPRO_CACHE_DIR")
+        return cls(os.path.join(root, "runs")) if root else None
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        result = self._decode(blob)
+        if result is None:
+            self.evictions += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(data).digest() + data
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    @staticmethod
+    def _decode(blob: bytes) -> Optional[RunResult]:
+        if not blob.startswith(_MAGIC):
+            return None
+        body = blob[len(_MAGIC):]
+        if len(body) <= 32:
+            return None
+        digest, data = body[:32], body[32:]
+        if hashlib.sha256(data).digest() != digest:
+            return None
+        try:
+            result = pickle.loads(data)
+        except Exception:
+            return None
+        if not isinstance(result, RunResult):
+            return None
+        result.from_cache = False
+        return result
+
+
+# -- the engine ------------------------------------------------------------------
+
+class ExecutionEngine:
+    """Batched spec execution: cache front, serial or pooled back.
+
+    ``jobs=1`` executes in-process in submission order (the reference
+    path); ``jobs>1`` fans uncached specs out to a process pool whose
+    workers are pre-seeded with every needed platform
+    characterization.  Results always return in submission order, and
+    duplicate specs within one batch execute once.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        if int(jobs) < 1:
+            raise HarnessError("jobs must be >= 1")
+        self.jobs = int(jobs)
+        self.cache = cache
+
+    def run_batch(self, specs: Sequence[RunSpec],
+                  observer: Optional[Observer] = None) -> List[RunResult]:
+        specs = list(specs)
+        obs = observer if observer is not None and observer.enabled else None
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        keys = [spec.cache_key() for spec in specs]
+        first_for_key: Dict[str, int] = {}
+        duplicate_of: Dict[int, int] = {}
+        to_run: List[int] = []
+        for i, key in enumerate(keys):
+            if key in first_for_key:
+                duplicate_of[i] = first_for_key[key]
+                continue
+            first_for_key[key] = i
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                cached.from_cache = True
+                results[i] = cached
+            else:
+                to_run.append(i)
+
+        if to_run:
+            pending = [specs[i] for i in to_run]
+            if self.jobs == 1 or len(pending) == 1:
+                executed = [execute_spec(spec) for spec in pending]
+            else:
+                executed = self._run_pool(pending)
+            for i, result in zip(to_run, executed):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(keys[i], result)
+        for i, j in duplicate_of.items():
+            results[i] = results[j]
+
+        if obs is not None:
+            self._observe_batch(obs, specs, results, executed=len(to_run))
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec,
+                observer: Optional[Observer] = None) -> RunResult:
+        return self.run_batch([spec], observer=observer)[0]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run_pool(self, specs: List[RunSpec]) -> List[RunResult]:
+        payload = self._characterization_payload(specs)
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_seed_worker,
+                                 initargs=(payload,)) as pool:
+            return list(pool.map(execute_spec, specs))
+
+    def _characterization_payload(self,
+                                  specs: List[RunSpec]) -> Dict[str, str]:
+        """Characterize (in the parent, possibly through this very
+        engine) every platform the batch's EAS/chaos specs need."""
+        platforms: Dict[str, PlatformSpec] = {}
+        for spec in specs:
+            needs = (spec.kind == KIND_CHAOS_CELL
+                     or (spec.kind == KIND_APPLICATION
+                         and spec.scheduler is not None
+                         and spec.scheduler.kind == "eas"))
+            if needs:
+                platforms.setdefault(spec.platform.name, spec.platform)
+        from repro.harness.suite import get_characterization
+
+        return {name: get_characterization(platform, engine=self).to_json()
+                for name, platform in platforms.items()}
+
+    def _observe_batch(self, obs: Observer, specs: List[RunSpec],
+                       results: List[RunResult], executed: int) -> None:
+        obs.event("engine.batch", tasks=len(specs), executed=executed,
+                  jobs=self.jobs)
+        obs.inc("engine.tasks", len(specs))
+        obs.inc("engine.executed", executed)
+        obs.inc("engine.cache_hits",
+                sum(1 for r in results if r.from_cache))
+        obs.set_gauge("engine.jobs", self.jobs)
+        merged = set()
+        for result in results:
+            if result.observer is None or id(result) in merged:
+                continue
+            merged.add(id(result))
+            obs.merge_child(result.observer)
+
+
+# -- default engine plumbing -----------------------------------------------------
+
+_default_engine: Optional[ExecutionEngine] = None
+
+
+def get_default_engine() -> ExecutionEngine:
+    """The engine harness entry points use when not handed one.
+
+    Serial with the ``$REPRO_CACHE_DIR`` memo store unless a CLI run
+    (or a test) installed one via :func:`set_default_engine` /
+    :func:`use_engine`.
+    """
+    if _default_engine is not None:
+        return _default_engine
+    return ExecutionEngine(jobs=1, cache=ResultCache.from_env())
+
+
+def set_default_engine(engine: Optional[ExecutionEngine]) -> None:
+    global _default_engine
+    _default_engine = engine
+
+
+@contextmanager
+def use_engine(engine: Optional[ExecutionEngine]
+               ) -> Iterator[Optional[ExecutionEngine]]:
+    """Scoped :func:`set_default_engine` (the CLI wraps runs in this)."""
+    previous = _default_engine
+    set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)

@@ -49,6 +49,23 @@ class ApplicationRun:
                 return result.alpha
         return None
 
+    def canonical(self) -> str:
+        """Byte-stable serialization of every measured quantity.
+
+        ``repr`` floats round-trip exactly, so two runs serialize
+        identically iff they are bit-identical - the serial/parallel
+        equivalence tests hash this (via the sweep and suite
+        fingerprints) to prove the execution engine changes nothing.
+        """
+        invocations = ";".join(
+            f"{r.kernel_name}|{r.n_items!r}|{r.duration_s!r}|"
+            f"{r.energy_j!r}|{r.cpu_items!r}|{r.gpu_items!r}|{r.alpha!r}|"
+            f"{int(r.profiled)}|{r.profile_rounds}|{r.profiling_time_s!r}|"
+            f"{','.join(r.notes)}"
+            for r in self.invocations)
+        return (f"{self.platform}|{self.workload}|{self.strategy}|"
+                f"{self.time_s!r}|{self.energy_j!r}|{invocations}")
+
 
 def run_application(spec: PlatformSpec, workload: Workload,
                     scheduler: object, strategy_name: str,

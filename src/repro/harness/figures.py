@@ -176,6 +176,20 @@ class TimelineResult:
     series: Dict[str, Tuple[np.ndarray, np.ndarray]]
     notes: List[str] = field(default_factory=list)
 
+    def fingerprint(self) -> str:
+        """SHA-256 over the resampled series bytes and the notes."""
+        import hashlib
+
+        digest = hashlib.sha256(self.title.encode())
+        for label in sorted(self.series):
+            times, watts = self.series[label]
+            digest.update(label.encode())
+            digest.update(np.asarray(times, dtype=np.float64).tobytes())
+            digest.update(np.asarray(watts, dtype=np.float64).tobytes())
+        for note in self.notes:
+            digest.update(note.encode())
+        return digest.hexdigest()
+
     def render(self) -> str:
         parts = [heading(self.title)]
         for label, (times, watts) in self.series.items():
@@ -189,15 +203,27 @@ class TimelineResult:
 
 def regenerate_figure_2() -> TimelineResult:
     """Memory-bound workload, 90% GPU / 10% CPU, on both platforms."""
+    from repro.harness.engine import (
+        KIND_MICROBENCH_TIMELINE,
+        RunSpec,
+        get_default_engine,
+    )
+
     series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     notes: List[str] = []
     # The paper's Fig. 2 application is memory-bound with a GPU that
     # finishes its 90% share long before the CPU finishes 10% - the
-    # GPU-biased memory cell (M-LS) of the taxonomy.
-    for spec, label in ((baytrail_tablet(), "Bay Trail tablet"),
-                        (haswell_desktop(), "Haswell desktop")):
-        n = _items_for_duration(spec, "M-LS", 2.0)
-        trace = _run_microbench_partitioned(spec, "M-LS", alpha=0.9, n_items=n)
+    # GPU-biased memory cell (M-LS) of the taxonomy.  The two platform
+    # timelines are independent simulations: one engine batch.
+    platforms = ((baytrail_tablet(), "Bay Trail tablet"),
+                 (haswell_desktop(), "Haswell desktop"))
+    results = get_default_engine().run_batch([
+        RunSpec(platform=spec, kind=KIND_MICROBENCH_TIMELINE,
+                workload="M-LS",
+                params=(("alpha", 0.9), ("cpu_seconds", 2.0)))
+        for spec, _ in platforms])
+    for (spec, label), result in zip(platforms, results):
+        trace = result.payload
         interval = trace.duration / 60.0
         series[label] = trace.resample(interval)
         co = trace.average_power_while(True)
@@ -413,9 +439,16 @@ def _efficiency_figure(spec: PlatformSpec, tablet: bool, metric: EnergyMetric,
                        title: str,
                        paper_averages: Dict[str, float]) -> EfficiencyFigure:
     workloads = suite_workloads(tablet=tablet)
-    sweeps = {w.abbrev: _cached_sweep(spec, w, tablet) for w in workloads}
+    # Hand evaluate_suite only the sweeps already memoized: missing
+    # ones then belong to its single engine batch (parallel across
+    # workloads) instead of being forced serially here, and the batch
+    # results backfill the memo for the sibling figures.
+    sweeps = {w.abbrev: _sweep_cache[(spec.name, w.abbrev)]
+              for w in workloads if (spec.name, w.abbrev) in _sweep_cache}
     evaluation = evaluate_suite(spec, workloads, metric, tablet=tablet,
                                 sweeps=sweeps)
+    for abbrev, sweep in evaluation.sweeps.items():
+        _sweep_cache.setdefault((spec.name, abbrev), sweep)
     return EfficiencyFigure(title=title, paper_averages=paper_averages,
                             evaluation=evaluation)
 

@@ -22,6 +22,7 @@ percent, higher is better, Oracle = 100%), matching Figs. 9-12.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -31,8 +32,16 @@ from repro.core.characterization import PlatformCharacterization, PowerCharacter
 from repro.core.metrics import EnergyMetric
 from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
 from repro.errors import HarnessError
+from repro.harness.engine import (
+    ExecutionEngine,
+    RunSpec,
+    SchedulerSpec,
+    get_default_engine,
+    plain_scheduler_config,
+    reconstructible_workload,
+    standard_metric_name,
+)
 from repro.harness.experiment import ApplicationRun, run_application
-from repro.soc.simulator import IntegratedProcessor
 from repro.soc.spec import PlatformSpec
 from repro.workloads.base import Workload
 from repro.workloads.microbench import standard_microbenches
@@ -44,14 +53,18 @@ _characterization_cache: Dict[str, PlatformCharacterization] = {}
 
 
 def get_characterization(spec: PlatformSpec, sweep_step: float = 0.05,
-                         cache_dir: Optional[str] = None
+                         cache_dir: Optional[str] = None,
+                         engine: Optional[ExecutionEngine] = None
                          ) -> PlatformCharacterization:
     """The platform's one-time power characterization.
 
     Process-cached, and optionally persisted to ``cache_dir`` (or the
     ``REPRO_CACHE_DIR`` environment variable) as JSON - the paper's
     characterization is computed once per processor and shipped with
-    the runtime, so the natural deployment is a cached file.
+    the runtime, so the natural deployment is a cached file.  When an
+    ``engine`` is supplied, the per-category alpha sweeps fan out
+    through it (see docs/PARALLELISM.md); results are bit-identical
+    either way.
     """
     cached = _characterization_cache.get(spec.name)
     if cached is not None:
@@ -69,10 +82,9 @@ def get_characterization(spec: PlatformSpec, sweep_step: float = 0.05,
             return cached
 
     characterizer = PowerCharacterizer(
-        processor_factory=lambda: IntegratedProcessor(spec),
         microbenches=standard_microbenches(),
-        sweep_step=sweep_step)
-    cached = characterizer.characterize()
+        sweep_step=sweep_step, spec=spec)
+    cached = characterizer.characterize(engine=engine)
     _characterization_cache[spec.name] = cached
     if cache_path is not None:
         os.makedirs(cache_dir, exist_ok=True)
@@ -86,6 +98,16 @@ def clear_characterization_cache() -> None:
     _characterization_cache.clear()
 
 
+def _grid_key(alpha: float) -> int:
+    """Alpha as an exact grid position (milli-alpha integer).
+
+    Every sweep grid this harness builds has a step that is a
+    multiple of 0.001, so rounding to integer milli-alphas maps each
+    grid point to a unique key with no float-comparison tolerance.
+    """
+    return int(round(alpha * 1000.0))
+
+
 @dataclass
 class AlphaSweep:
     """Measured application runs at every static alpha."""
@@ -95,39 +117,77 @@ class AlphaSweep:
     alphas: List[float]
     runs: List[ApplicationRun]
 
+    def __post_init__(self) -> None:
+        # Index runs by grid position once: run_at() is O(1) and exact
+        # (the old float scan with a 1e-9 tolerance was both O(n) and
+        # fragile for accumulated non-0.1 steps), and the oracle/perf
+        # lookups below avoid O(n) .index() rescans.
+        self._index_by_grid = {
+            _grid_key(a): i for i, a in enumerate(self.alphas)}
+
     def run_at(self, alpha: float) -> ApplicationRun:
-        for a, run in zip(self.alphas, self.runs):
-            if abs(a - alpha) < 1e-9:
-                return run
-        raise HarnessError(f"alpha {alpha} not in sweep")
+        index = self._index_by_grid.get(_grid_key(alpha))
+        if index is None:
+            raise HarnessError(f"alpha {alpha} not in sweep")
+        return self.runs[index]
+
+    def _best_index(self, key) -> int:
+        return min(range(len(self.runs)), key=lambda i: key(self.runs[i]))
 
     def oracle(self, metric: EnergyMetric) -> ApplicationRun:
         """The run minimizing the measured metric (the paper's Oracle)."""
-        return min(self.runs, key=lambda r: r.metric_value(metric))
+        return self.runs[self._best_index(lambda r: r.metric_value(metric))]
 
     def oracle_alpha(self, metric: EnergyMetric) -> float:
-        best = self.oracle(metric)
-        return self.alphas[self.runs.index(best)]
+        return self.alphas[self._best_index(lambda r: r.metric_value(metric))]
 
     def perf(self) -> ApplicationRun:
         """The best-execution-time run (the paper's PERF strategy)."""
-        return min(self.runs, key=lambda r: r.time_s)
+        return self.runs[self._best_index(lambda r: r.time_s)]
 
     def perf_alpha(self) -> float:
-        best = self.perf()
-        return self.alphas[self.runs.index(best)]
+        return self.alphas[self._best_index(lambda r: r.time_s)]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every measured quantity of every run."""
+        payload = "\n".join([
+            f"{self.platform}|{self.workload}",
+            *(f"{a!r}|{run.canonical()}"
+              for a, run in zip(self.alphas, self.runs)),
+        ])
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _sweep_grid(step: float) -> List[float]:
+    n = int(round(1.0 / step))
+    return [min(1.0, i * step) for i in range(n + 1)]
 
 
 def sweep_alphas(spec: PlatformSpec, workload: Workload, tablet: bool = False,
-                 step: float = ORACLE_ALPHA_STEP) -> AlphaSweep:
-    """Run the application once per static alpha on the 0.1 grid."""
-    n = int(round(1.0 / step))
-    alphas = [min(1.0, i * step) for i in range(n + 1)]
-    runs = [
-        run_application(spec, workload, StaticAlphaScheduler(alpha=a),
-                        strategy_name=f"static-{a:.2f}", tablet=tablet)
-        for a in alphas
-    ]
+                 step: float = ORACLE_ALPHA_STEP,
+                 engine: Optional[ExecutionEngine] = None) -> AlphaSweep:
+    """Run the application once per static alpha on the 0.1 grid.
+
+    The grid points are independent simulations; with an ``engine``
+    (default: :func:`~repro.harness.engine.get_default_engine`) they
+    execute as one batch - parallel when the engine has workers,
+    memoized when it has a cache, and byte-identical to the serial
+    loop either way.
+    """
+    alphas = _sweep_grid(step)
+    if engine is None:
+        engine = get_default_engine()
+    if reconstructible_workload(workload):
+        specs = [RunSpec(platform=spec, workload=workload.abbrev,
+                         scheduler=SchedulerSpec.static(a), tablet=tablet)
+                 for a in alphas]
+        runs = [r.payload for r in engine.run_batch(specs)]
+    else:
+        runs = [
+            run_application(spec, workload, StaticAlphaScheduler(alpha=a),
+                            strategy_name=f"static-{a:.2f}", tablet=tablet)
+            for a in alphas
+        ]
     return AlphaSweep(platform=spec.name, workload=workload.abbrev,
                       alphas=alphas, runs=runs)
 
@@ -175,51 +235,126 @@ class SuiteEvaluation:
             raise HarnessError("empty evaluation")
         return sum(values) / len(values)
 
+    def fingerprint(self) -> str:
+        """SHA-256 over every outcome (workload x strategy), sorted."""
+        lines = [f"{self.platform}|{self.metric.name}"]
+        for workload in sorted(self.outcomes):
+            for strategy in sorted(self.outcomes[workload]):
+                o = self.outcomes[workload][strategy]
+                lines.append(
+                    f"{workload}|{strategy}|{o.metric_value!r}|"
+                    f"{o.oracle_value!r}|{o.time_s!r}|{o.energy_j!r}|"
+                    f"{o.alpha!r}")
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _assemble_outcomes(evaluation: SuiteEvaluation, workload: Workload,
+                       sweep: AlphaSweep, eas_run: ApplicationRun,
+                       perf_run: ApplicationRun,
+                       metric: EnergyMetric) -> None:
+    """Fold one workload's runs into the evaluation (both exec paths)."""
+    evaluation.sweeps[workload.abbrev] = sweep
+    oracle_run = sweep.oracle(metric)
+    oracle_value = oracle_run.metric_value(metric)
+    per_strategy: Dict[str, StrategyOutcome] = {}
+    for name, run, alpha in (
+            ("CPU", sweep.run_at(0.0), 0.0),
+            ("GPU", sweep.run_at(1.0), 1.0),
+            ("PERF", perf_run, perf_run.final_alpha),
+            ("BEST-TIME", sweep.perf(), sweep.perf_alpha()),
+            ("EAS", eas_run, eas_run.final_alpha),
+            ("Oracle", oracle_run, sweep.oracle_alpha(metric))):
+        per_strategy[name] = StrategyOutcome(
+            workload=workload.abbrev,
+            strategy=name,
+            metric_value=run.metric_value(metric),
+            oracle_value=oracle_value,
+            time_s=run.time_s,
+            energy_j=run.energy_j,
+            alpha=alpha)
+    evaluation.outcomes[workload.abbrev] = per_strategy
+
+
+def _engine_can_evaluate(workloads: Sequence[Workload],
+                         metric: EnergyMetric,
+                         eas_config: Optional[SchedulerConfig]) -> bool:
+    """Whether every run of this evaluation is expressible as a RunSpec.
+
+    Custom metrics (with objective callables), stateful/subclassed
+    workloads, and SchedulerConfig subclasses cannot cross process
+    boundaries declaratively; they take the inline path unchanged.
+    """
+    return (standard_metric_name(metric) is not None
+            and plain_scheduler_config(eas_config)
+            and all(reconstructible_workload(w) for w in workloads))
+
 
 def evaluate_suite(spec: PlatformSpec, workloads: Sequence[Workload],
                    metric: EnergyMetric, tablet: bool = False,
                    sweeps: Optional[Dict[str, AlphaSweep]] = None,
-                   eas_config: Optional[SchedulerConfig] = None) -> SuiteEvaluation:
+                   eas_config: Optional[SchedulerConfig] = None,
+                   engine: Optional[ExecutionEngine] = None
+                   ) -> SuiteEvaluation:
     """Run the full Fig. 9/10/11/12-style comparison for one metric.
 
     ``sweeps`` may carry precomputed alpha sweeps (they are metric-
     independent), so evaluating both EDP and energy sweeps only once.
+
+    Every remaining simulation - missing sweep grid points, one EAS
+    run and one PERF run per workload - is submitted to the ``engine``
+    (default: :func:`~repro.harness.engine.get_default_engine`) as a
+    single batch, so a pooled engine overlaps *across* workloads and
+    strategies, not just within one sweep.
     """
-    characterization = get_characterization(spec)
     evaluation = SuiteEvaluation(
         platform=spec.name, metric=metric,
         strategies=["CPU", "GPU", "PERF", "EAS"])
+    if engine is None:
+        engine = get_default_engine()
+
+    if not _engine_can_evaluate(workloads, metric, eas_config):
+        characterization = get_characterization(spec)
+        for workload in workloads:
+            sweep = (sweeps or {}).get(workload.abbrev)
+            if sweep is None:
+                sweep = sweep_alphas(spec, workload, tablet=tablet,
+                                     engine=engine)
+            eas_scheduler = EnergyAwareScheduler(
+                characterization=characterization, metric=metric,
+                config=eas_config or SchedulerConfig())
+            eas_run = run_application(spec, workload, eas_scheduler,
+                                      strategy_name="EAS", tablet=tablet)
+            perf_run = run_application(spec, workload,
+                                       ProfiledPerfScheduler(),
+                                       strategy_name="PERF", tablet=tablet)
+            _assemble_outcomes(evaluation, workload, sweep, eas_run,
+                               perf_run, metric)
+        return evaluation
+
+    alphas = _sweep_grid(ORACLE_ALPHA_STEP)
+    eas_spec = SchedulerSpec.eas(metric, eas_config)
+    batch: List[RunSpec] = []
+    for workload in workloads:
+        if (sweeps or {}).get(workload.abbrev) is None:
+            batch.extend(
+                RunSpec(platform=spec, workload=workload.abbrev,
+                        scheduler=SchedulerSpec.static(a), tablet=tablet)
+                for a in alphas)
+        batch.append(RunSpec(platform=spec, workload=workload.abbrev,
+                             scheduler=eas_spec, tablet=tablet))
+        batch.append(RunSpec(platform=spec, workload=workload.abbrev,
+                             scheduler=SchedulerSpec.perf(), tablet=tablet))
+
+    results = iter(engine.run_batch(batch))
     for workload in workloads:
         sweep = (sweeps or {}).get(workload.abbrev)
         if sweep is None:
-            sweep = sweep_alphas(spec, workload, tablet=tablet)
-        evaluation.sweeps[workload.abbrev] = sweep
-        oracle_run = sweep.oracle(metric)
-        oracle_value = oracle_run.metric_value(metric)
-
-        eas_scheduler = EnergyAwareScheduler(
-            characterization=characterization, metric=metric,
-            config=eas_config or SchedulerConfig())
-        eas_run = run_application(spec, workload, eas_scheduler,
-                                  strategy_name="EAS", tablet=tablet)
-        perf_run = run_application(spec, workload, ProfiledPerfScheduler(),
-                                   strategy_name="PERF", tablet=tablet)
-
-        per_strategy: Dict[str, StrategyOutcome] = {}
-        for name, run, alpha in (
-                ("CPU", sweep.run_at(0.0), 0.0),
-                ("GPU", sweep.run_at(1.0), 1.0),
-                ("PERF", perf_run, perf_run.final_alpha),
-                ("BEST-TIME", sweep.perf(), sweep.perf_alpha()),
-                ("EAS", eas_run, eas_run.final_alpha),
-                ("Oracle", oracle_run, sweep.oracle_alpha(metric))):
-            per_strategy[name] = StrategyOutcome(
-                workload=workload.abbrev,
-                strategy=name,
-                metric_value=run.metric_value(metric),
-                oracle_value=oracle_value,
-                time_s=run.time_s,
-                energy_j=run.energy_j,
-                alpha=alpha)
-        evaluation.outcomes[workload.abbrev] = per_strategy
+            runs = [next(results).payload for _ in alphas]
+            sweep = AlphaSweep(platform=spec.name,
+                               workload=workload.abbrev,
+                               alphas=list(alphas), runs=runs)
+        eas_run = next(results).payload
+        perf_run = next(results).payload
+        _assemble_outcomes(evaluation, workload, sweep, eas_run,
+                           perf_run, metric)
     return evaluation

@@ -128,6 +128,28 @@ class MetricsRegistry:
             metric = self._histograms[name] = Histogram()
         return metric
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (worker -> parent).
+
+        Counters add, gauges take the other's last-written value (the
+        child ran after this registry's writes), and histograms merge
+        their exact running summaries; reservoirs concatenate up to
+        the cap, so percentiles stay approximate, as they already are.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, theirs in other._histograms.items():
+            ours = self.histogram(name)
+            ours.count += theirs.count
+            ours.total += theirs.total
+            ours.min = min(ours.min, theirs.min)
+            ours.max = max(ours.max, theirs.max)
+            room = _RESERVOIR_CAP - len(ours._samples)
+            if room > 0:
+                ours._samples.extend(theirs._samples[:room])
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """The whole registry as one sorted, JSON-serializable dict."""
         return {

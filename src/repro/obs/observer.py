@@ -137,6 +137,28 @@ class Observer:
             record.sim_time_s = self._sim_now()
         self.decisions.append(record)
 
+    # -- merging -----------------------------------------------------------------
+
+    def merge_child(self, child: "Observer") -> None:
+        """Absorb a child observer's streams (worker -> parent merge).
+
+        Child span sequence numbers are offset past this observer's
+        so they stay unique and parent links stay intact; events,
+        decisions, and metrics append/fold in order.  Used by the
+        execution engine to reassemble whole traces from process-pool
+        workers (see docs/PARALLELISM.md).
+        """
+        offset = self._seq
+        for span in child.spans:
+            span.seq += offset
+            if span.parent_seq is not None:
+                span.parent_seq += offset
+            self.spans.append(span)
+        self._seq += child._seq
+        self.events.extend(child.events)
+        self.decisions.extend(child.decisions)
+        self.metrics.merge(child.metrics)
+
     # -- metric shorthands -------------------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -169,6 +191,9 @@ class NullObserver(Observer):
         pass
 
     def decision(self, record: DecisionRecord) -> None:
+        pass
+
+    def merge_child(self, child: "Observer") -> None:
         pass
 
     def inc(self, name: str, amount: float = 1.0) -> None:

@@ -1,0 +1,10 @@
+"""Property-based suites (hypothesis) for the analytic core.
+
+hypothesis is a dev dependency; if it is absent (minimal production
+environments), this guard skips the whole directory at collection
+time instead of erroring.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")

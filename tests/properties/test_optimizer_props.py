@@ -1,0 +1,107 @@
+"""Properties of the grid-search minimizer (step 20 of Fig. 7).
+
+The scheduler's alpha decision is ``argmin over the 0.1 grid of
+OBJ(alpha) = metric(P(alpha), T(alpha))``.  These suites check, over
+randomized curves, time models, and metrics, that the implementation
+really is that argmin:
+
+1. the returned alpha is a grid point (exactly - not merely close to
+   one);
+2. grid optimality: OBJ(alpha*) <= OBJ(alpha) for every grid alpha;
+3. the reported objective equals OBJ evaluated at the returned alpha.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import ED2, EDP, ENERGY
+from repro.core.optimizer import AlphaOptimizer, alpha_grid, best_alpha_for
+from repro.core.power_curve import fit_power_curve
+from repro.core.time_model import ExecutionTimeModel
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+rates = st.floats(min_value=1e-3, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=1.0, max_value=1e9,
+                  allow_nan=False, allow_infinity=False)
+metrics = st.sampled_from([ENERGY, EDP, ED2])
+base_powers = st.floats(min_value=1.0, max_value=200.0)
+slopes = st.floats(min_value=-50.0, max_value=50.0,
+                   allow_nan=False, allow_infinity=False)
+
+#: Grid membership must be exact: the scheduler hands alpha* straight
+#: to work-splitting, and the Oracle sweep indexes runs by grid
+#: position (see AlphaSweep._index_by_grid).
+GRID_KEYS = {round(a * 1000) for a in alpha_grid(0.1)}
+
+
+def _curve(base, slope):
+    """A positive characterization-like curve: base + slope * alpha."""
+    sample_alphas = [i / 10.0 for i in range(11)]
+    sample_powers = [max(base + slope * a, 0.5) for a in sample_alphas]
+    return fit_power_curve(sample_alphas, sample_powers, order=6)
+
+
+class TestGridSearchOptimality:
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, metric=metrics,
+           base=base_powers, slope=slopes)
+    def test_best_alpha_is_grid_argmin(self, rc, rg, n, metric,
+                                       base, slope):
+        curve = _curve(base, slope)
+        model = ExecutionTimeModel(rc, rg, n)
+        optimizer = AlphaOptimizer(metric=metric, step=0.1)
+        alpha_star, obj_star = optimizer.best_alpha(curve, model)
+
+        assert round(alpha_star * 1000) in GRID_KEYS
+        assert math.isfinite(obj_star)
+        assert obj_star == pytest.approx(
+            metric.value(curve.power(alpha_star),
+                         model.total_time(alpha_star)))
+        for alpha in alpha_grid(0.1):
+            obj = metric.value(curve.power(alpha), model.total_time(alpha))
+            assert obj_star <= obj * (1.0 + 1e-12)
+
+    @SETTINGS
+    @given(rc=rates, n=sizes, metric=metrics, base=base_powers,
+           slope=slopes)
+    def test_dead_gpu_still_finds_feasible_alpha(self, rc, n, metric,
+                                                 base, slope):
+        """With a stalled GPU, alpha=1 is infinite but the grid still
+        contains feasible points; the minimizer must skip infinities."""
+        curve = _curve(base, slope)
+        model = ExecutionTimeModel(rc, 0.0, n)
+        optimizer = AlphaOptimizer(metric=metric, step=0.1)
+        alpha_star, obj_star = optimizer.best_alpha(curve, model)
+        assert alpha_star < 1.0
+        assert math.isfinite(obj_star)
+
+
+class TestBestAlphaForHelper:
+    @SETTINGS
+    @given(metric=metrics,
+           powers=st.lists(st.floats(min_value=0.5, max_value=200.0),
+                           min_size=11, max_size=11),
+           times=st.lists(st.floats(min_value=1e-3, max_value=1e3),
+                          min_size=11, max_size=11))
+    def test_measured_argmin_on_grid(self, metric, powers, times):
+        grid = alpha_grid(0.1)
+        power_by_key = {round(a * 1000): p for a, p in zip(grid, powers)}
+        time_by_key = {round(a * 1000): t for a, t in zip(grid, times)}
+
+        def power_fn(alpha):
+            return power_by_key[round(alpha * 1000)]
+
+        def time_fn(alpha):
+            return time_by_key[round(alpha * 1000)]
+
+        alpha_star = best_alpha_for(metric, power_fn, time_fn, step=0.1)
+        assert round(alpha_star * 1000) in GRID_KEYS
+        obj_star = metric.value(power_fn(alpha_star), time_fn(alpha_star))
+        for alpha in grid:
+            assert obj_star <= metric.value(
+                power_fn(alpha), time_fn(alpha)) * (1.0 + 1e-12)

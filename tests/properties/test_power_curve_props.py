@@ -1,0 +1,98 @@
+"""Properties of P(alpha): polynomial characterization fits.
+
+The characterizer fits sixth-order polynomials to measured power
+sweeps (Section 2, Figs. 5-6) and the optimizer multiplies them with
+T(alpha).  Two contracts matter:
+
+1. when the measured data *is* polynomial of degree <= fit order, the
+   least-squares fit reproduces every sample point (the fit is
+   interpolating-in-the-limit, so characterization adds no modeling
+   error of its own);
+2. evaluation never returns a non-positive power on [0, 1], even for
+   adversarial coefficient sets whose raw polynomial dips negative -
+   the optimizer must never see "free" energy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.power_curve import PowerCurve, fit_power_curve
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+alphas_01 = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+#: Base package power (W) plus bounded perturbation coefficients:
+#: |sum of higher terms| < base on [0,1], so the truth is positive.
+base_powers = st.floats(min_value=1.0, max_value=200.0)
+perturbations = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=6)
+
+#: Raw coefficient tuples, including ones that dip negative on [0,1].
+raw_coefficients = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=7)
+
+
+def _true_power(base, coeffs, alpha):
+    """base + sum(c_k * alpha^(k+1)) scaled to stay positive."""
+    scale = base / (2.0 * max(1.0, sum(abs(c) for c in coeffs)))
+    return base + scale * sum(c * alpha ** (k + 1)
+                              for k, c in enumerate(coeffs))
+
+
+class TestFitReproducesPolynomialTruth:
+    @SETTINGS
+    @given(base=base_powers, coeffs=perturbations)
+    def test_samples_reproduced_within_tolerance(self, base, coeffs):
+        sample_alphas = [i / 20.0 for i in range(21)]
+        sample_powers = [_true_power(base, coeffs, a)
+                         for a in sample_alphas]
+        curve = fit_power_curve(sample_alphas, sample_powers, order=6)
+        for a, p in zip(sample_alphas, sample_powers):
+            assert curve.power(a) == pytest.approx(p, rel=1e-4,
+                                                   abs=1e-6 * base)
+
+    @SETTINGS
+    @given(base=base_powers, coeffs=perturbations)
+    def test_fit_residual_rms_is_small(self, base, coeffs):
+        sample_alphas = [i / 20.0 for i in range(21)]
+        sample_powers = [_true_power(base, coeffs, a)
+                         for a in sample_alphas]
+        curve = fit_power_curve(sample_alphas, sample_powers, order=6)
+        assert curve.fit_residual_rms() <= 1e-4 * base
+
+
+class TestNeverNonPositive:
+    @SETTINGS
+    @given(coefficients=raw_coefficients, alpha=alphas_01)
+    def test_power_clamped_positive(self, coefficients, alpha):
+        curve = PowerCurve(coefficients=tuple(coefficients))
+        assert curve.power(alpha) > 0.0
+
+    @SETTINGS
+    @given(coefficients=raw_coefficients,
+           alpha=st.floats(min_value=-10.0, max_value=10.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_out_of_range_alpha_clamps_into_unit_interval(
+            self, coefficients, alpha):
+        curve = PowerCurve(coefficients=tuple(coefficients))
+        clamped = min(max(alpha, 0.0), 1.0)
+        assert curve.power(alpha) == curve.power(clamped)
+        assert curve.power(alpha) > 0.0
+
+    @SETTINGS
+    @given(base=base_powers, coeffs=perturbations, alpha=alphas_01)
+    def test_fitted_curve_positive_everywhere(self, base, coeffs, alpha):
+        sample_alphas = [i / 20.0 for i in range(21)]
+        sample_powers = [_true_power(base, coeffs, a)
+                         for a in sample_alphas]
+        curve = fit_power_curve(sample_alphas, sample_powers, order=6)
+        assert curve.power(alpha) > 0.0
+        assert np.isfinite(curve.power(alpha))

@@ -1,0 +1,124 @@
+"""Properties of T(alpha), the execution-time model of Eqs. 1-4.
+
+The paper's scheduler trusts three structural facts about T(alpha);
+these suites pin them over randomized device rates and workload sizes:
+
+1. with both devices making progress, T is finite and positive;
+2. T is piecewise-monotone in alpha: non-increasing up to alpha_PERF
+   (adding GPU share relieves the CPU bottleneck) and non-decreasing
+   past it (the GPU becomes the bottleneck);
+3. T is monotone in the device rates: a strictly faster device never
+   makes any split slower.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import alpha_grid
+from repro.core.time_model import ExecutionTimeModel
+from repro.errors import SchedulingError
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+#: Rates and sizes spanning ~9 orders of magnitude but keeping every
+#: intermediate ratio well inside float64's exact range.
+rates = st.floats(min_value=1e-3, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=1.0, max_value=1e9,
+                  allow_nan=False, allow_infinity=False)
+alphas = st.floats(min_value=0.0, max_value=1.0,
+                   allow_nan=False, allow_infinity=False)
+
+#: Multiplicative slack for comparisons chaining several float ops.
+REL = 1e-9
+
+
+class TestFinitePositive:
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, alpha=alphas)
+    def test_total_time_finite_and_positive(self, rc, rg, n, alpha):
+        t = ExecutionTimeModel(rc, rg, n).total_time(alpha)
+        assert math.isfinite(t)
+        assert t > 0.0
+
+    @SETTINGS
+    @given(rc=rates, n=sizes,
+           alpha=st.sampled_from(alpha_grid(0.1)))
+    def test_dead_gpu_offload_is_infinite(self, rc, n, alpha):
+        """A stalled GPU makes any nonzero *grid* offload infinite:
+        the assigned GPU share never completes (no work stealing in
+        the model), matching max((1-a)N/R_C, aN/0).  Grid alphas only:
+        a sub-epsilon share can vanish into the float remainder clamp,
+        but the scheduler never emits such an alpha."""
+        model = ExecutionTimeModel(rc, 0.0, n)
+        if alpha > 0.0:
+            assert model.total_time(alpha) == math.inf
+        else:
+            assert math.isfinite(model.total_time(alpha))
+
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes)
+    def test_alpha_outside_unit_interval_rejected(self, rc, rg, n):
+        model = ExecutionTimeModel(rc, rg, n)
+        with pytest.raises(SchedulingError):
+            model.total_time(-1e-9)
+        with pytest.raises(SchedulingError):
+            model.total_time(1.0 + 1e-9)
+
+
+class TestPiecewiseMonotoneInAlpha:
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes)
+    def test_non_increasing_then_non_decreasing(self, rc, rg, n):
+        model = ExecutionTimeModel(rc, rg, n)
+        pivot = model.alpha_perf
+        grid = alpha_grid(0.05)
+        times = [model.total_time(a) for a in grid]
+        for (a0, t0), (a1, t1) in zip(zip(grid, times),
+                                      zip(grid[1:], times[1:])):
+            if a1 <= pivot:
+                assert t1 <= t0 * (1.0 + REL)
+            elif a0 >= pivot:
+                assert t1 >= t0 * (1.0 - REL)
+            # The single interval straddling the pivot may go either
+            # way; the minimum lives inside it.
+
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, alpha=alphas)
+    def test_alpha_perf_is_a_global_minimum(self, rc, rg, n, alpha):
+        model = ExecutionTimeModel(rc, rg, n)
+        t_star = model.total_time(model.alpha_perf)
+        assert t_star <= model.total_time(alpha) * (1.0 + REL)
+
+
+class TestMonotoneInDeviceRates:
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, alpha=alphas,
+           boost=st.floats(min_value=1.0, max_value=1e3))
+    def test_faster_cpu_never_slower(self, rc, rg, n, alpha, boost):
+        base = ExecutionTimeModel(rc, rg, n).total_time(alpha)
+        boosted = ExecutionTimeModel(rc * boost, rg, n).total_time(alpha)
+        assert boosted <= base * (1.0 + REL)
+
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, alpha=alphas,
+           boost=st.floats(min_value=1.0, max_value=1e3))
+    def test_faster_gpu_never_slower(self, rc, rg, n, alpha, boost):
+        base = ExecutionTimeModel(rc, rg, n).total_time(alpha)
+        boosted = ExecutionTimeModel(rc, rg * boost, n).total_time(alpha)
+        assert boosted <= base * (1.0 + REL)
+
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, alpha=alphas)
+    def test_matches_closed_form(self, rc, rg, n, alpha):
+        """Eqs. 1-4 collapse to max((1-a)N/R_C, aN/R_G): co-execution
+        plus the surviving device's remainder is exactly the slower
+        device's assigned share."""
+        model = ExecutionTimeModel(rc, rg, n)
+        cpu_t = (1.0 - alpha) * n / rc if alpha < 1.0 else 0.0
+        gpu_t = alpha * n / rg if alpha > 0.0 else 0.0
+        expected = max(cpu_t, gpu_t)
+        assert model.total_time(alpha) == pytest.approx(expected, rel=1e-6)

@@ -36,6 +36,9 @@ EXPECTED_API = sorted([
     "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
     "REGENERATORS", "regenerate", "experiment_id",
     "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
+    # execution engine
+    "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
+    "ResultCache", "get_default_engine", "set_default_engine", "use_engine",
     # observability
     "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
     "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",
