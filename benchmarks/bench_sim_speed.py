@@ -1,0 +1,153 @@
+"""Simulator clock-mode speed: event-driven fast-forward vs exact ticking.
+
+The full Table-1 suite runs under EAS on both platforms in both clock
+modes.  For each (platform, mode) the bench records suite wall-clock,
+total simulator ticks and macro-steps (from the ``soc.ticks`` /
+``soc.macro_steps`` observability counters), and per-phase averages,
+then writes everything to ``BENCH_sim.json`` (path overridable via
+``$BENCH_SIM_JSON``).
+
+The speedup assertion targets the *tick-dense* configuration - the
+tablet suite, whose phases run thousands of ticks each and fast-forward
+almost entirely.  The desktop suite is measured and reported with no
+assertion attached: its many-launch workloads average only a handful of
+ticks per phase and its long phases spend most of their time over the
+package power cap, where per-sample feedback is sequentially
+irreducible - see docs/PERFORMANCE.md for why that floor exists.
+
+``$SIM_SPEED_MIN_SPEEDUP`` (default 5.0; CI uses 3.0 for noisy shared
+runners) sets the tick-dense assertion threshold.
+
+Also measured here: the memory footprint of the slotted per-tick
+dataclasses (``TraceSample``), satellite of the same optimisation pass.
+"""
+
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+
+from repro.core.metrics import EDP
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.harness.experiment import run_application
+from repro.harness.suite import get_characterization
+from repro.obs.observer import Observer
+from repro.soc.spec import baytrail_tablet, haswell_desktop
+from repro.soc.trace import TraceSample
+from repro.workloads.registry import suite_workloads
+
+OUTPUT_PATH = os.environ.get("BENCH_SIM_JSON", "BENCH_sim.json")
+MIN_SPEEDUP = float(os.environ.get("SIM_SPEED_MIN_SPEEDUP", "5.0"))
+
+#: Relative agreement required between the modes' end-to-end results -
+#: the speedup is meaningless if fast mode computed something else.
+REL_TOL = 1e-6
+
+
+def _run_suite(base_spec, tablet, tick_mode):
+    """EAS over the platform's Table-1 suite in one clock mode."""
+    spec = replace(base_spec, tick_mode=tick_mode)
+    characterization = get_characterization(base_spec)
+    totals = {"ticks": 0, "macro_steps": 0, "phases": 0}
+    per_workload = {}
+    started = time.perf_counter()
+    for workload in suite_workloads(tablet=tablet):
+        observer = Observer()
+        scheduler = EnergyAwareScheduler(characterization, EDP)
+        run = run_application(spec, workload, scheduler, "EAS",
+                              tablet=tablet, observer=observer)
+        counters = observer.metrics.snapshot()["counters"]
+        for key in totals:
+            totals[key] += int(counters.get(f"soc.{key}", 0))
+        per_workload[workload.abbrev] = {
+            "time_s": run.time_s, "energy_j": run.energy_j}
+    wall_s = time.perf_counter() - started
+    phases = max(1, totals["phases"])
+    return {
+        "wall_s": round(wall_s, 3),
+        "ticks": totals["ticks"],
+        "macro_steps": totals["macro_steps"],
+        "phases": totals["phases"],
+        "ticks_per_phase": round(totals["ticks"] / phases, 2),
+        "macro_steps_per_phase": round(totals["macro_steps"] / phases, 2),
+        "per_workload": per_workload,
+    }
+
+
+def _check_equivalence(exact, fast, label):
+    for abbrev, ex in exact["per_workload"].items():
+        fa = fast["per_workload"][abbrev]
+        for field in ("time_s", "energy_j"):
+            scale = max(abs(ex[field]), abs(fa[field]), 1e-12)
+            rel = abs(ex[field] - fa[field]) / scale
+            assert rel < REL_TOL, (
+                f"{label}/{abbrev}: {field} diverged by {rel:.2e} "
+                f"(exact {ex[field]!r}, fast {fa[field]!r})")
+
+
+def _trace_sample_memory():
+    """Per-sample footprint of the (slotted on 3.10+) trace dataclass."""
+    sample = TraceSample(t=0.0, dt=1e-3, package_w=30.0, cpu_w=20.0,
+                         gpu_w=5.0, uncore_w=3.0, cpu_freq_hz=3.9e9,
+                         gpu_freq_hz=1.2e9, gpu_active=True)
+    slotted = not hasattr(sample, "__dict__")
+    bytes_per_sample = sys.getsizeof(sample)
+    if not slotted:
+        bytes_per_sample += sys.getsizeof(sample.__dict__)
+    return {
+        "slotted": slotted,
+        "bytes_per_sample": bytes_per_sample,
+        "python": ".".join(map(str, sys.version_info[:3])),
+    }
+
+
+def _compare_platform(base_spec, tablet):
+    exact = _run_suite(base_spec, tablet, "exact")
+    fast = _run_suite(base_spec, tablet, "fast")
+    _check_equivalence(exact, fast, base_spec.name)
+    speedup = exact["wall_s"] / max(fast["wall_s"], 1e-9)
+    return {"exact": exact, "fast": fast, "speedup": round(speedup, 2)}
+
+
+def test_sim_speed(benchmark):
+    report = {
+        "suite": "EAS over the Table-1 workloads, both clock modes",
+        "min_speedup_tick_dense": MIN_SPEEDUP,
+        "platforms": {},
+        "trace_sample_memory": _trace_sample_memory(),
+    }
+
+    def _measure():
+        report["platforms"]["tablet"] = _compare_platform(
+            baytrail_tablet(), tablet=True)
+        report["platforms"]["desktop"] = _compare_platform(
+            haswell_desktop(), tablet=False)
+        return report
+
+    benchmark.pedantic(_measure, rounds=1, iterations=1, warmup_rounds=0)
+
+    with open(OUTPUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    tablet = report["platforms"]["tablet"]
+    desktop = report["platforms"]["desktop"]
+    for name, platform in report["platforms"].items():
+        benchmark.extra_info[f"{name}_speedup"] = platform["speedup"]
+        benchmark.extra_info[f"{name}_ticks_exact"] = (
+            platform["exact"]["ticks"])
+        benchmark.extra_info[f"{name}_ticks_fast"] = platform["fast"]["ticks"]
+
+    # Fast mode must actually fast-forward: fewer scalar ticks, real
+    # macro-steps, on both platforms.
+    for platform in (tablet, desktop):
+        assert platform["fast"]["ticks"] < platform["exact"]["ticks"]
+        assert platform["fast"]["macro_steps"] > 0
+        assert platform["exact"]["macro_steps"] == 0
+
+    # The headline assertion, on the tick-dense configuration.
+    assert tablet["speedup"] >= MIN_SPEEDUP, (
+        f"tablet suite speedup {tablet['speedup']}x below the "
+        f"{MIN_SPEEDUP}x floor (exact {tablet['exact']['wall_s']}s, "
+        f"fast {tablet['fast']['wall_s']}s)")

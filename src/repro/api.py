@@ -94,7 +94,12 @@ from repro.runtime.runtime import ConcordRuntime
 from repro.soc.cost_model import KernelCostModel
 from repro.soc.faults import FaultConfig, FaultySoC
 from repro.soc.simulator import IntegratedProcessor
-from repro.soc.spec import PlatformSpec, baytrail_tablet, haswell_desktop
+from repro.soc.spec import (
+    PlatformSpec,
+    baytrail_tablet,
+    haswell_desktop,
+    use_tick_mode,
+)
 from repro.workloads.base import InvocationSpec, Workload
 from repro.workloads.registry import all_workloads, workload_by_abbrev
 
@@ -105,7 +110,7 @@ __all__ = [
     "GpuFaultError",
     # platforms & simulator
     "PlatformSpec", "haswell_desktop", "baytrail_tablet",
-    "IntegratedProcessor", "KernelCostModel",
+    "IntegratedProcessor", "KernelCostModel", "use_tick_mode",
     # fault injection
     "FaultConfig", "FaultySoC",
     # runtime

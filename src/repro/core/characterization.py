@@ -16,7 +16,7 @@ software-visible interfaces (run work, read clock, read MSR).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.categories import WorkloadCategory, all_categories, category_from_codes
@@ -143,6 +143,11 @@ class PowerCharacterizer:
             if spec is None:
                 raise CharacterizationError(
                     "need a processor_factory or a platform spec")
+            # Characterization is calibration: Table G must come out
+            # identical whatever clock mode the experiments then run
+            # under, so sweeps are pinned to the exact tick loop.
+            # (Callers supplying a processor_factory keep full control.)
+            spec = replace(spec, tick_mode="exact")
             processor_factory = lambda: IntegratedProcessor(spec)  # noqa: E731
         self.processor_factory = processor_factory
         self.spec = spec

@@ -56,7 +56,7 @@ from repro.obs.export import (
 )
 from repro.obs.observer import Observer
 from repro.soc.faults import FaultConfig
-from repro.soc.spec import baytrail_tablet, haswell_desktop
+from repro.soc.spec import TICK_MODES, baytrail_tablet, haswell_desktop, use_tick_mode
 from repro.workloads.registry import workload_by_abbrev
 
 
@@ -226,13 +226,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed run-result "
                              "cache entirely (no reads, no writes)")
+    parser.add_argument("--tick-mode", choices=TICK_MODES, default="exact",
+                        help="simulator clock mode: 'exact' (reference, "
+                             "byte-stable fingerprints) or 'fast' "
+                             "(event-driven fast-forward, <1e-6 relative "
+                             "divergence; see docs/PERFORMANCE.md)")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
         raise HarnessError("--jobs must be >= 1")
     engine = ExecutionEngine(jobs=args.jobs, cache=_make_cache(args))
 
-    with use_engine(engine):
+    with use_tick_mode(args.tick_mode), use_engine(engine):
         if args.run is not None:
             return _run_custom(args)
 

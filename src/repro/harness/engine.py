@@ -72,7 +72,7 @@ from repro.workloads.registry import workload_by_abbrev
 #: semantics of a cached payload change (simulator behaviour, result
 #: dataclass layout, worker dispatch) so stale entries miss instead of
 #: resurfacing as wrong results.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 # -- task kinds -----------------------------------------------------------------
 
@@ -263,6 +263,16 @@ class RunSpec:
             "observe": self.observe,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def tick_mode(self) -> str:
+        """Simulator clock mode this run executes under.
+
+        Carried by the platform spec (and therefore part of
+        :meth:`canonical`): fast- and exact-mode results are distinct
+        cache entries.
+        """
+        return self.platform.tick_mode
 
     def cache_key(self) -> str:
         return hashlib.sha256(self.canonical().encode()).hexdigest()

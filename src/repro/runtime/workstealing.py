@@ -62,19 +62,35 @@ class WorkStealingPool:
         "terminates CPU workers" when the GPU chunk completes).
         Returns the list of chunk ranges actually executed.
         """
+
+        def indexed(wid: int, lo: int, hi: int) -> None:
+            body(lo, hi)
+
+        executed_lists = self._run(indexed, start, stop, stop_event)
+        return sorted(r for worker in executed_lists for r in worker)
+
+    def _run(self, indexed_body: Callable[[int, int, int], None],
+             start: int, stop: int,
+             stop_event: Optional[threading.Event]) -> List[List[Range]]:
+        """Worker loop shared by :meth:`run` and :meth:`map_reduce`.
+
+        ``indexed_body(wid, lo, hi)`` additionally receives the worker
+        index, so callers can keep per-worker state without
+        synchronization.  Returns the per-worker executed chunk lists.
+        """
         if stop < start:
             raise RuntimeLayerError(f"bad range [{start}, {stop})")
         deques = self._deal(start, stop)
-        executed: List[Range] = []
-        executed_lock = threading.Lock()
         errors: List[BaseException] = []
-        # Per-worker steal tallies, merged only after the join so the
-        # hot loop takes no extra locks when observability is on.
+        # Per-worker executed lists and steal tallies, merged only
+        # after the join: the hot loop takes no locks.
+        executed_lists: List[List[Range]] = [[] for _ in range(self.num_workers)]
         steals = [0] * self.num_workers
 
         def worker_main(wid: int) -> None:
             rng = random.Random(self._seed * 1000003 + wid)
             own = deques[wid]
+            executed = executed_lists[wid]
             misses = 0
             while misses < 2 * self.num_workers:
                 if stop_event is not None and stop_event.is_set():
@@ -90,14 +106,13 @@ class WorkStealingPool:
                     continue
                 misses = 0
                 try:
-                    body(item[0], item[1])
+                    indexed_body(wid, item[0], item[1])
                 except BaseException as exc:  # propagate to caller
                     errors.append(exc)
                     if stop_event is not None:
                         stop_event.set()
                     return
-                with executed_lock:
-                    executed.append(item)
+                executed.append(item)
 
         threads = [threading.Thread(target=worker_main, args=(w,), daemon=True)
                    for w in range(self.num_workers)]
@@ -108,28 +123,37 @@ class WorkStealingPool:
         obs = self.observer
         if obs.enabled:
             obs.inc("ws.runs")
-            obs.inc("ws.chunks_executed", len(executed))
+            obs.inc("ws.chunks_executed",
+                    sum(len(worker) for worker in executed_lists))
             obs.inc("ws.steals", sum(steals))
         if errors:
             raise errors[0]
-        return sorted(executed)
+        return executed_lists
 
     def map_reduce(self, body: Callable[[int, int], object],
                    combine: Callable[[object, object], object],
                    start: int, stop: int, initial: object) -> object:
-        """Run ``body`` over chunks and fold the per-chunk results."""
-        results: List[object] = []
-        lock = threading.Lock()
+        """Run ``body`` over chunks and fold the per-chunk results.
 
-        def wrapped(lo: int, hi: int) -> None:
+        Each worker folds its own chunks into a private partial - no
+        locks in the hot loop - and the partials are folded into
+        ``initial`` after the join.  ``combine`` must be associative
+        and commutative: chunk-to-worker assignment is
+        scheduling-dependent.
+        """
+        empty = object()
+        partials: List[object] = [empty] * self.num_workers
+
+        def wrapped(wid: int, lo: int, hi: int) -> None:
             value = body(lo, hi)
-            with lock:
-                results.append(value)
+            partials[wid] = (value if partials[wid] is empty
+                             else combine(partials[wid], value))
 
-        self.run(wrapped, start, stop)
+        self._run(wrapped, start, stop, None)
         acc = initial
-        for value in results:
-            acc = combine(acc, value)
+        for partial in partials:
+            if partial is not empty:
+                acc = combine(acc, partial)
         return acc
 
 

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro._compat import DATACLASS_SLOTS
 from repro.errors import CounterError
 from repro.soc.cost_model import KernelCostModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class CounterSnapshot:
     """Point-in-time copy of all counter values."""
 
@@ -45,7 +46,7 @@ class CounterSnapshot:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class CounterDelta:
     """Counter activity over a measurement window."""
 

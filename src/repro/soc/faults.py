@@ -32,6 +32,7 @@ able to corrupt an experiment's bookkeeping.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import List, Optional
 
@@ -89,6 +90,13 @@ class FaultConfig:
     gpu_busy_flap_prob: float = 0.0
     #: Simulated time a hung launch burns before the watchdog fires.
     hang_cost_s: float = 0.002
+    #: Absolute simulated times (s) at which the register
+    #: deterministically jumps by a full wrap plus change.  Unlike
+    #: ``msr_extra_wrap_prob``'s per-read draws, these land *mid-phase*
+    #: through the simulator's event-source plumbing - exercising the
+    #: clock's guarantee that neither tick stretching nor fast-mode
+    #: macro-stepping ever advances across a scheduled fault.
+    scheduled_wrap_times: "tuple[float, ...]" = ()
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -101,6 +109,11 @@ class FaultConfig:
             raise SimulationError("counter_noise_sigma must be non-negative")
         if self.hang_cost_s < 0:
             raise SimulationError("hang_cost_s must be non-negative")
+        for t in self.scheduled_wrap_times:
+            if not (math.isfinite(t) and t >= 0.0):
+                raise SimulationError(
+                    f"scheduled wrap time {t} must be finite and non-negative")
+        self.scheduled_wrap_times = tuple(sorted(self.scheduled_wrap_times))
 
     @classmethod
     def from_level(cls, level: float, seed: int = 0) -> "FaultConfig":
@@ -147,6 +160,37 @@ class FaultLog:
         return out
 
 
+class _ScheduledWrapSource:
+    """Discrete event source firing deterministic MSR wrap jumps.
+
+    Registered with the wrapped processor's clock, which never ticks -
+    and never macro-steps - across ``next_event_time``; the register
+    jump is therefore applied at exactly its scheduled instant in both
+    clock modes, however the surrounding span was fast-forwarded.
+    """
+
+    def __init__(self, shim: "FaultySoC", times: "tuple[float, ...]") -> None:
+        self._shim = shim
+        self._times = times
+        self._idx = 0
+
+    def next_event_time(self, now: float) -> float:
+        if self._idx >= len(self._times):
+            return float("inf")
+        return self._times[self._idx]
+
+    def fire(self, now: float) -> None:
+        # Full wrap plus a deterministic per-event remainder, so
+        # successive jumps are distinguishable in the log and in tests.
+        jump = (1 << 32) + 4096 * (self._idx + 1)
+        self._shim._msr_offset_units += jump
+        self._shim.fault_log.append(
+            now, "msr-scheduled-wrap",
+            f"scheduled at t={self._times[self._idx]:.6f}s, "
+            f"offset jumped by {jump} units")
+        self._idx += 1
+
+
 class FaultySoC:
     """An :class:`IntegratedProcessor` behind a fault-injecting shim.
 
@@ -167,6 +211,9 @@ class FaultySoC:
         self.fault_log = FaultLog()
         self._rng = np.random.default_rng(0xFA17 + 31 * self.config.seed)
         self._msr_offset_units = 0
+        if self.config.scheduled_wrap_times:
+            inner.add_event_source(
+                _ScheduledWrapSource(self, self.config.scheduled_wrap_times))
 
     # -- passthrough state -------------------------------------------------------
 

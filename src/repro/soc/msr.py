@@ -32,6 +32,25 @@ class EnergyMsr:
             raise SimulationError("cannot deposit negative energy")
         self._accumulated_j += joules
 
+    def deposit_power(self, power_w: float, duration_s: float) -> int:
+        """Bulk deposit: integrate constant ``power_w`` over ``duration_s``.
+
+        The macro-step path of the simulator's fast clock mode lands
+        here: one call may advance the register across *several* full
+        32-bit wraps.  The accumulator is an unwrapped float (wrapping
+        happens at :meth:`read` time), so multi-wrap jumps are exact by
+        construction; the return value is how many wrap boundaries the
+        deposit crossed, for diagnostics (``soc.msr_wraps``) and the
+        multi-wrap unit tests.
+        """
+        if power_w < 0:
+            raise SimulationError("cannot deposit negative power")
+        if duration_s < 0:
+            raise SimulationError("cannot deposit over negative time")
+        before = self.wrap_count
+        self._accumulated_j += power_w * duration_s
+        return self.wrap_count - before
+
     def read(self) -> int:
         """Raw register read: quantized, wrapped to 32 bits."""
         return int(self._accumulated_j / self.energy_unit_j) & _MSR_MASK

@@ -19,17 +19,59 @@ The model captures the behaviours the paper documents:
   short GPU executions drop desktop package power from ~60 W to <40 W,
   and it is why the paper's short/long workload classification (100 ms
   threshold) earns its keep.
-* **Package cap feedback.** The PCU samples package power every
-  ``sample_interval_s`` and walks the CPU frequency down when the cap
-  is exceeded (CPU-first throttling, as on real integrated parts where
-  the GPU is the scarcer resource).
+* **Package cap feedback.** The PCU samples package power on an
+  absolute grid of ``sample_interval_s`` multiples and walks the CPU
+  frequency down when the cap is exceeded (CPU-first throttling, as on
+  real integrated parts where the GPU is the scarcer resource).
+
+**Fast-forward contract.**  The simulator's event-driven fast path
+(docs/PERFORMANCE.md) relies on three guarantees this module provides:
+
+* :meth:`Pcu.settled` - true when stepping the controller would change
+  nothing: both frequencies exactly at target, no cap throttle, last
+  power at or under the cap, no GPU activity edge pending.  All PCU
+  dynamics are then frozen until an external event.
+* :meth:`Pcu.time_to_next_transition` - the one *self-scheduled* policy
+  change a settled controller still has in its future: the
+  co-execution -> turbo CPU target release ``gpu_idle_release_s`` after
+  the GPU went idle.  Both clock modes align a tick to this instant so
+  the ramp that follows starts at the same time everywhere.
+* :meth:`Pcu.macro_step` - advances a settled controller across a span
+  in one jump; only the GPU-activity timestamp moves.
+
+To make those guarantees mode-independent, two behaviours are defined
+in span terms rather than tick terms: ``last_gpu_active_t`` records the
+*end* of the last GPU-active step (so it is the same whether the span
+was one macro-step or many ticks), and cap-feedback sampling fires on
+the absolute time grid ``k * sample_interval_s`` (so its instants do
+not depend on where ticks happened to fall).  Sampling is a no-op
+unless the package is over cap or a throttle is decaying; the
+simulator uses :meth:`Pcu.bound_dt` to land ticks exactly on the grid
+only while that "armed" condition holds.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.soc.spec import PlatformSpec
+
+#: Tolerance for "this instant lies on the sample grid", relative to
+#: the sample interval.  Wide enough to absorb accumulated float error
+#: in the simulation clock, narrow against the smallest tick (1e-7 s).
+_GRID_TOL = 1e-6
+
+
+def _grid_after(t: float, interval: float) -> float:
+    """Smallest grid multiple strictly after ``t`` (FP-tolerant: a ``t``
+    within tolerance below ``k * interval`` counts as already on it)."""
+    return (math.floor(t / interval + _GRID_TOL) + 1.0) * interval
+
+
+def _on_grid(t: float, interval: float) -> bool:
+    x = t / interval
+    return abs(x - round(x)) <= _GRID_TOL
 
 
 @dataclass
@@ -38,12 +80,12 @@ class PcuState:
 
     cpu_freq_hz: float
     gpu_freq_hz: float
-    #: Simulation time when the GPU was last seen active.
+    #: Simulation time up to which the GPU has been seen active (the
+    #: *end* of the last GPU-active step - span semantics, so exact
+    #: ticking and macro-stepping agree on the release instant).
     last_gpu_active_t: float
     #: Extra CPU throttle (Hz) currently applied by cap feedback.
     cap_throttle_hz: float
-    #: Time of the last policy sample.
-    last_sample_t: float
 
 
 class Pcu:
@@ -56,7 +98,6 @@ class Pcu:
             gpu_freq_hz=spec.gpu.min_freq_hz,
             last_gpu_active_t=float("-inf"),
             cap_throttle_hz=0.0,
-            last_sample_t=float("-inf"),
         )
         self._gpu_was_active = False
         #: True while the CPU is climbing back from a GPU-activation
@@ -92,6 +133,114 @@ class Pcu:
         gpu = self.spec.gpu
         return gpu.turbo_freq_hz if gpu_active else gpu.min_freq_hz
 
+    def _sample_armed(self, last_package_power_w: float) -> bool:
+        """Would a cap-feedback sample do anything right now?"""
+        return (self.state.cap_throttle_hz > 0.0
+                or last_package_power_w > self.spec.pcu.package_cap_w)
+
+    # -- fast-forward contract ---------------------------------------------------
+
+    def settled(self, now: float, cpu_active: bool, gpu_active: bool,
+                last_package_power_w: float) -> bool:
+        """True when a step would leave every controller output unchanged.
+
+        Requires: no GPU activity edge pending, no cap throttle applied
+        and none about to be (power at or under cap), and both
+        frequencies exactly at their targets (the ramp code clamps onto
+        targets exactly, so equality is the right test).  While settled,
+        the only self-scheduled change left is the target flip reported
+        by :meth:`time_to_next_transition`.
+        """
+        st = self.state
+        if gpu_active != self._gpu_was_active:
+            return False
+        if st.cap_throttle_hz != 0.0:
+            return False
+        if last_package_power_w > self.spec.pcu.package_cap_w:
+            return False
+        return (st.cpu_freq_hz == self._cpu_target_hz(now, cpu_active, gpu_active)
+                and st.gpu_freq_hz == self._gpu_target_hz(gpu_active))
+
+    def time_to_next_transition(self, now: float, cpu_active: bool,
+                                gpu_active: bool) -> float:
+        """Absolute time of the next self-scheduled policy change.
+
+        With constant device activity the only such change is the
+        co-execution -> turbo CPU target release, ``gpu_idle_release_s``
+        after the GPU was last active.  Returns ``inf`` when nothing is
+        scheduled.  Both clock modes bound their steps by this so the
+        post-release ramp starts at the same instant everywhere.
+        """
+        if cpu_active and not gpu_active:
+            pcu = self.spec.pcu
+            # Same arithmetic as _cpu_target_hz's recency test, so the
+            # reported release instant and the actual target flip agree
+            # to the ulp.  The result may be at or an ulp before ``now``
+            # when the flip is imminent; callers clamp their step to
+            # _MIN_DT and tick across it.
+            if (now - self.state.last_gpu_active_t) < pcu.gpu_idle_release_s:
+                return self.state.last_gpu_active_t + pcu.gpu_idle_release_s
+        return float("inf")
+
+    def bound_dt(self, now: float, dt: float,
+                 last_package_power_w: float) -> float:
+        """Clip ``dt`` so armed cap-feedback samples land on their grid.
+
+        Sampling is a no-op unless the package is over cap or a
+        throttle is decaying; only then must ticks hit the absolute
+        grid ``k * sample_interval_s`` exactly, keeping the feedback's
+        firing instants independent of prior tick placement.
+        """
+        if not self._sample_armed(last_package_power_w):
+            return dt
+        return min(dt, _grid_after(now, self.spec.pcu.sample_interval_s) - now)
+
+    def edge_pending(self, gpu_active: bool) -> bool:
+        """Would the next step apply a GPU activity edge?
+
+        The batched-transient path of the fast clock mode requires
+        constant device activity over the span it plans; an unapplied
+        edge means the very next step runs activation-throttle logic
+        and must stay on the scalar path.
+        """
+        return gpu_active != self._gpu_was_active
+
+    def clone(self) -> "Pcu":
+        """Independent copy for schedule *planning* (fast clock mode).
+
+        The simulator's batched-transient path steps a throwaway clone
+        through upcoming ticks to learn the exact frequency/dt schedule
+        without touching live state, evaluates the rate/power models
+        once over the whole schedule, then advances the real controller
+        to the committed prefix.  The clone shares the (immutable) spec
+        and copies all mutable state.
+        """
+        twin = Pcu.__new__(Pcu)
+        twin.spec = self.spec
+        twin.state = PcuState(
+            cpu_freq_hz=self.state.cpu_freq_hz,
+            gpu_freq_hz=self.state.gpu_freq_hz,
+            last_gpu_active_t=self.state.last_gpu_active_t,
+            cap_throttle_hz=self.state.cap_throttle_hz,
+        )
+        twin._gpu_was_active = self._gpu_was_active
+        twin._throttle_recovery = self._throttle_recovery
+        twin.power_hint = self.power_hint
+        return twin
+
+    def macro_step(self, now: float, dt: float, cpu_active: bool,
+                   gpu_active: bool) -> "tuple[float, float]":
+        """Advance a settled controller by ``dt`` in one jump.
+
+        Caller contract: :meth:`settled` was true at ``now``, activity
+        is constant over the span, and ``dt`` does not cross
+        :meth:`time_to_next_transition`.  Under those conditions the
+        only state that moves is the GPU-activity timestamp.
+        """
+        if gpu_active:
+            self.state.last_gpu_active_t = now + dt
+        return self.state.cpu_freq_hz, self.state.gpu_freq_hz
+
     # -- stepping ----------------------------------------------------------------
 
     def step(self, now: float, dt: float, cpu_active: bool, gpu_active: bool,
@@ -119,9 +268,11 @@ class Pcu:
                 self._throttle_recovery = True
         self._gpu_was_active = gpu_active
 
-        # Sample-rate-limited policy work.
-        if now - st.last_sample_t >= pcu.sample_interval_s:
-            st.last_sample_t = now
+        # Cap-feedback sample when this step lands on the absolute
+        # sample grid.  Off-grid steps skip it; the simulator only
+        # forces grid alignment (bound_dt) while a sample would have
+        # an effect, so nothing observable is ever missed.
+        if _on_grid(now, pcu.sample_interval_s):
             # Package-cap feedback (integral controller on CPU freq).
             if last_package_power_w > pcu.package_cap_w:
                 overshoot = last_package_power_w / pcu.package_cap_w - 1.0
@@ -130,7 +281,7 @@ class Pcu:
                 st.cap_throttle_hz = max(0.0, st.cap_throttle_hz - 0.05e9)
 
         if gpu_active:
-            st.last_gpu_active_t = now
+            st.last_gpu_active_t = now + dt
 
         # Frequency ramping toward targets.
         cpu_target = self._cpu_target_hz(now, cpu_active, gpu_active)

@@ -21,10 +21,72 @@ tablet, ~1.5 W CPU-alone / ~2 W GPU-alone compute-bound and ~0.7 W /
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
 
 from repro.errors import SpecError
 from repro.units import gb_per_s, ghz, ms
+
+
+def _pow(base, exponent: float):
+    """``base ** exponent`` for a scalar or an ndarray, bit-stable.
+
+    numpy's vectorized pow kernel can differ from C ``pow`` by 1 ulp on
+    some inputs, which would break the fast clock mode's guarantee that
+    batched model evaluation is bit-identical to per-tick scalar calls
+    (see :func:`repro.soc.power.package_power_batch`).  Arrays therefore
+    exponentiate element-wise through python floats, which route to the
+    same libm ``pow`` the scalar model uses.
+    """
+    if isinstance(base, np.ndarray):
+        return np.array([b ** exponent for b in base.tolist()])
+    return base ** exponent
+
+#: Valid simulator clock modes (see docs/PERFORMANCE.md):
+#:
+#: * ``"exact"`` - the reference mode: tick-by-tick execution (with the
+#:   adaptive stretch for quiet spans).  Required wherever byte-stable
+#:   fingerprints or calibration matter.
+#: * ``"fast"`` - additionally fast-forwards *settled* spans (PCU at
+#:   target, no throttle, no pending event) in closed-form macro-steps.
+#:   End-to-end time/energy/items agree with exact mode to < 1e-6
+#:   relative; traces are decimated, not per-tick.
+TICK_MODES = ("exact", "fast")
+
+_default_tick_mode = "exact"
+
+
+def default_tick_mode() -> str:
+    """The tick mode new :class:`PlatformSpec` factories bake in."""
+    return _default_tick_mode
+
+
+def set_default_tick_mode(mode: str) -> str:
+    """Set the factory default tick mode; returns the previous one.
+
+    Affects :func:`haswell_desktop`, :func:`ultrabook_15w` and
+    :func:`baytrail_tablet` calls made *after* this; specs already
+    constructed keep the mode they were built with.
+    """
+    global _default_tick_mode
+    if mode not in TICK_MODES:
+        raise SpecError(f"tick mode {mode!r} not in {TICK_MODES}")
+    previous = _default_tick_mode
+    _default_tick_mode = mode
+    return previous
+
+
+@contextmanager
+def use_tick_mode(mode: str) -> Iterator[None]:
+    """Scoped :func:`set_default_tick_mode` (the CLI's ``--tick-mode``)."""
+    previous = set_default_tick_mode(mode)
+    try:
+        yield
+    finally:
+        set_default_tick_mode(previous)
 
 
 @dataclass(frozen=True)
@@ -63,7 +125,7 @@ class CpuSpec:
     def dynamic_power_w(self, freq_hz: float, active_cores: float) -> float:
         """Dynamic power of ``active_cores`` cores running at ``freq_hz``."""
         f_ghz = freq_hz / ghz(1.0)
-        return self.dyn_power_coeff_w * active_cores * f_ghz ** self.dyn_power_exponent
+        return self.dyn_power_coeff_w * active_cores * _pow(f_ghz, self.dyn_power_exponent)
 
     def instruction_rate(self, freq_hz: float, active_cores: float) -> float:
         """Peak instructions/second across ``active_cores`` cores."""
@@ -105,7 +167,7 @@ class GpuSpec:
     def dynamic_power_w(self, freq_hz: float, utilization: float) -> float:
         """Dynamic power at ``freq_hz`` with EU array ``utilization`` (0..1)."""
         f_ghz = freq_hz / ghz(1.0)
-        return self.dyn_power_coeff_w * utilization * f_ghz ** self.dyn_power_exponent
+        return self.dyn_power_coeff_w * utilization * _pow(f_ghz, self.dyn_power_exponent)
 
     def instruction_rate(self, freq_hz: float, occupancy: float) -> float:
         """Peak GPU instructions/second at ``occupancy`` (0..1)."""
@@ -200,6 +262,12 @@ class PlatformSpec:
     #: GPU_PROFILE_SIZE used by the runtime on this platform (the paper
     #: sizes it to the GPU's hardware parallelism: 2048 on the desktop).
     gpu_profile_size: int = field(default=2048)
+    #: Simulator clock mode: one of :data:`TICK_MODES`.  ``"exact"``
+    #: is the reference; ``"fast"`` macro-steps settled spans (see
+    #: docs/PERFORMANCE.md).  Part of the spec (not a simulator flag)
+    #: so it flows into :class:`~repro.harness.engine.RunSpec` cache
+    #: keys: fast and exact results are never conflated.
+    tick_mode: str = field(default="exact")
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
@@ -208,6 +276,9 @@ class PlatformSpec:
             raise SpecError("energy_unit_j must be positive")
         if self.gpu_profile_size <= 0:
             raise SpecError("gpu_profile_size must be positive")
+        if self.tick_mode not in TICK_MODES:
+            raise SpecError(
+                f"tick_mode {self.tick_mode!r} not in {TICK_MODES}")
 
 
 def haswell_desktop() -> PlatformSpec:
@@ -278,6 +349,7 @@ def haswell_desktop() -> PlatformSpec:
         energy_unit_j=1.0 / (1 << 14),
         tick_s=ms(0.5),
         gpu_profile_size=2048,
+        tick_mode=_default_tick_mode,
     )
 
 
@@ -348,6 +420,7 @@ def ultrabook_15w() -> PlatformSpec:
         energy_unit_j=1.0 / (1 << 14),
         tick_s=ms(0.5),
         gpu_profile_size=12 * 7 * 16,
+        tick_mode=_default_tick_mode,
     )
 
 
@@ -421,4 +494,5 @@ def baytrail_tablet() -> PlatformSpec:
         energy_unit_j=1.0 / (1 << 5) * 1e-3,
         tick_s=ms(1.0),
         gpu_profile_size=448,
+        tick_mode=_default_tick_mode,
     )

@@ -7,15 +7,23 @@ average power over a window, min/max during GPU-active intervals).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro._compat import DATACLASS_SLOTS
 from repro.errors import SimulationError
 
+#: Macro-steps are decimated into synthesized samples no longer than
+#: this many base ticks each, so fast-mode traces keep enough timeline
+#: resolution for the figures (matches the exact mode's largest
+#: adaptively-stretched tick).
+SPAN_DECIMATION_TICKS = 8
 
-@dataclass
+
+@dataclass(**DATACLASS_SLOTS)
 class TraceSample:
     """One tick of the power timeline."""
 
@@ -40,6 +48,32 @@ class PowerTrace:
     def append(self, sample: TraceSample) -> None:
         if self.enabled:
             self.samples.append(sample)
+
+    def append_span(self, t: float, dt: float, package_w: float,
+                    cpu_w: float, gpu_w: float, uncore_w: float,
+                    cpu_freq_hz: float, gpu_freq_hz: float,
+                    gpu_active: bool, max_sample_dt: float) -> None:
+        """Record one constant-power macro-step as decimated samples.
+
+        The span ``[t, t + dt)`` is split into equal slices no longer
+        than ``max_sample_dt`` (one synthesized sample per decimation
+        interval), so every aggregation - :meth:`average_power`,
+        :meth:`resample`, :meth:`gpu_active_intervals` - sees the same
+        energy and timeline as per-tick appending would, at a bounded
+        sample count.
+        """
+        if not self.enabled or dt <= 0.0:
+            return
+        if max_sample_dt <= 0:
+            raise SimulationError("max_sample_dt must be positive")
+        slices = max(1, int(math.ceil(dt / max_sample_dt - 1e-9)))
+        slice_dt = dt / slices
+        for i in range(slices):
+            self.samples.append(TraceSample(
+                t=t + i * slice_dt, dt=slice_dt, package_w=package_w,
+                cpu_w=cpu_w, gpu_w=gpu_w, uncore_w=uncore_w,
+                cpu_freq_hz=cpu_freq_hz, gpu_freq_hz=gpu_freq_hz,
+                gpu_active=gpu_active))
 
     def clear(self) -> None:
         self.samples.clear()

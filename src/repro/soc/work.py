@@ -143,6 +143,12 @@ class WorkRegion:
                 f"WorkRegion: bad item range [{self.start_item}, {self.stop_item}) "
                 f"of {self.n_total}")
         self._pos = self.start_item
+        # work_remaining is queried several times per simulator tick at
+        # an unchanged position (completion checks, step bounds, macro
+        # planning); cache the last (position, value) pair.  The cached
+        # value is the one the fresh computation produced, so this is
+        # invisible to results.
+        self._wr_cache: "tuple[float, float] | None" = None
 
     @classmethod
     def for_span(cls, profile: CostProfile, n_total: float,
@@ -176,9 +182,14 @@ class WorkRegion:
         """Remaining work in average-item units."""
         if self.items_remaining <= 0:
             return 0.0
+        cached = self._wr_cache
+        if cached is not None and cached[0] == self._pos:
+            return cached[1]
         u0 = self._pos / self.n_total
         u1 = self.stop_item / self.n_total
-        return self.profile.integral(u0, u1) * self.n_total
+        remaining = self.profile.integral(u0, u1) * self.n_total
+        self._wr_cache = (self._pos, remaining)
+        return remaining
 
     @property
     def is_done(self) -> bool:

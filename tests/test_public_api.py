@@ -18,7 +18,7 @@ EXPECTED_API = sorted([
     "GpuFaultError",
     # platforms & simulator
     "PlatformSpec", "haswell_desktop", "baytrail_tablet",
-    "IntegratedProcessor", "KernelCostModel",
+    "IntegratedProcessor", "KernelCostModel", "use_tick_mode",
     # fault injection
     "FaultConfig", "FaultySoC",
     # runtime
