@@ -3,10 +3,12 @@
 The paper's runtime checks GPU performance counter A26 before each
 invocation: "we test GPU performance counter A26 on both platforms to
 check if it is busy.  In that case, we execute the application entirely
-on the CPU."  This example runs the N-Body workload while a co-resident
-process (think: a compositor or video encoder) intermittently owns the
-GPU, and shows EAS degrading gracefully to CPU execution for exactly
-the contended invocations.
+on the CPU."  This example shows the fallback firing two ways: first a synthetic
+sketch (the N-Body workload while a hand-flipped busy flag stands in
+for a co-resident compositor), then the real thing - two tenants
+co-scheduled on one SoC through the GPU lease arbiter
+(:mod:`repro.runtime.tenancy`), where every EXIT_GPU_BUSY decision is
+a genuine lease denial naming the tenant that held the GPU.
 
 Run:  python examples/gpu_contention.py
 """
@@ -16,6 +18,7 @@ from repro.core.scheduler import EnergyAwareScheduler
 from repro.harness.report import format_table, heading
 from repro.harness.suite import get_characterization
 from repro.runtime.runtime import ConcordRuntime
+from repro.runtime.tenancy import parse_tenant_specs, run_multiprogram
 from repro.soc.simulator import IntegratedProcessor
 from repro.soc.spec import haswell_desktop
 from repro.workloads.registry import workload_by_abbrev
@@ -67,6 +70,17 @@ def main() -> None:
         "\nEach contended launch runs entirely on the CPU (the paper's A26\n"
         "rule), so the application keeps making progress - at a cost that\n"
         "grows smoothly with the contention rate instead of stalling.")
+
+    print()
+    print(heading("The real thing: two tenants, one GPU lease arbiter"))
+    result = run_multiprogram(tenants=parse_tenant_specs("BS,CC:5"),
+                              policy="priority", seed=0)
+    print(result.render())
+    print(
+        "\nHere nothing is synthetic: both tenants issue thousands of\n"
+        "launches, the arbiter leases the GPU to one at a time, and each\n"
+        "denial surfaces to the loser's scheduler as a busy A26 - the\n"
+        "same Section-5 fallback, now driven by real co-running work.")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,9 @@ Grouped by layer:
 * **workloads** - the Table-1 benchmark suite;
 * **harness** - application runs, sweeps, suite evaluation, figure
   regenerators, and the chaos campaign;
+* **multiprogram tenancy** - N tenant kernel streams co-scheduled on
+  one SoC under a GPU lease arbiter, which makes ``gpu_busy`` (and the
+  scheduler's Section-5 fallback) real (see docs/ARCHITECTURE.md);
 * **execution engine** - declarative run specs, the parallel batch
   executor, and the content-addressed result cache
   (see docs/PARALLELISM.md);
@@ -55,7 +58,9 @@ from repro.errors import (
 from repro.harness.chaos import (
     ChaosCampaignResult,
     ChaosCell,
+    MultiprogramChaosCampaignResult,
     run_chaos_campaign,
+    run_multiprogram_chaos_campaign,
 )
 from repro.harness.engine import (
     ExecutionEngine,
@@ -91,6 +96,15 @@ from repro.obs.export import (
 from repro.obs.validate import validate_file
 from repro.runtime.kernel import Kernel
 from repro.runtime.runtime import ConcordRuntime
+from repro.runtime.tenancy import (
+    ARBITER_POLICIES,
+    GpuLeaseArbiter,
+    MultiprogramResult,
+    TenantResult,
+    TenantSpec,
+    parse_tenant_specs,
+    run_multiprogram,
+)
 from repro.soc.cost_model import KernelCostModel
 from repro.soc.faults import FaultConfig, FaultySoC
 from repro.soc.simulator import IntegratedProcessor
@@ -128,6 +142,10 @@ __all__ = [
     "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
     "REGENERATORS", "regenerate", "experiment_id",
     "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
+    "MultiprogramChaosCampaignResult", "run_multiprogram_chaos_campaign",
+    # multiprogram tenancy (see docs/ARCHITECTURE.md)
+    "ARBITER_POLICIES", "GpuLeaseArbiter", "MultiprogramResult",
+    "TenantResult", "TenantSpec", "parse_tenant_specs", "run_multiprogram",
     # execution engine (see docs/PARALLELISM.md)
     "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
     "ResultCache", "get_default_engine", "set_default_engine", "use_engine",

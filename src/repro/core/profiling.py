@@ -143,7 +143,9 @@ class KernelTable:
         A profiled (non-provisional) record replaces a provisional one
         outright instead of averaging with it.  Quarantined records
         (derived under observed faults) never dilute a clean entry, and
-        the first clean record replaces a quarantined one outright.
+        the first clean *profiled* record replaces a quarantined one
+        outright; a clean provisional record never lifts a quarantine
+        (it observed the CPU fast path, not the faulting device).
         """
         if not 0.0 <= alpha <= 1.0:
             raise SchedulingError(f"alpha {alpha} outside [0, 1]")
@@ -156,6 +158,12 @@ class KernelTable:
             self._entries[key] = entry
         elif quarantined and not entry.quarantined:
             # Fault-tainted observations must not poison a clean entry.
+            pass
+        elif entry.quarantined and not quarantined and provisional:
+            # A provisional small-N record (CPU-only fast path) carries
+            # no evidence that the device recovered; letting it replace
+            # a quarantined entry would launder the taint and resurrect
+            # a fault-derived alpha as trustworthy.
             pass
         elif (entry.provisional and not provisional) or \
                 (entry.quarantined and not quarantined):

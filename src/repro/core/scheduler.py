@@ -271,6 +271,21 @@ class EnergyAwareScheduler:
         self.last_fault_events: Dict[str, List[str]] = {}
         #: Fault events observed during the invocation in flight.
         self._fault_events: List[str] = []
+        #: Co-run context tag for contention-aware table-G keying (see
+        #: docs/ARCHITECTURE.md).  When set (e.g. ``"mp2"`` by the
+        #: multiprogram coordinator), table-G entries are keyed
+        #: ``"<kernel>|co:<context>"`` so an alpha derived while the
+        #: GPU was leased to another tenant is never reused as if it
+        #: were a solo measurement.  Empty = solo: keys, and therefore
+        #: single-tenant behaviour, are unchanged.
+        self.co_run_context: str = ""
+        #: Simulated idle seconds burned inside the gpu_busy debounce
+        #: loop during the invocation in flight (charged to the
+        #: invocation's decision record).
+        self._debounce_idle_s: float = 0.0
+        #: Table audit state of the invocation in flight.
+        self._table_hit: bool = False
+        self._table_usable: bool = False
 
     # -- SchedulerProtocol ---------------------------------------------------------
 
@@ -290,16 +305,32 @@ class EnergyAwareScheduler:
     def _execute(self, launch: KernelLaunch, key: str) -> SchedulerRecord:
         obs = self.observer
         obs.inc("eas.invocations")
-        self.table.note_invocation(key)
+        tkey = self._table_key(key)
+        self.table.note_invocation(tkey)
         self._fault_events = []
-        table_hit = self.table.lookup(key) is not None
+        self._debounce_idle_s = 0.0
+
+        profile_size = (self.config.gpu_profile_size
+                        or launch.processor.spec.gpu_profile_size)
+        entry = self.table.lookup(tkey)
+        # Audit both facts: *presence* of a table entry (table_hit) and
+        # actual reuse *eligibility* under the hygiene rules
+        # (table_usable) - a quarantined or provisional entry must not
+        # inflate the reported hit rate.
+        self._table_hit = entry is not None
+        self._table_usable = self._entry_usable(entry, launch.n_items,
+                                                profile_size)
+        if self._table_hit:
+            obs.inc("eas.table_hits")
+        if self._table_usable:
+            obs.inc("eas.table_usable")
 
         # GPU busy with other work: CPU-alone fallback (Section 5),
         # debounced against transient counter flapping.
         if self._gpu_busy_debounced(launch):
             launch.run_cpu_only()
             self._emit_decision(
-                launch, key, EXIT_GPU_BUSY, alpha=0.0, table_hit=table_hit,
+                launch, key, EXIT_GPU_BUSY, alpha=0.0,
                 fallback_reason="GPU busy with other work (A26 counter)",
                 notes=["gpu-busy-fallback"])
             return SchedulerRecord(alpha=0.0, notes=["gpu-busy-fallback"])
@@ -322,33 +353,23 @@ class EnergyAwareScheduler:
                 exit_path = EXIT_COOLDOWN
             self._emit_decision(
                 launch, key, exit_path, alpha=0.0, from_table=True,
-                table_hit=table_hit, fallback_reason=reason,
+                fallback_reason=reason,
                 fault_events=self.last_fault_events.get(key, []),
                 notes=[GPU_FAULTED_FALLBACK])
             return SchedulerRecord(alpha=0.0, notes=[GPU_FAULTED_FALLBACK])
 
-        profile_size = (self.config.gpu_profile_size
-                        or launch.processor.spec.gpu_profile_size)
-
-        # Lines 2-4: reuse alpha from table G.  Provisional entries
+        # Lines 2-4: reuse alpha from table G.  ``table_usable``
+        # already encodes the hygiene rules: provisional entries
         # (small-N fast path) are only reused for further small
         # launches; a launch big enough to profile supersedes them, as
-        # does one far larger than the entry was derived from.
-        # Quarantined entries (derived under faults) are never reused.
-        entry = self.table.lookup(key)
-        if entry is not None and entry.quarantined:
-            entry = None
-        if entry is not None and launch.n_items >= profile_size:
-            outgrown = launch.n_items > (self.config.reprofile_growth
-                                         * max(entry.derived_at_items, 1.0))
-            if entry.provisional or outgrown:
-                entry = None
-        if entry is not None and not self.config.always_reprofile:
+        # does one far larger than the entry was derived from; and
+        # quarantined entries (derived under faults) are never reused.
+        if self._table_usable and not self.config.always_reprofile:
             record = self._run_remainder(launch, key, entry.alpha)
             fell_back = GPU_FAULTED_FALLBACK in record.notes
             self._emit_decision(
                 launch, key, EXIT_TABLE_HIT, alpha=record.alpha,
-                category=entry.category, from_table=True, table_hit=True,
+                category=entry.category, from_table=True,
                 fallback_reason=("partitioned phase faulted; remainder "
                                  "drained on the CPU" if fell_back else None),
                 notes=record.notes)
@@ -358,10 +379,10 @@ class EnergyAwareScheduler:
         # Lines 6-10: too little parallelism for the GPU at all.
         if launch.n_items < profile_size:
             launch.run_cpu_only()
-            self.table.record(key, alpha=0.0, weight=launch.n_items,
+            self.table.record(tkey, alpha=0.0, weight=launch.n_items,
                               provisional=True)
             self._emit_decision(
-                launch, key, EXIT_SMALL_N, alpha=0.0, table_hit=table_hit,
+                launch, key, EXIT_SMALL_N, alpha=0.0,
                 fallback_reason=(f"N={launch.n_items:.0f} below "
                                  f"GPU_PROFILE_SIZE={profile_size}"),
                 notes=["small-n-cpu-only"])
@@ -407,7 +428,7 @@ class EnergyAwareScheduler:
             prev_alpha = alpha
             with obs.span("eas.grid_search", kernel=key):
                 alpha, category, sanity_note = self._derive_alpha(
-                    aggregate, launch.remaining_items, launch.n_items, key)
+                    aggregate, launch.remaining_items, launch.n_items, tkey)
             round_overhead = time.perf_counter() - t_host
             decision_overhead += round_overhead
             obs.observe("eas.grid_search_us", round_overhead * 1e6)
@@ -443,7 +464,7 @@ class EnergyAwareScheduler:
             t_host = time.perf_counter()
             with obs.span("eas.grid_search", kernel=key):
                 alpha, category, sanity_note = self._derive_alpha(
-                    aggregate, launch.remaining_items, launch.n_items, key)
+                    aggregate, launch.remaining_items, launch.n_items, tkey)
             round_overhead = time.perf_counter() - t_host
             decision_overhead += round_overhead
             obs.observe("eas.grid_search_us", round_overhead * 1e6)
@@ -460,7 +481,7 @@ class EnergyAwareScheduler:
         # Line 26: sample-weighted accumulation into G.  An alpha
         # derived while faults were observed is quarantined: recorded
         # for diagnostics, never reused, never diluting a clean entry.
-        self.table.record(key, alpha=alpha, weight=launch.n_items,
+        self.table.record(tkey, alpha=alpha, weight=launch.n_items,
                           category=category, quarantined=faulted)
         record.profiled = True
         record.profile_rounds = aggregate.num_rounds
@@ -475,7 +496,7 @@ class EnergyAwareScheduler:
             cpu_throughput=aggregate.cpu_throughput,
             gpu_throughput=aggregate.gpu_throughput,
             decision_overhead=decision_overhead,
-            quarantined=faulted, table_hit=table_hit,
+            quarantined=faulted,
             fallback_reason=("partitioned phase faulted; remainder "
                              "drained on the CPU" if fell_back else None),
             notes=record.notes)
@@ -487,15 +508,49 @@ class EnergyAwareScheduler:
         """A26 check that a transiently flapping counter cannot spoof.
 
         A clean read costs nothing; only a busy reading triggers the
-        (cheap) re-check loop.
+        (cheap) re-check loop.  Simulated time idled between re-reads
+        is accumulated into ``_debounce_idle_s`` and charged to the
+        invocation's decision record - the check burns real simulated
+        time and must not vanish from the latency accounting.
         """
         if not launch.processor.gpu_busy:
             return False
         for _ in range(max(0, self.config.gpu_busy_rechecks)):
             if self.config.gpu_busy_recheck_idle_s > 0.0:
                 launch.processor.idle(self.config.gpu_busy_recheck_idle_s)
+                self._debounce_idle_s += self.config.gpu_busy_recheck_idle_s
             if not launch.processor.gpu_busy:
                 self.observer.inc("eas.gpu_busy_flaps_filtered")
+                return False
+        return True
+
+    def _table_key(self, key: str) -> str:
+        """Table-G key for a kernel under the current co-run context.
+
+        Solo (empty context) keys are the raw kernel key; under
+        contention the key carries the context tag, so alphas profiled
+        while the GPU was leased to another tenant never masquerade as
+        solo measurements (and vice versa).  Fault bookkeeping stays on
+        the raw key: device health is context-independent.
+        """
+        if not self.co_run_context:
+            return key
+        return f"{key}|co:{self.co_run_context}"
+
+    def _entry_usable(self, entry, n_items: float,
+                      profile_size: float) -> bool:
+        """Reuse eligibility of a table-G entry for this launch.
+
+        Encodes the hygiene rules (quarantine, provisional, outgrown)
+        but not the ``always_reprofile`` ablation knob - the audit
+        reports what the table held, not what the ablation discarded.
+        """
+        if entry is None or entry.quarantined:
+            return False
+        if n_items >= profile_size:
+            outgrown = n_items > (self.config.reprofile_growth
+                                  * max(entry.derived_at_items, 1.0))
+            if entry.provisional or outgrown:
                 return False
         return True
 
@@ -634,10 +689,16 @@ class EnergyAwareScheduler:
                        gpu_throughput: Optional[float] = None,
                        decision_overhead: float = 0.0,
                        fallback_reason: Optional[str] = None,
-                       quarantined: bool = False, table_hit: bool = False,
+                       quarantined: bool = False,
                        fault_events: Optional[List[str]] = None,
                        notes: Optional[List[str]] = None) -> DecisionRecord:
-        """Build and store the invocation's audit record (every exit)."""
+        """Build and store the invocation's audit record (every exit).
+
+        Table audit flags (``table_hit``/``table_usable``) and the
+        debounce idle charge come from the per-invocation state set up
+        at the top of :meth:`_execute`, so every exit path reports them
+        consistently.
+        """
         events = list(self._fault_events if fault_events is None
                       else fault_events)
         record = DecisionRecord(
@@ -655,7 +716,9 @@ class EnergyAwareScheduler:
             fault_events=events,
             fallback_reason=fallback_reason,
             quarantined=quarantined,
-            table_hit=table_hit,
+            table_hit=self._table_hit,
+            table_usable=self._table_usable,
+            debounce_idle_s=self._debounce_idle_s,
             sim_time_s=launch.processor.now,
             notes=list(notes or []))
         self.decisions.append(record)
@@ -666,6 +729,9 @@ class EnergyAwareScheduler:
             if decision_overhead > 0.0:
                 obs.observe("eas.decision_overhead_us",
                             decision_overhead * 1e6)
+            if record.debounce_idle_s > 0.0:
+                obs.observe("eas.gpu_busy_debounce_idle_s",
+                            record.debounce_idle_s)
         return record
 
     # -- internals ---------------------------------------------------------------

@@ -376,3 +376,152 @@ def run_chaos_campaign(spec: Optional[PlatformSpec] = None,
 def regenerate_chaos() -> ChaosCampaignResult:
     """Registry entry point: the default desktop chaos campaign."""
     return run_chaos_campaign()
+
+
+# -- multiprogram chaos ----------------------------------------------------------
+
+#: Default multiprogram chaos mix: two many-invocation tenants that
+#: genuinely contend for the GPU lease (BS has 2000 invocations, CC
+#: 2147), with CC prioritized so both arbiter policies are meaningful.
+DEFAULT_TENANT_MIX = "BS,CC:5"
+
+
+@dataclass(frozen=True)
+class MultiprogramChaosCell:
+    """One (arbiter policy, fault level) cell of the tenancy campaign."""
+
+    policy: str
+    fault_level: float
+    ok: bool
+    error: str = ""
+    #: The underlying :meth:`MultiprogramResult.fingerprint`.
+    result_fingerprint: str = ""
+    items_ok: bool = False
+    gpu_busy_exits: int = 0
+    lease_denials: int = 0
+    total_time_s: float = 0.0
+    total_energy_j: float = 0.0
+
+    def canonical(self) -> str:
+        return (f"{self.policy}|{self.fault_level!r}|{self.ok}|{self.error}|"
+                f"{self.result_fingerprint}|{self.items_ok}|"
+                f"{self.gpu_busy_exits}|{self.lease_denials}|"
+                f"{self.total_time_s!r}|{self.total_energy_j!r}")
+
+
+@dataclass
+class MultiprogramChaosCampaignResult:
+    """Arbiter policies x fault levels, one tenant mix per campaign.
+
+    Asserts the tenancy analogues of the campaign invariants: every
+    cell completes (faults surface as fallbacks, not crashes), no
+    tenant loses work at any fault level, and the whole grid is
+    byte-deterministic under a fixed seed.
+    """
+
+    platform: str
+    seed: int
+    tenant_text: str
+    lease_quantum: int
+    policies: List[str]
+    levels: List[float]
+    cells: List[MultiprogramChaosCell]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def all_items_processed(self) -> bool:
+        return all(cell.items_ok for cell in self.cells if cell.ok)
+
+    def fingerprint(self) -> str:
+        payload = "\n".join([
+            f"{self.platform}|{self.seed}|{self.tenant_text}|"
+            f"{self.lease_quantum}",
+            *(cell.canonical() for cell in self.cells),
+        ])
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def render(self) -> str:
+        rows = []
+        for cell in self.cells:
+            status = "ok" if cell.ok else f"FAILED: {cell.error}"
+            rows.append((cell.policy, f"{cell.fault_level:.2f}",
+                         cell.lease_denials, cell.gpu_busy_exits,
+                         cell.total_time_s, cell.total_energy_j, status))
+        table = format_table(
+            ["policy", "fault p", "denials", "gpu-busy exits", "time (s)",
+             "energy (J)", "status"], rows, float_digits=3)
+        return "\n".join([
+            heading(f"Multiprogram chaos campaign on {self.platform} "
+                    f"(tenants={self.tenant_text}, seed {self.seed})"),
+            table,
+            "",
+            f"no unhandled exceptions: {'PASS' if self.all_ok else 'FAIL'}",
+            f"all items processed:     "
+            f"{'PASS' if self.all_items_processed else 'FAIL'}",
+            f"fingerprint: {self.fingerprint()}",
+        ])
+
+
+def run_multiprogram_chaos_campaign(
+        spec: Optional[PlatformSpec] = None,
+        tenant_text: str = DEFAULT_TENANT_MIX,
+        policies: Optional[Sequence[str]] = None,
+        fault_levels: Sequence[float] = DEFAULT_FAULT_LEVELS,
+        seed: int = 2016,
+        lease_quantum: int = 2,
+        metric: EnergyMetric = EDP,
+        eas_config: Optional[SchedulerConfig] = None,
+) -> MultiprogramChaosCampaignResult:
+    """Sweep fault probability over the tenancy layer, per policy.
+
+    Runs the same tenant mix under every arbiter policy at every fault
+    level; per-cell fault streams derive from :func:`cell_seed` (keyed
+    by ``mp:<policy>``) so the grid is deterministic and cells are
+    independent.
+    """
+    from repro.runtime.tenancy import (
+        ARBITER_POLICIES,
+        parse_tenant_specs,
+        run_multiprogram,
+    )
+
+    spec = spec or haswell_desktop()
+    if policies is None:
+        policies = list(ARBITER_POLICIES)
+    characterization = get_characterization(spec)
+    cells: List[MultiprogramChaosCell] = []
+    for policy in policies:
+        for level in fault_levels:
+            cs = cell_seed(seed, f"mp:{policy}", level)
+            try:
+                result = run_multiprogram(
+                    spec=spec, tenants=parse_tenant_specs(tenant_text),
+                    policy=policy, seed=cs, metric=metric,
+                    fault_level=level, lease_quantum=lease_quantum,
+                    eas_config=eas_config,
+                    characterization=characterization)
+            except ReproError as exc:
+                cells.append(MultiprogramChaosCell(
+                    policy=policy, fault_level=level, ok=False,
+                    error=f"{type(exc).__name__}: {exc}"))
+                continue
+            cells.append(MultiprogramChaosCell(
+                policy=policy, fault_level=level, ok=True,
+                result_fingerprint=result.fingerprint(),
+                items_ok=result.all_items_processed,
+                gpu_busy_exits=result.total_gpu_busy_exits,
+                lease_denials=result.total_lease_denials,
+                total_time_s=result.total_time_s,
+                total_energy_j=result.total_energy_j))
+    return MultiprogramChaosCampaignResult(
+        platform=spec.name,
+        seed=seed,
+        tenant_text=tenant_text,
+        lease_quantum=lease_quantum,
+        policies=list(policies),
+        levels=list(fault_levels),
+        cells=cells,
+    )

@@ -44,7 +44,14 @@ from repro.core.metrics import metric_by_name
 from repro.core.scheduler import EnergyAwareScheduler
 from repro.errors import HarnessError
 from repro.harness.chaos import run_chaos_campaign
-from repro.harness.engine import ExecutionEngine, ResultCache, use_engine
+from repro.harness.engine import (
+    KIND_MULTIPROGRAM,
+    ExecutionEngine,
+    ResultCache,
+    RunSpec,
+    SchedulerSpec,
+    use_engine,
+)
 from repro.harness.experiment import run_application
 from repro.harness.figures import REGENERATORS, experiment_id
 from repro.harness.report import format_table, heading
@@ -157,6 +164,28 @@ def _run_custom(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_multiprogram(args: argparse.Namespace,
+                      engine: ExecutionEngine) -> int:
+    """Run a multiprogram co-scheduling experiment through the engine."""
+    from repro.runtime.tenancy import parse_tenant_specs
+
+    parse_tenant_specs(args.tenants)  # validate before submitting
+    if args.lease_quantum < 1:
+        raise HarnessError("--lease-quantum must be >= 1")
+    tablet = args.platform == "tablet"
+    spec = RunSpec(
+        platform=baytrail_tablet() if tablet else haswell_desktop(),
+        kind=KIND_MULTIPROGRAM,
+        scheduler=SchedulerSpec.eas(metric=args.metric),
+        tablet=tablet,
+        fault_level=args.fault_level,
+        seed=args.seed,
+        tenancy=f"{args.arbiter};{args.lease_quantum};{args.tenants}")
+    result = engine.run_one(spec).payload
+    print(result.render())
+    return 0
+
+
 def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     """Run-result cache per the flags: ``--no-cache`` wins; otherwise
     ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) roots both the
@@ -188,6 +217,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     group.add_argument("--run", metavar="WORKLOAD",
                        help="run one workload (by Table-1 abbreviation) "
                             "under selected strategies")
+    group.add_argument("--tenants", metavar="SPECS",
+                       help="run a multiprogram co-scheduling experiment: "
+                            "comma-separated tenant specs "
+                            "ABBREV[:priority[:deadline_s]] (e.g. "
+                            "'BS,CC:5' or 'BS:0,CC:5:40,SP'); tenants "
+                            "share one SoC under a GPU lease arbiter "
+                            "(see --arbiter, docs/ARCHITECTURE.md)")
     parser.add_argument("--platform", choices=("desktop", "tablet"),
                         default="desktop",
                         help="platform for --run (default: desktop)")
@@ -209,6 +245,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="with --run: execute on a faulty SoC at "
                              "fault probability P (0 disables; "
                              "see docs/ROBUSTNESS.md)")
+    parser.add_argument("--arbiter", choices=("fifo", "priority"),
+                        default="fifo",
+                        help="with --tenants: GPU lease arbitration "
+                             "policy (default: fifo)")
+    parser.add_argument("--lease-quantum", type=int, default=2, metavar="K",
+                        help="with --tenants: kernel invocations a tenant "
+                             "holds the GPU lease for before release "
+                             "(default: 2)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="with --run: write a Chrome trace-event JSON "
                              "(spans + decisions + power timeline) to PATH")
@@ -240,6 +284,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     with use_tick_mode(args.tick_mode), use_engine(engine):
         if args.run is not None:
             return _run_custom(args)
+
+        if args.tenants is not None:
+            if args.trace or args.metrics_out or args.trace_csv:
+                raise HarnessError(
+                    "--trace/--metrics-out/--trace-csv require --run")
+            return _run_multiprogram(args, engine)
 
         if args.trace or args.metrics_out or args.fault_level:
             raise HarnessError(

@@ -72,7 +72,7 @@ from repro.workloads.registry import workload_by_abbrev
 #: semantics of a cached payload change (simulator behaviour, result
 #: dataclass layout, worker dispatch) so stale entries miss instead of
 #: resurfacing as wrong results.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 # -- task kinds -----------------------------------------------------------------
 
@@ -86,9 +86,12 @@ KIND_CHAOS_BASELINE = "chaos-baseline"
 KIND_CHAR_SWEEP = "char-sweep"
 #: One traced micro-benchmark timeline (-> PowerTrace).
 KIND_MICROBENCH_TIMELINE = "microbench-timeline"
+#: One multiprogram co-scheduling run: N tenant streams on one SoC
+#: under a GPU lease arbiter (-> MultiprogramResult).
+KIND_MULTIPROGRAM = "multiprogram"
 
 _ALL_KINDS = (KIND_APPLICATION, KIND_CHAOS_CELL, KIND_CHAOS_BASELINE,
-              KIND_CHAR_SWEEP, KIND_MICROBENCH_TIMELINE)
+              KIND_CHAR_SWEEP, KIND_MICROBENCH_TIMELINE, KIND_MULTIPROGRAM)
 
 _SCHEDULER_KINDS = ("cpu", "gpu", "perf", "static", "eas")
 _STRATEGY_NAMES = {"cpu": "CPU", "gpu": "GPU", "perf": "PERF", "eas": "EAS"}
@@ -214,6 +217,11 @@ class RunSpec:
     microbench: Optional[CharacterizationMicrobench] = None
     #: Kind-specific numeric parameters, canonicalized.
     params: Tuple[Tuple[str, float], ...] = ()
+    #: Multiprogram tenancy description (``multiprogram`` only):
+    #: ``"<policy>;<lease_quantum>;<tenant-spec-text>"`` where the
+    #: tenant text is :func:`repro.runtime.tenancy.parse_tenant_specs`
+    #: syntax (e.g. ``"fifo;2;BS,CC:5"``).
+    tenancy: str = ""
     #: Collect an Observer (spans/events/decisions/metrics) in the
     #: worker and return it for merging into the parent's.
     observe: bool = False
@@ -222,12 +230,16 @@ class RunSpec:
         if self.kind not in _ALL_KINDS:
             raise HarnessError(f"unknown run kind {self.kind!r}; "
                                f"expected one of {_ALL_KINDS}")
-        if self.kind in (KIND_APPLICATION, KIND_CHAOS_CELL) \
-                and self.scheduler is None:
+        if self.kind in (KIND_APPLICATION, KIND_CHAOS_CELL,
+                         KIND_MULTIPROGRAM) and self.scheduler is None:
             raise HarnessError(f"{self.kind} spec needs a scheduler")
         if self.kind == KIND_CHAR_SWEEP and (
                 self.microbench is None or self.sweep_step <= 0.0):
             raise HarnessError("char-sweep spec needs a microbench and step")
+        if self.kind == KIND_MULTIPROGRAM and len(
+                self.tenancy.split(";", 2)) != 3:
+            raise HarnessError(
+                "multiprogram spec needs tenancy='policy;quantum;tenants'")
 
     def param(self, name: str, default: float = 0.0) -> float:
         return dict(self.params).get(name, default)
@@ -260,6 +272,7 @@ class RunSpec:
             "sweep_step": self.sweep_step,
             "microbench": bench,
             "params": list(list(p) for p in self.params),
+            "tenancy": self.tenancy,
             "observe": self.observe,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -399,12 +412,32 @@ def _run_microbench_timeline_spec(spec: RunSpec,
         gap_s=spec.param("gap_s", 0.05))
 
 
+def _run_multiprogram_spec(spec: RunSpec,
+                           observer: Optional[Observer]) -> Any:
+    from repro.runtime.tenancy import parse_tenant_specs, run_multiprogram
+
+    policy, quantum, tenant_text = spec.tenancy.split(";", 2)
+    return run_multiprogram(
+        spec=spec.platform,
+        tenants=parse_tenant_specs(tenant_text),
+        policy=policy,
+        seed=spec.seed,
+        metric=metric_by_name(spec.scheduler.metric),
+        tablet=spec.tablet,
+        fault_level=spec.fault_level,
+        lease_quantum=int(quantum),
+        eas_config=spec.scheduler.eas_config(),
+        observer=observer,
+        characterization=_characterization_for(spec.platform))
+
+
 _DISPATCH = {
     KIND_APPLICATION: _run_application_spec,
     KIND_CHAOS_CELL: _run_chaos_cell_spec,
     KIND_CHAOS_BASELINE: _run_chaos_baseline_spec,
     KIND_CHAR_SWEEP: _run_char_sweep_spec,
     KIND_MICROBENCH_TIMELINE: _run_microbench_timeline_spec,
+    KIND_MULTIPROGRAM: _run_multiprogram_spec,
 }
 
 
@@ -606,7 +639,7 @@ class ExecutionEngine:
         engine) every platform the batch's EAS/chaos specs need."""
         platforms: Dict[str, PlatformSpec] = {}
         for spec in specs:
-            needs = (spec.kind == KIND_CHAOS_CELL
+            needs = (spec.kind in (KIND_CHAOS_CELL, KIND_MULTIPROGRAM)
                      or (spec.kind == KIND_APPLICATION
                          and spec.scheduler is not None
                          and spec.scheduler.kind == "eas"))

@@ -81,8 +81,21 @@ class DecisionRecord:
     #: True when the alpha recorded into table G was quarantined
     #: (derived while faults were observed).
     quarantined: bool = False
-    #: True when table G held an entry for the kernel at entry.
+    #: True when table G held an entry for the kernel at entry -
+    #: *presence*, regardless of whether the entry was eligible for
+    #: reuse (it may be quarantined, provisional, or outgrown).
     table_hit: bool = False
+    #: True when the table-G entry was actually eligible for reuse
+    #: under the scheduler's hygiene rules (not quarantined; not
+    #: provisional or outgrown for a profile-sized launch).  Hit-rate
+    #: aggregation must count this, not :attr:`table_hit`.
+    table_usable: bool = False
+    #: Simulated seconds spent idling inside the ``gpu_busy`` debounce
+    #: re-check loop - charged to this decision so EXIT_GPU_BUSY
+    #: latency accounting includes the time the check itself burned.
+    debounce_idle_s: float = 0.0
+    #: Owning tenant in a multiprogram run (None when single-tenant).
+    tenant: Optional[str] = None
     #: Simulated SoC time when the invocation completed.
     sim_time_s: Optional[float] = None
     #: Scheduler notes attached to the invocation's record.
@@ -106,6 +119,9 @@ class DecisionRecord:
             "fallback_reason": self.fallback_reason,
             "quarantined": self.quarantined,
             "table_hit": self.table_hit,
+            "table_usable": self.table_usable,
+            "debounce_idle_s": self.debounce_idle_s,
+            "tenant": self.tenant,
             "sim_time_s": self.sim_time_s,
             "notes": list(self.notes),
         }

@@ -16,13 +16,28 @@ This package reproduces that structure:
 * :mod:`repro.runtime.kernel` - the kernel abstraction: a CPU function,
   a GPU ("OpenCL") function and a cost model;
 * :mod:`repro.runtime.runtime` - :class:`ConcordRuntime`, which runs
-  kernels on the simulated SoC under a pluggable scheduler.
+  kernels on the simulated SoC under a pluggable scheduler;
+* :mod:`repro.runtime.tenancy` - multiprogram co-scheduling: N tenant
+  kernel streams interleaved on one SoC under a GPU lease arbiter,
+  which is what makes the ``gpu_busy`` counter (and the scheduler's
+  Section-5 fallback) real.
 """
 
 from repro.runtime.deque import ChaseLevDeque
 from repro.runtime.kernel import Kernel
 from repro.runtime.runtime import ConcordRuntime, InvocationResult, KernelLaunch
 from repro.runtime.shared_counter import SharedWorkCounter
+from repro.runtime.tenancy import (
+    ARBITER_POLICIES,
+    GpuLeaseArbiter,
+    LeaseEvent,
+    MultiprogramResult,
+    TenantResult,
+    TenantSoCView,
+    TenantSpec,
+    parse_tenant_specs,
+    run_multiprogram,
+)
 from repro.runtime.workstealing import WorkStealingPool
 
 __all__ = [
@@ -33,4 +48,13 @@ __all__ = [
     "ConcordRuntime",
     "KernelLaunch",
     "InvocationResult",
+    "ARBITER_POLICIES",
+    "GpuLeaseArbiter",
+    "LeaseEvent",
+    "MultiprogramResult",
+    "TenantResult",
+    "TenantSoCView",
+    "TenantSpec",
+    "parse_tenant_specs",
+    "run_multiprogram",
 ]

@@ -198,6 +198,119 @@ class TestExitPaths:
         assert tested == set(ALL_EXIT_PATHS)
 
 
+class TestTableAuditSemantics:
+    """``table_hit`` is raw presence; ``table_usable`` is eligibility.
+
+    Regression: the two used to be conflated in one flag, so hit-rate
+    metrics counted quarantined/provisional entries the scheduler
+    refused to reuse.
+    """
+
+    def test_usable_reuse_sets_both_flags(self, desktop, eas):
+        kernel = make_kernel()
+        processor = IntegratedProcessor(desktop)
+        run_once(processor, kernel, eas)
+        run_once(processor, kernel, eas)
+        d = eas.decisions[-1]
+        assert d.exit_path == EXIT_TABLE_HIT
+        assert d.table_hit and d.table_usable
+
+    def test_quarantined_entry_is_hit_but_not_usable(
+            self, desktop, desktop_characterization):
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP)
+        kernel = make_kernel()
+        scripted = _ScriptedGpu(IntegratedProcessor(desktop), [True])
+        runtime = ConcordRuntime(scripted)
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        assert scheduler.decisions[-1].quarantined
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        d = scheduler.decisions[-1]
+        assert d.exit_path == EXIT_PROFILED
+        assert d.table_hit and not d.table_usable
+
+    def test_provisional_entry_is_hit_but_not_usable(self, desktop, eas):
+        kernel = make_kernel()
+        processor = IntegratedProcessor(desktop)
+        small = float(desktop.gpu_profile_size) / 2
+        run_once(processor, kernel, eas, n=small)
+        assert eas.decisions[-1].exit_path == EXIT_SMALL_N
+        run_once(processor, kernel, eas)
+        d = eas.decisions[-1]
+        assert d.exit_path == EXIT_PROFILED
+        assert d.table_hit and not d.table_usable
+
+    def test_metrics_count_hits_and_usable_separately(
+            self, desktop, desktop_characterization):
+        observer = Observer()
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                         observer=observer)
+        kernel = make_kernel()
+        scripted = _ScriptedGpu(IntegratedProcessor(desktop), [True])
+        runtime = ConcordRuntime(scripted)
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)  # quarantined
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)  # hit, unusable
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)  # hit, usable
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["eas.table_hits"] == 2
+        assert counters["eas.table_usable"] == 1
+
+
+class TestDebounceIdleAccounting:
+    """Regression: gpu_busy debounce re-check idles burned simulated
+    time that no decision record accounted for."""
+
+    def test_debounce_idle_charged_to_gpu_busy_decision(
+            self, desktop, desktop_characterization):
+        config = SchedulerConfig(gpu_busy_rechecks=2,
+                                 gpu_busy_recheck_idle_s=0.001)
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                         config=config)
+        processor = IntegratedProcessor(desktop)
+        processor.counters.account_gpu_busy(True, 0.0)
+        t0 = processor.now
+        run_once(processor, make_kernel(), scheduler)
+        [d] = scheduler.decisions
+        assert d.exit_path == EXIT_GPU_BUSY
+        assert d.debounce_idle_s == pytest.approx(0.002)
+        assert processor.now >= t0 + 0.002
+
+    def test_clean_read_charges_nothing(self, desktop, eas):
+        run_once(IntegratedProcessor(desktop), make_kernel(), eas)
+        [d] = eas.decisions
+        assert d.debounce_idle_s == 0.0
+
+    def test_charge_resets_between_invocations(
+            self, desktop, desktop_characterization):
+        config = SchedulerConfig(gpu_busy_rechecks=1,
+                                 gpu_busy_recheck_idle_s=0.001)
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                         config=config)
+        processor = IntegratedProcessor(desktop)
+        kernel = make_kernel()
+        # Phases clear A26 on completion, so re-assert busy per run.
+        processor.counters.account_gpu_busy(True, 0.0)
+        run_once(processor, kernel, scheduler)
+        processor.counters.account_gpu_busy(True, 0.0)
+        run_once(processor, kernel, scheduler)
+        first, second = scheduler.decisions
+        assert first.debounce_idle_s == pytest.approx(0.001)
+        assert second.debounce_idle_s == pytest.approx(0.001)
+
+    def test_debounce_idle_surfaces_as_metric(
+            self, desktop, desktop_characterization):
+        observer = Observer()
+        config = SchedulerConfig(gpu_busy_rechecks=2,
+                                 gpu_busy_recheck_idle_s=0.001)
+        scheduler = EnergyAwareScheduler(desktop_characterization, EDP,
+                                         config=config, observer=observer)
+        processor = IntegratedProcessor(desktop, observer=observer)
+        processor.counters.account_gpu_busy(True, 0.0)
+        ConcordRuntime(processor, observer=observer).parallel_for(
+            make_kernel(), N_ITEMS, scheduler)
+        histograms = observer.metrics.snapshot()["histograms"]
+        assert "eas.gpu_busy_debounce_idle_s" in histograms
+
+
 class TestRecordQuality:
     def test_records_are_json_ready_and_explainable(self, desktop, eas):
         import json

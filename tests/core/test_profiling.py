@@ -91,6 +91,38 @@ class TestKernelTable:
         table.record("f", alpha=0.5, weight=300.0)
         assert table.lookup("f").derived_at_items == 5000.0
 
+    def test_provisional_record_never_lifts_a_quarantine(self):
+        """Regression: a clean small-N (provisional) record observed
+        the CPU fast path, not the faulting device - it must not
+        replace a quarantined entry and launder the taint."""
+        table = KernelTable()
+        table.record("f", alpha=0.8, weight=5000.0, quarantined=True)
+        table.record("f", alpha=0.0, weight=10.0, provisional=True)
+        entry = table.lookup("f")
+        assert entry.quarantined
+        assert entry.alpha == 0.8
+        assert not entry.provisional
+        assert entry.weight == 5000.0
+
+    def test_clean_profiled_record_replaces_a_quarantine(self):
+        """The first clean *profiled* record is evidence the device
+        recovered: it replaces a quarantined entry outright."""
+        table = KernelTable()
+        table.record("f", alpha=0.8, weight=5000.0, quarantined=True)
+        table.record("f", alpha=0.6, weight=4000.0)
+        entry = table.lookup("f")
+        assert not entry.quarantined
+        assert entry.alpha == 0.6
+        assert entry.weight == 4000.0
+
+    def test_quarantined_record_never_dilutes_clean_entry(self):
+        table = KernelTable()
+        table.record("f", alpha=0.6, weight=4000.0)
+        table.record("f", alpha=0.0, weight=4000.0, quarantined=True)
+        entry = table.lookup("f")
+        assert not entry.quarantined
+        assert entry.alpha == 0.6
+
     def test_rejects_bad_alpha(self):
         with pytest.raises(SchedulingError):
             KernelTable().record("f", alpha=1.5, weight=1.0)

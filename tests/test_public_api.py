@@ -36,6 +36,10 @@ EXPECTED_API = sorted([
     "ApplicationRun", "run_application", "sweep_alphas", "evaluate_suite",
     "REGENERATORS", "regenerate", "experiment_id",
     "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
+    "MultiprogramChaosCampaignResult", "run_multiprogram_chaos_campaign",
+    # multiprogram tenancy
+    "ARBITER_POLICIES", "GpuLeaseArbiter", "MultiprogramResult",
+    "TenantResult", "TenantSpec", "parse_tenant_specs", "run_multiprogram",
     # execution engine
     "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
     "ResultCache", "get_default_engine", "set_default_engine", "use_engine",
