@@ -26,7 +26,10 @@ Grouped by layer:
   (see docs/PARALLELISM.md);
 * **observability** - the flight recorder: observers, decision
   records, metric registries, exporters, and validators
-  (see docs/OBSERVABILITY.md).
+  (see docs/OBSERVABILITY.md);
+* **scheduler service** - the crash-safe persistent daemon: durable
+  job queue, persisted table G, idempotent replay, and the
+  kill-and-restart chaos harness (see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -46,12 +49,15 @@ from repro.core.scheduler import (
     SchedulerConfig,
 )
 from repro.errors import (
+    AdmissionError,
     GpuFaultError,
     HarnessError,
     ObservabilityError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SimulationError,
+    StoreSchemaError,
     UnknownNameError,
     WorkloadError,
 )
@@ -71,6 +77,11 @@ from repro.harness.engine import (
     get_default_engine,
     set_default_engine,
     use_engine,
+)
+from repro.harness.crashchaos import (
+    CrashChaosCell,
+    CrashChaosResult,
+    run_crash_chaos,
 )
 from repro.harness.experiment import ApplicationRun, run_application
 from repro.harness.figures import REGENERATORS, experiment_id, regenerate
@@ -95,6 +106,13 @@ from repro.obs.export import (
 )
 from repro.obs.validate import validate_file
 from repro.runtime.kernel import Kernel
+from repro.service import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    DurableStore,
+    JobSpec,
+    SchedulerService,
+)
 from repro.runtime.runtime import ConcordRuntime
 from repro.runtime.tenancy import (
     ARBITER_POLICIES,
@@ -121,7 +139,7 @@ __all__ = [
     # errors
     "ReproError", "SimulationError", "SchedulingError", "WorkloadError",
     "HarnessError", "ObservabilityError", "UnknownNameError",
-    "GpuFaultError",
+    "GpuFaultError", "ServiceError", "StoreSchemaError", "AdmissionError",
     # platforms & simulator
     "PlatformSpec", "haswell_desktop", "baytrail_tablet",
     "IntegratedProcessor", "KernelCostModel", "use_tick_mode",
@@ -143,6 +161,7 @@ __all__ = [
     "REGENERATORS", "regenerate", "experiment_id",
     "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
     "MultiprogramChaosCampaignResult", "run_multiprogram_chaos_campaign",
+    "CrashChaosResult", "CrashChaosCell", "run_crash_chaos",
     # multiprogram tenancy (see docs/ARCHITECTURE.md)
     "ARBITER_POLICIES", "GpuLeaseArbiter", "MultiprogramResult",
     "TenantResult", "TenantSpec", "parse_tenant_specs", "run_multiprogram",
@@ -153,4 +172,7 @@ __all__ = [
     "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
     "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",
     "write_chrome_trace", "write_jsonl", "write_metrics", "validate_file",
+    # scheduler service (see docs/SERVICE.md)
+    "SchedulerService", "JobSpec", "DurableStore",
+    "AdmissionPolicy", "AdmissionDecision",
 ]

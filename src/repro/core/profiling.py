@@ -18,9 +18,9 @@ This module aggregates the observations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.core.categories import WorkloadCategory
+from repro.core.categories import WorkloadCategory, category_from_codes
 from repro.errors import SchedulingError
 from repro.runtime.runtime import ProfileObservation
 
@@ -118,6 +118,40 @@ class KernelTableEntry:
         self.alpha = (self.alpha * self.weight + alpha * weight) / total
         self.weight = total
 
+    # -- serialization (durable table G, see repro.service.store) ----------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form preserving every hygiene flag.
+
+        The category serializes as its short code; quarantine and
+        provisional flags and the sample counts round-trip exactly, so
+        a persisted entry carries the same reuse eligibility as the
+        live one (see :meth:`KernelTable.to_rows`).
+        """
+        return {
+            "alpha": self.alpha,
+            "weight": self.weight,
+            "category": (self.category.short_code
+                         if self.category is not None else None),
+            "invocations": self.invocations,
+            "derived_at_items": self.derived_at_items,
+            "provisional": bool(self.provisional),
+            "quarantined": bool(self.quarantined),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "KernelTableEntry":
+        code = data.get("category")
+        return cls(
+            alpha=float(data["alpha"]),
+            weight=float(data["weight"]),
+            category=category_from_codes(code) if code else None,
+            invocations=int(data.get("invocations", 0)),
+            derived_at_items=float(data.get("derived_at_items", 0.0)),
+            provisional=bool(data.get("provisional", False)),
+            quarantined=bool(data.get("quarantined", False)),
+        )
+
 
 class KernelTable:
     """The global runtime table G: kernel key -> scheduling state."""
@@ -192,3 +226,35 @@ class KernelTable:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # -- serialization (durable table G, see repro.service.store) ----------------
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Every entry as a JSON-ready row, sorted by key.
+
+        Keys are persisted verbatim - including co-run context keys
+        like ``"kernel|co:mp2"`` - so contention-derived alphas never
+        collapse into (or masquerade as) solo entries after a
+        persist/load round trip.
+        """
+        return [{"key": key, **entry.to_dict()}
+                for key, entry in sorted(self._entries.items())]
+
+    @classmethod
+    def from_rows(cls, rows: List[Dict[str, Any]]) -> "KernelTable":
+        table = cls()
+        table.merge_rows(rows)
+        return table
+
+    def merge_rows(self, rows: List[Dict[str, Any]]) -> None:
+        """Load persisted rows, replacing same-key entries wholesale.
+
+        Replacement (not :meth:`record`-style accumulation) is
+        deliberate: a persisted row is the *final* state of a previous
+        scheduler lifetime, and merging it through the hygiene rules
+        would double-count the samples it already aggregates.
+        """
+        for row in rows:
+            data = dict(row)
+            key = data.pop("key")
+            self._entries[key] = KernelTableEntry.from_dict(data)

@@ -63,6 +63,27 @@ class ObservabilityError(ReproError):
     """The observability layer was misused or an export failed validation."""
 
 
+class ServiceError(ReproError):
+    """The scheduler service (daemon, job queue, durable store) failed."""
+
+
+class StoreSchemaError(ServiceError):
+    """A durable store file's schema version does not match this code.
+
+    Raised instead of silently misreading the file: a store written by
+    a different schema version must be migrated (or discarded), never
+    reinterpreted.
+    """
+
+
+class AdmissionError(ServiceError):
+    """A job submission was rejected by admission control.
+
+    Carries the human-readable rejection reason (queue full, tenant
+    over quota, invalid job spec) so callers can surface it verbatim.
+    """
+
+
 class UnknownNameError(HarnessError, SchedulingError, WorkloadError):
     """A by-name lookup (metric, workload, experiment id) failed.
 

@@ -44,6 +44,8 @@ import json
 import os
 import pickle
 import tempfile
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields
@@ -484,12 +486,19 @@ class ResultCache:
     is the pickled :class:`RunResult`.  ``get`` verifies the magic and
     checksum and *evicts* (deletes) any entry that fails - a corrupted
     or truncated file costs one recomputation, never a wrong result.
+    An eviction is never silent: it bumps the
+    ``cache.corrupt_evictions`` counter on the attached observer and
+    emits a one-line :class:`RuntimeWarning` naming the evicted key.
     The schema version lives in the cache *key* (see
     :meth:`RunSpec.canonical`), so version bumps miss cleanly.
     """
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str,
+                 observer: Optional[Observer] = None) -> None:
         self.root = root
+        #: Metrics sink for cache counters; the engine points this at
+        #: the batch observer for the duration of a run_batch call.
+        self.observer = observer
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -520,6 +529,12 @@ class ResultCache:
                 os.remove(path)
             except OSError:
                 pass
+            if self.observer is not None:
+                self.observer.inc("cache.corrupt_evictions")
+            warnings.warn(
+                f"result cache: evicted corrupt entry {key} "
+                f"({path}); it will be recomputed", RuntimeWarning,
+                stacklevel=2)
             return None
         self.hits += 1
         return result
@@ -585,6 +600,10 @@ class ExecutionEngine:
                   observer: Optional[Observer] = None) -> List[RunResult]:
         specs = list(specs)
         obs = observer if observer is not None and observer.enabled else None
+        if obs is not None and self.cache is not None:
+            # Corruption evictions during this batch count on the
+            # batch's observer (cache.corrupt_evictions).
+            self.cache.observer = obs
         results: List[Optional[RunResult]] = [None] * len(specs)
         keys = [spec.cache_key() for spec in specs]
         first_for_key: Dict[str, int] = {}
@@ -628,10 +647,40 @@ class ExecutionEngine:
     def _run_pool(self, specs: List[RunSpec]) -> List[RunResult]:
         payload = self._characterization_payload(specs)
         workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 initializer=_seed_worker,
-                                 initargs=(payload,)) as pool:
-            return list(pool.map(execute_spec, specs))
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_seed_worker,
+                                   initargs=(payload,))
+        futures = []
+        try:
+            futures = [pool.submit(execute_spec, spec) for spec in specs]
+            results = [future.result() for future in futures]
+        except BaseException:
+            # KeyboardInterrupt / SIGTERM mid-batch: without this, the
+            # plain `with` block would wait for every queued spec and
+            # leave orphaned workers grinding on.  Cancel what has not
+            # started, terminate what has, and reap every process.
+            self._teardown_pool(pool, futures)
+            raise
+        pool.shutdown(wait=True)
+        return results
+
+    @staticmethod
+    def _teardown_pool(pool: ProcessPoolExecutor, futures: List) -> None:
+        for future in futures:
+            future.cancel()
+        # _processes is private but stable across CPython 3.9-3.13;
+        # it is the only handle on workers mid-task.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        deadline = time.monotonic() + 5.0
+        for process in processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
 
     def _characterization_payload(self,
                                   specs: List[RunSpec]) -> Dict[str, str]:

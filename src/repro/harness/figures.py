@@ -35,6 +35,7 @@ from repro.core.classification import ClassificationInputs, OnlineClassifier
 from repro.core.metrics import EDP, ENERGY, EnergyMetric
 from repro.errors import UnknownNameError, closest_names
 from repro.harness.chaos import regenerate_chaos
+from repro.harness.crashchaos import regenerate_crash_chaos
 from repro.harness.report import format_bar_chart, format_series, format_table, heading
 from repro.harness.suite import (
     AlphaSweep,
@@ -498,6 +499,7 @@ REGENERATORS = {
     "fig11": regenerate_figure_11,
     "fig12": regenerate_figure_12,
     "chaos": regenerate_chaos,
+    "crashchaos": regenerate_crash_chaos,
 }
 
 

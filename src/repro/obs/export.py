@@ -20,11 +20,19 @@ Two file formats, both schema-validated by :mod:`repro.obs.validate`:
 
 Multiple runs (e.g. one per CLI strategy) export as separate trace
 *processes* via :class:`TraceSection`.
+
+Every writer goes through :func:`_atomic_write`: the payload is
+flushed and fsynced to a temp file in the destination directory, then
+``os.replace``d into place - a crash (or SIGKILL) mid-export leaves
+either the previous complete file or none, never a truncated artifact
+that downstream validation would choke on.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -38,6 +46,32 @@ SCHEMA_VERSION = 1
 #: Cap on power counter events per section; longer traces are
 #: decimated (and the decimation factor recorded in the metadata).
 MAX_POWER_EVENTS = 4000
+
+
+def _atomic_write(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` stays on one filesystem and is atomic; it is
+    flushed and fsynced first so the rename never publishes bytes the
+    kernel has not durably accepted.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -65,9 +99,8 @@ def write_jsonl(path: str, observer: Observer,
                 extra_meta: Optional[Dict[str, Any]] = None) -> int:
     """Write the JSONL event log; returns the number of lines."""
     lines = jsonl_lines(observer, extra_meta)
-    with open(path, "w") as fh:
-        for line in lines:
-            fh.write(json.dumps(line, sort_keys=True) + "\n")
+    _atomic_write(path, "".join(json.dumps(line, sort_keys=True) + "\n"
+                                for line in lines))
     return len(lines)
 
 
@@ -79,9 +112,7 @@ def write_metrics(path: str, observer: Observer,
         "metadata": {**observer.metadata, **(extra_meta or {})},
         "metrics": observer.metrics.snapshot(),
     }
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _atomic_write(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 # ---------------------------------------------------------------------------
@@ -177,7 +208,5 @@ def write_chrome_trace(path: str, sections: Sequence[TraceSection],
                        metadata: Optional[Dict[str, Any]] = None) -> int:
     """Write the Chrome trace JSON; returns the number of trace events."""
     trace = chrome_trace(sections, metadata)
-    with open(path, "w") as fh:
-        json.dump(trace, fh, sort_keys=True)
-        fh.write("\n")
+    _atomic_write(path, json.dumps(trace, sort_keys=True) + "\n")
     return len(trace["traceEvents"])

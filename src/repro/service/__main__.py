@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.service <command>``."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

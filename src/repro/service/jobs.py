@@ -1,0 +1,226 @@
+"""Job specs, admission control, and the retry/backoff policy.
+
+A :class:`JobSpec` is the durable, JSON-canonical description of one
+scheduling request: which workload on which platform under which
+scheduler.  It is deliberately *textual* (platform names, workload
+abbreviations, scheduler kinds) so a job row written by one process
+lifetime rebuilds bit-identically in another - the same philosophy as
+:class:`repro.harness.engine.RunSpec`, which cold jobs compile into.
+
+Warm EAS jobs (``warm_table=True``, the default for ``eas``) are the
+service's reason to exist: the scheduler is seeded with the persisted
+table G, so a previously seen kernel is answered from the table
+(DecisionRecord ``exit_path == "table-hit"``) with zero profiling
+rounds.  Their cache key folds in a digest of the injected table
+snapshot, so content addressing stays exact: same spec + same table
+state -> same cached result; a different table state misses cleanly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.harness.engine import (
+    CACHE_SCHEMA_VERSION,
+    RunSpec,
+    SchedulerSpec,
+)
+from repro.soc.spec import (
+    TICK_MODES,
+    baytrail_tablet,
+    haswell_desktop,
+    use_tick_mode,
+)
+
+_PLATFORMS = ("desktop", "tablet")
+_SCHEDULERS = ("cpu", "gpu", "perf", "static", "eas")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One scheduling request, fully described by plain JSON text."""
+
+    workload: str
+    platform: str = "desktop"
+    scheduler: str = "eas"
+    metric: str = "edp"
+    alpha: Optional[float] = None
+    fault_level: float = 0.0
+    seed: int = 0
+    tick_mode: str = "exact"
+    #: Seed the EAS scheduler from the persisted table G and merge the
+    #: learned entries back after the run (``eas`` only).
+    warm_table: bool = True
+
+    def __post_init__(self) -> None:
+        if self.platform not in _PLATFORMS:
+            raise ServiceError(f"unknown platform {self.platform!r}; "
+                               f"expected one of {_PLATFORMS}")
+        if self.scheduler not in _SCHEDULERS:
+            raise ServiceError(f"unknown scheduler {self.scheduler!r}; "
+                               f"expected one of {_SCHEDULERS}")
+        if self.scheduler == "static" and self.alpha is None:
+            raise ServiceError("static scheduler job needs an alpha")
+        if self.tick_mode not in TICK_MODES:
+            raise ServiceError(f"unknown tick mode {self.tick_mode!r}; "
+                               f"expected one of {TICK_MODES}")
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "workload": self.workload,
+            "platform": self.platform,
+            "scheduler": self.scheduler,
+            "metric": self.metric,
+            "alpha": self.alpha,
+            "fault_level": self.fault_level,
+            "seed": self.seed,
+            "tick_mode": self.tick_mode,
+            "warm_table": self.warm_table,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        try:
+            data = json.loads(text)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"unparseable job spec: {exc}") from exc
+        known = {"workload", "platform", "scheduler", "metric", "alpha",
+                 "fault_level", "seed", "tick_mode", "warm_table"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServiceError(f"unknown job spec field(s) {unknown}")
+        return cls(**data)
+
+    def sha(self) -> str:
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    # -- compilation -------------------------------------------------------------
+
+    @property
+    def tablet(self) -> bool:
+        return self.platform == "tablet"
+
+    def platform_spec(self):
+        """The platform spec, built under this job's tick mode."""
+        with use_tick_mode(self.tick_mode):
+            return baytrail_tablet() if self.tablet else haswell_desktop()
+
+    @property
+    def warm(self) -> bool:
+        """True when this job takes the warm table-G execution path."""
+        return self.scheduler == "eas" and self.warm_table
+
+    def scheduler_spec(self) -> SchedulerSpec:
+        if self.scheduler == "static":
+            return SchedulerSpec.static(self.alpha)
+        if self.scheduler == "eas":
+            return SchedulerSpec.eas(self.metric)
+        return SchedulerSpec(kind=self.scheduler)
+
+    def to_runspec(self) -> RunSpec:
+        """Compile to an engine :class:`RunSpec` (the cold path)."""
+        return RunSpec(
+            platform=self.platform_spec(),
+            workload=self.workload,
+            scheduler=self.scheduler_spec(),
+            tablet=self.tablet,
+            fault_level=self.fault_level,
+            seed=self.seed,
+        )
+
+    def warm_cache_key(self, table_digest: str) -> str:
+        """Content address of a warm run: spec + injected table state.
+
+        The cold path's key is the RunSpec hash; the warm path's folds
+        in the digest of the table-G snapshot the scheduler starts
+        from, because the snapshot changes the computation (a table
+        hit skips profiling entirely).
+        """
+        preimage = (f"service-warm|v{CACHE_SCHEMA_VERSION}|"
+                    f"{self.to_json()}|table:{table_digest}")
+        return hashlib.sha256(preimage.encode()).hexdigest()
+
+
+def table_digest(rows: List[Dict[str, Any]]) -> str:
+    """Order-independent digest of a table-G snapshot."""
+    canon = json.dumps(sorted(rows, key=lambda r: r["key"]),
+                       sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+# -- admission control ------------------------------------------------------------
+
+@dataclass
+class AdmissionDecision:
+    """Accept/reject verdict for one submission, with the reason."""
+
+    accepted: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+@dataclass
+class AdmissionPolicy:
+    """Bounded queue depth plus per-tenant quotas.
+
+    Depth counts *live* jobs (everything not terminal), so a stuck
+    queue back-pressures submitters instead of growing without bound;
+    the per-tenant quota keeps one noisy tenant from starving the
+    rest of the admission budget.
+    """
+
+    max_depth: int = 256
+    tenant_quota: int = 64
+    #: Per-tenant quota overrides (tenant name -> live-job cap).
+    tenant_quotas: Dict[str, int] = field(default_factory=dict)
+
+    def quota_for(self, tenant: str) -> int:
+        return self.tenant_quotas.get(tenant, self.tenant_quota)
+
+    def admit(self, depth: int, tenant_depth: int,
+              tenant: str) -> AdmissionDecision:
+        if depth >= self.max_depth:
+            return AdmissionDecision(
+                False, f"queue full: {depth} live jobs >= "
+                       f"max depth {self.max_depth}")
+        quota = self.quota_for(tenant)
+        if tenant_depth >= quota:
+            return AdmissionDecision(
+                False, f"tenant {tenant!r} over quota: {tenant_depth} "
+                       f"live jobs >= quota {quota}")
+        return AdmissionDecision(True, "admitted")
+
+
+# -- retry backoff ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``base * 2**(attempt-1)`` capped at ``cap``, scaled by a jitter
+    factor in ``[0.5, 1.0)`` drawn from a PRNG seeded with
+    ``(seed, job_id, attempt)`` - deterministic per (job, attempt), so
+    a recovered daemon re-derives the same schedule and chaos replays
+    stay reproducible.
+    """
+
+    base_s: float = 0.05
+    cap_s: float = 5.0
+    seed: int = 0
+
+    def delay_s(self, job_id: int, attempt: int) -> float:
+        if attempt <= 0:
+            return 0.0
+        raw = min(self.cap_s, self.base_s * (2.0 ** (attempt - 1)))
+        rng = random.Random(f"{self.seed}:{job_id}:{attempt}")
+        return raw * (0.5 + 0.5 * rng.random())

@@ -1,0 +1,479 @@
+"""The durable store: sqlite in WAL mode, one file per service.
+
+Everything the scheduler service must not lose lives here:
+
+* the **job table** with its explicit state machine
+  (``PENDING -> CLAIMED -> RUNNING -> DONE | FAILED | DEAD``, plus
+  ``CANCELLED`` for operator cancellation before execution);
+* **table G** rows per platform (quarantine flags, provisional
+  sample counts, and ``|co:mpN`` co-run keys intact - see
+  :meth:`repro.core.profiling.KernelTable.to_rows`);
+* **characterization fits** (the paper's one-time offline step) as
+  the JSON produced by ``PlatformCharacterization.to_json``;
+* **result pointers**: a DONE job row carries the sha256 key of its
+  payload in the content-addressed :class:`~repro.harness.engine.ResultCache`;
+* durable **counters** (recoveries, completions, dead letters) that
+  survive daemon restarts.
+
+Crash-safety properties this module is responsible for:
+
+* WAL journal mode - a reader (``status``) never blocks the daemon,
+  and ``kill -9`` mid-write rolls back cleanly on the next open;
+* every multi-row mutation (most importantly
+  :meth:`DurableStore.complete_job`, which transitions the job AND
+  merges its table-G delta) is one transaction;
+* the schema version is stamped into ``PRAGMA user_version``; opening
+  a store written by any other version raises
+  :class:`~repro.errors.StoreSchemaError` instead of misreading it.
+
+One :class:`DurableStore` instance belongs to one process; it holds a
+single sqlite connection.  Open a fresh instance after ``fork``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError, StoreSchemaError
+
+#: Bump when the sqlite schema changes shape or meaning.  Mismatched
+#: files refuse to open (StoreSchemaError) - they are never migrated
+#: silently and never misread.
+STORE_SCHEMA_VERSION = 1
+
+# -- the job state machine --------------------------------------------------------
+
+PENDING = "PENDING"      #: queued, eligible for claiming (or in backoff)
+CLAIMED = "CLAIMED"      #: taken by the daemon, not yet executing
+RUNNING = "RUNNING"      #: executing in a watchdog-supervised child
+DONE = "DONE"            #: result committed; ``result_key`` points into the cache
+FAILED = "FAILED"        #: permanent failure (invalid spec) - never retried
+DEAD = "DEAD"            #: dead letter: retry budget exhausted
+CANCELLED = "CANCELLED"  #: cancelled by an operator before execution
+
+JOB_STATES = (PENDING, CLAIMED, RUNNING, DONE, FAILED, DEAD, CANCELLED)
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, FAILED, DEAD, CANCELLED)
+#: States orphaned by a crash: recovery re-enqueues these.
+ORPHANABLE_STATES = (CLAIMED, RUNNING)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    tenant        TEXT NOT NULL DEFAULT 'default',
+    priority      INTEGER NOT NULL DEFAULT 0,
+    state         TEXT NOT NULL DEFAULT 'PENDING',
+    spec_json     TEXT NOT NULL,
+    spec_sha      TEXT NOT NULL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_retries   INTEGER NOT NULL DEFAULT 2,
+    timeout_s     REAL NOT NULL DEFAULT 60.0,
+    not_before    REAL NOT NULL DEFAULT 0.0,
+    result_key    TEXT,
+    error         TEXT,
+    submitted_at  REAL NOT NULL,
+    claimed_at    REAL,
+    started_at    REAL,
+    finished_at   REAL
+);
+CREATE INDEX IF NOT EXISTS jobs_claim
+    ON jobs (state, priority DESC, id ASC);
+CREATE TABLE IF NOT EXISTS table_g (
+    platform          TEXT NOT NULL,
+    key               TEXT NOT NULL,
+    alpha             REAL NOT NULL,
+    weight            REAL NOT NULL,
+    category          TEXT,
+    invocations       INTEGER NOT NULL DEFAULT 0,
+    derived_at_items  REAL NOT NULL DEFAULT 0.0,
+    provisional       INTEGER NOT NULL DEFAULT 0,
+    quarantined       INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (platform, key)
+);
+CREATE TABLE IF NOT EXISTS characterizations (
+    platform  TEXT PRIMARY KEY,
+    json      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name   TEXT PRIMARY KEY,
+    value  REAL NOT NULL DEFAULT 0.0
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key    TEXT PRIMARY KEY,
+    value  TEXT NOT NULL
+);
+"""
+
+
+@dataclass
+class JobRow:
+    """One row of the job table, as plain data."""
+
+    id: int
+    tenant: str
+    priority: int
+    state: str
+    spec_json: str
+    spec_sha: str
+    attempts: int
+    max_retries: int
+    timeout_s: float
+    not_before: float
+    result_key: Optional[str]
+    error: Optional[str]
+    submitted_at: float
+    claimed_at: Optional[float]
+    started_at: Optional[float]
+    finished_at: Optional[float]
+
+    @classmethod
+    def from_sql(cls, row: sqlite3.Row) -> "JobRow":
+        return cls(**{k: row[k] for k in row.keys()})
+
+
+class DurableStore:
+    """One sqlite file holding every byte of durable service state."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._conn = sqlite3.connect(path, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            self._check_or_stamp_schema(fresh)
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            raise ServiceError(
+                f"cannot open durable store {path!r}: {exc}") from exc
+
+    def _check_or_stamp_schema(self, fresh: bool) -> None:
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if fresh or version == 0:
+            # A brand-new file (or an empty one): create and stamp.
+            tables = self._conn.execute(
+                "SELECT count(*) FROM sqlite_master "
+                "WHERE type='table'").fetchone()[0]
+            if version == 0 and tables > 0 and not fresh:
+                raise StoreSchemaError(
+                    f"durable store {self.path!r} carries no schema "
+                    f"version stamp; refusing to reinterpret it "
+                    f"(expected schema v{STORE_SCHEMA_VERSION})")
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                self._conn.execute(
+                    f"PRAGMA user_version = {STORE_SCHEMA_VERSION}")
+            return
+        if version != STORE_SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"durable store {self.path!r} was written by schema "
+                f"v{version}, but this code reads schema "
+                f"v{STORE_SCHEMA_VERSION}; migrate or discard the file "
+                f"instead of letting it be misread")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- job lifecycle -----------------------------------------------------------
+
+    def submit_job(self, spec_json: str, spec_sha: str,
+                   tenant: str = "default", priority: int = 0,
+                   max_retries: int = 2, timeout_s: float = 60.0,
+                   now: Optional[float] = None) -> int:
+        now = time.time() if now is None else now
+        with self._conn:
+            cur = self._conn.execute(
+                "INSERT INTO jobs (tenant, priority, state, spec_json, "
+                "spec_sha, max_retries, timeout_s, submitted_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (tenant, priority, PENDING, spec_json, spec_sha,
+                 max_retries, timeout_s, now))
+        return int(cur.lastrowid)
+
+    def claim_next(self, now: Optional[float] = None) -> Optional[JobRow]:
+        """Atomically claim the highest-priority eligible PENDING job.
+
+        Priority descends, then submission order; jobs inside their
+        retry backoff window (``not_before`` in the future) are
+        skipped.  Returns None when nothing is claimable.
+        """
+        now = time.time() if now is None else now
+        with self._conn:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE state = ? AND not_before <= ? "
+                "ORDER BY priority DESC, id ASC LIMIT 1",
+                (PENDING, now)).fetchone()
+            if row is None:
+                return None
+            updated = self._conn.execute(
+                "UPDATE jobs SET state = ?, claimed_at = ? "
+                "WHERE id = ? AND state = ?",
+                (CLAIMED, now, row["id"], PENDING)).rowcount
+            if updated != 1:  # pragma: no cover - single-writer daemon
+                return None
+        job = JobRow.from_sql(row)
+        job.state = CLAIMED
+        job.claimed_at = now
+        return job
+
+    def mark_running(self, job_id: int, now: Optional[float] = None) -> None:
+        now = time.time() if now is None else now
+        with self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, started_at = ? "
+                "WHERE id = ? AND state = ?",
+                (RUNNING, now, job_id, CLAIMED))
+
+    def complete_job(self, job_id: int, result_key: str,
+                     platform: Optional[str] = None,
+                     table_rows: Optional[List[Dict[str, Any]]] = None,
+                     now: Optional[float] = None) -> bool:
+        """Commit a job's completion and its table-G delta atomically.
+
+        One transaction covers the DONE transition, the table-G merge,
+        and the ``completions`` counter - so a crash at any instant
+        either commits the whole completion or none of it, and a
+        replayed job (at-least-once delivery) commits exactly once.
+        Returns False when the job was already terminal (idempotent).
+        """
+        now = time.time() if now is None else now
+        with self._conn:
+            updated = self._conn.execute(
+                "UPDATE jobs SET state = ?, result_key = ?, finished_at = ?, "
+                "error = NULL WHERE id = ? AND state NOT IN (?, ?, ?, ?)",
+                (DONE, result_key, now, job_id, *TERMINAL_STATES)).rowcount
+            if updated != 1:
+                return False
+            if platform is not None and table_rows:
+                self._merge_table_rows(platform, table_rows)
+            self._bump_counter("completions", 1.0)
+        return True
+
+    def fail_job(self, job_id: int, error: str, retryable: bool = True,
+                 backoff_s: float = 0.0,
+                 now: Optional[float] = None) -> str:
+        """Record a failed attempt; returns the resulting state.
+
+        Retryable failures consume one attempt and re-enqueue with the
+        supplied backoff until the retry budget is exhausted, after
+        which the job is a dead letter (``DEAD``).  Non-retryable
+        failures (invalid spec) go straight to ``FAILED``.
+        """
+        now = time.time() if now is None else now
+        with self._conn:
+            row = self._conn.execute(
+                "SELECT attempts, max_retries, state FROM jobs WHERE id = ?",
+                (job_id,)).fetchone()
+            if row is None:
+                raise ServiceError(f"no job with id {job_id}")
+            if row["state"] in TERMINAL_STATES:
+                return str(row["state"])
+            attempts = int(row["attempts"]) + 1
+            if not retryable:
+                state = FAILED
+            elif attempts > int(row["max_retries"]):
+                state = DEAD
+            else:
+                state = PENDING
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, attempts = ?, error = ?, "
+                "not_before = ?, finished_at = ? WHERE id = ?",
+                (state, attempts, error,
+                 now + backoff_s if state == PENDING else 0.0,
+                 now if state in TERMINAL_STATES else None, job_id))
+            if state == DEAD:
+                self._bump_counter("dead_letters", 1.0)
+            elif state == PENDING:
+                self._bump_counter("retries", 1.0)
+        return state
+
+    def cancel_job(self, job_id: int,
+                   now: Optional[float] = None) -> Tuple[bool, str]:
+        """Cancel a not-yet-running job; (ok, reason-or-state)."""
+        now = time.time() if now is None else now
+        with self._conn:
+            row = self._conn.execute(
+                "SELECT state FROM jobs WHERE id = ?", (job_id,)).fetchone()
+            if row is None:
+                return False, f"no job with id {job_id}"
+            state = str(row["state"])
+            if state not in (PENDING, CLAIMED):
+                return False, f"job {job_id} is {state}, not cancellable"
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ? "
+                "WHERE id = ? AND state IN (?, ?)",
+                (CANCELLED, now, "cancelled by operator", job_id,
+                 PENDING, CLAIMED))
+        return True, CANCELLED
+
+    def recover_orphans(self) -> int:
+        """Re-enqueue jobs stranded CLAIMED/RUNNING by a crash.
+
+        At-least-once delivery: the re-run replays through the
+        content-addressed result cache, so a job whose execution had
+        already completed (cache entry written, DONE transition lost)
+        recalls its byte-identical result instead of recomputing.
+        """
+        with self._conn:
+            recovered = self._conn.execute(
+                "UPDATE jobs SET state = ?, not_before = 0.0 "
+                "WHERE state IN (?, ?)",
+                (PENDING, *ORPHANABLE_STATES)).rowcount
+            if recovered:
+                self._bump_counter("recoveries", float(recovered))
+        return int(recovered)
+
+    # -- job queries -------------------------------------------------------------
+
+    def job(self, job_id: int) -> Optional[JobRow]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        return JobRow.from_sql(row) if row is not None else None
+
+    def jobs(self, states: Optional[Tuple[str, ...]] = None) -> List[JobRow]:
+        if states:
+            marks = ",".join("?" for _ in states)
+            rows = self._conn.execute(
+                f"SELECT * FROM jobs WHERE state IN ({marks}) "
+                "ORDER BY id ASC", states).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs ORDER BY id ASC").fetchall()
+        return [JobRow.from_sql(row) for row in rows]
+
+    def state_counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        for row in self._conn.execute(
+                "SELECT state, count(*) AS n FROM jobs GROUP BY state"):
+            counts[str(row["state"])] = int(row["n"])
+        return counts
+
+    def queue_depth(self, tenant: Optional[str] = None) -> int:
+        """Jobs not yet terminal (the admission-control depth)."""
+        marks = ",".join("?" for _ in TERMINAL_STATES)
+        if tenant is None:
+            row = self._conn.execute(
+                f"SELECT count(*) FROM jobs WHERE state NOT IN ({marks})",
+                TERMINAL_STATES).fetchone()
+        else:
+            row = self._conn.execute(
+                f"SELECT count(*) FROM jobs WHERE state NOT IN ({marks}) "
+                "AND tenant = ?", (*TERMINAL_STATES, tenant)).fetchone()
+        return int(row[0])
+
+    # -- table G -----------------------------------------------------------------
+
+    def _merge_table_rows(self, platform: str,
+                          rows: List[Dict[str, Any]]) -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO table_g (platform, key, alpha, weight, "
+            "category, invocations, derived_at_items, provisional, "
+            "quarantined) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(platform, r["key"], r["alpha"], r["weight"], r["category"],
+              r["invocations"], r["derived_at_items"],
+              int(r["provisional"]), int(r["quarantined"])) for r in rows])
+
+    def save_table_rows(self, platform: str,
+                        rows: List[Dict[str, Any]]) -> None:
+        """Merge table-G rows (replace-by-key) in one transaction."""
+        with self._conn:
+            self._merge_table_rows(platform, rows)
+
+    def load_table_rows(self, platform: str) -> List[Dict[str, Any]]:
+        """The platform's persisted table G, sorted by key."""
+        rows = self._conn.execute(
+            "SELECT key, alpha, weight, category, invocations, "
+            "derived_at_items, provisional, quarantined FROM table_g "
+            "WHERE platform = ? ORDER BY key ASC", (platform,)).fetchall()
+        return [{
+            "key": row["key"],
+            "alpha": float(row["alpha"]),
+            "weight": float(row["weight"]),
+            "category": row["category"],
+            "invocations": int(row["invocations"]),
+            "derived_at_items": float(row["derived_at_items"]),
+            "provisional": bool(row["provisional"]),
+            "quarantined": bool(row["quarantined"]),
+        } for row in rows]
+
+    # -- characterization fits ---------------------------------------------------
+
+    def save_characterization(self, platform: str, text: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO characterizations (platform, json) "
+                "VALUES (?, ?)", (platform, text))
+
+    def load_characterization(self, platform: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT json FROM characterizations WHERE platform = ?",
+            (platform,)).fetchone()
+        return str(row["json"]) if row is not None else None
+
+    # -- durable counters and metadata -------------------------------------------
+
+    def _bump_counter(self, name: str, amount: float) -> None:
+        self._conn.execute(
+            "INSERT INTO counters (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+            (name, amount))
+
+    def bump_counter(self, name: str, amount: float = 1.0) -> None:
+        with self._conn:
+            self._bump_counter(name, amount)
+
+    def counters(self) -> Dict[str, float]:
+        return {str(row["name"]): float(row["value"]) for row in
+                self._conn.execute("SELECT name, value FROM counters "
+                                   "ORDER BY name ASC")}
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, value))
+
+    def get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return str(row["value"]) if row is not None else None
+
+    def clear_meta(self, key: str) -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM meta WHERE key = ?", (key,))
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def integrity_ok(self) -> bool:
+        row = self._conn.execute("PRAGMA integrity_check").fetchone()
+        return str(row[0]) == "ok"
+
+    def status_snapshot(self) -> Dict[str, Any]:
+        """Machine-readable status (the ``status --json`` payload)."""
+        return {
+            "path": self.path,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "states": self.state_counts(),
+            "counters": self.counters(),
+            "jobs": [{
+                "id": j.id, "tenant": j.tenant, "priority": j.priority,
+                "state": j.state, "attempts": j.attempts,
+                "spec": json.loads(j.spec_json),
+                "result_key": j.result_key, "error": j.error,
+            } for j in self.jobs()],
+        }

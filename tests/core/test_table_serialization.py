@@ -1,0 +1,108 @@
+"""Table-G persistence round-trips preserve every hygiene flag.
+
+The durable service stores table G across process lifetimes
+(docs/SERVICE.md), which is only safe if serialization loses nothing
+that decides reuse eligibility: quarantine must survive (a poisoned
+alpha must not come back clean), ``|co:mpN`` co-run keys must never
+collapse onto the solo key, and provisional small-N entries must keep
+their sample counts so later accumulation stays correctly weighted.
+"""
+
+import pytest
+
+from repro.core.categories import category_from_codes
+from repro.core.profiling import KernelTable, KernelTableEntry
+
+
+def _populated_table() -> KernelTable:
+    table = KernelTable()
+    table.record("mm_kernel/256", alpha=0.7, weight=200.0,
+                 category=category_from_codes("C-LL"))
+    # Solo and co-run contexts of the same kernel: distinct rows.
+    table.record("bs_kernel/1024", alpha=0.9, weight=1024.0,
+                 category=category_from_codes("M-SL"))
+    table.record("bs_kernel/1024|co:mp2", alpha=0.4, weight=512.0,
+                 category=category_from_codes("M-SL"))
+    # A provisional small-N entry (CPU-only fast path, no category).
+    table.record("bfs_frontier/1", alpha=0.0, weight=1.0,
+                 provisional=True)
+    table.note_invocation("bfs_frontier/1")
+    # A quarantined entry derived under faults.
+    table.record("rt_trace/64", alpha=0.5, weight=64.0,
+                 category=category_from_codes("C-SS"), quarantined=True)
+    return table
+
+
+class TestEntryRoundTrip:
+    def test_all_fields_survive(self):
+        entry = KernelTableEntry(
+            alpha=0.625, weight=321.5,
+            category=category_from_codes("M-LS"), invocations=7,
+            derived_at_items=4096.0, provisional=True, quarantined=True)
+        clone = KernelTableEntry.from_dict(entry.to_dict())
+        assert clone == entry
+
+    def test_category_serializes_as_short_code(self):
+        entry = KernelTableEntry(alpha=0.5, weight=1.0,
+                                 category=category_from_codes("C-SL"))
+        assert entry.to_dict()["category"] == "C-SL"
+
+    def test_none_category_round_trips(self):
+        entry = KernelTableEntry(alpha=0.0, weight=1.0)
+        data = entry.to_dict()
+        assert data["category"] is None
+        assert KernelTableEntry.from_dict(data).category is None
+
+
+class TestTableRoundTrip:
+    def test_round_trip_is_identity(self):
+        table = _populated_table()
+        clone = KernelTable.from_rows(table.to_rows())
+        assert clone.to_rows() == table.to_rows()
+        assert len(clone) == len(table)
+
+    def test_quarantined_stays_quarantined(self):
+        clone = KernelTable.from_rows(_populated_table().to_rows())
+        entry = clone.lookup("rt_trace/64")
+        assert entry is not None and entry.quarantined
+
+    def test_co_run_keys_never_collapse(self):
+        clone = KernelTable.from_rows(_populated_table().to_rows())
+        solo = clone.lookup("bs_kernel/1024")
+        co = clone.lookup("bs_kernel/1024|co:mp2")
+        assert solo is not None and co is not None
+        assert solo.alpha != co.alpha
+
+    def test_provisional_keeps_sample_counts(self):
+        clone = KernelTable.from_rows(_populated_table().to_rows())
+        entry = clone.lookup("bfs_frontier/1")
+        assert entry is not None and entry.provisional
+        assert entry.weight == pytest.approx(1.0)
+        assert entry.invocations == 1
+
+    def test_rows_are_sorted_by_key(self):
+        rows = _populated_table().to_rows()
+        assert [r["key"] for r in rows] == sorted(r["key"] for r in rows)
+
+
+class TestMergeRows:
+    def test_merge_replaces_same_key_wholesale(self):
+        table = _populated_table()
+        before = table.lookup("mm_kernel/256")
+        assert before is not None and not before.quarantined
+        table.merge_rows([{
+            "key": "mm_kernel/256", "alpha": 0.1, "weight": 5.0,
+            "category": None, "invocations": 1,
+            "derived_at_items": 8.0, "provisional": False,
+            "quarantined": True,
+        }])
+        after = table.lookup("mm_kernel/256")
+        assert after is not None
+        assert after.alpha == pytest.approx(0.1)
+        assert after.weight == pytest.approx(5.0)
+        assert after.quarantined
+
+    def test_merge_adds_new_keys(self):
+        table = KernelTable()
+        table.merge_rows(_populated_table().to_rows())
+        assert len(table) == 5

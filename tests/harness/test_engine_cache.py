@@ -144,6 +144,38 @@ class TestIntegrity:
         assert cache.get(key) is None
         assert not os.path.exists(path)
 
+    def test_eviction_emits_metric_and_warning(self, cache):
+        """Evict-on-corruption is never silent: it bumps the
+        ``cache.corrupt_evictions`` counter and warns with the key."""
+        from repro.obs.observer import Observer
+
+        observer = Observer()
+        cache.observer = observer
+        key, path = self._seed_entry(cache)
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.warns(RuntimeWarning,
+                          match=f"evicted corrupt entry {key}"):
+            assert cache.get(key) is None
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["cache.corrupt_evictions"] == 1.0
+
+    def test_run_batch_attaches_observer_to_cache(self, cache):
+        from repro.obs.observer import Observer
+
+        spec = RunSpec(platform=haswell_desktop(), workload="MB",
+                       scheduler=SchedulerSpec.static(0.5))
+        engine = ExecutionEngine(jobs=1, cache=cache)
+        engine.run_batch([spec])
+        path = cache.path_for(spec.cache_key())
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        observer = Observer()
+        with pytest.warns(RuntimeWarning, match="evicted corrupt entry"):
+            engine.run_batch([spec], observer=observer)
+        counters = observer.metrics.snapshot()["counters"]
+        assert counters["cache.corrupt_evictions"] == 1.0
+
     def test_corrupted_entry_recomputed_through_engine(self, cache):
         spec = RunSpec(platform=haswell_desktop(), workload="MB",
                        scheduler=SchedulerSpec.static(0.5))

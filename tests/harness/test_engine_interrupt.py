@@ -1,0 +1,74 @@
+"""Interrupting a pooled batch must not orphan worker processes.
+
+Before the teardown path existed, a KeyboardInterrupt (or any raising
+spec) during ``_run_pool`` fell into ``ProcessPoolExecutor``'s default
+shutdown, which *waits* for every queued spec - leaving the terminal
+wedged behind orphaned workers grinding through a batch nobody wants.
+"""
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.harness import engine as engine_mod
+from repro.harness.engine import ExecutionEngine, RunSpec, SchedulerSpec
+from repro.soc.spec import haswell_desktop
+
+#: Long enough that a leaked worker would blow the test timeout.
+_HANG_S = 120.0
+
+
+def _sleep_forever() -> None:
+    time.sleep(_HANG_S)
+
+
+def _execute_first_raises(spec: RunSpec):
+    """Stand-in for ``execute_spec``: first spec raises, rest hang."""
+    if spec.seed == 0:
+        raise KeyboardInterrupt()
+    time.sleep(_HANG_S)
+
+
+def _execute_first_errors(spec: RunSpec):
+    if spec.seed == 0:
+        raise RuntimeError("boom")
+    time.sleep(_HANG_S)
+
+
+def _specs(n: int):
+    return [RunSpec(platform=haswell_desktop(), workload="MB",
+                    scheduler=SchedulerSpec.static(0.5), seed=i)
+            for i in range(n)]
+
+
+class TestTeardownPool:
+    def test_kills_workers_mid_task(self):
+        pool = ProcessPoolExecutor(max_workers=2)
+        futures = [pool.submit(_sleep_forever) for _ in range(4)]
+        deadline = time.monotonic() + 10.0
+        while not pool._processes and time.monotonic() < deadline:
+            time.sleep(0.01)
+        workers = list(pool._processes.values())
+        assert workers, "pool never spawned workers"
+        start = time.monotonic()
+        ExecutionEngine._teardown_pool(pool, futures)
+        assert time.monotonic() - start < 30.0
+        assert all(not w.is_alive() for w in workers)
+
+
+class TestRunPoolInterrupt:
+    @pytest.mark.parametrize("replacement, expected", [
+        (_execute_first_raises, KeyboardInterrupt),
+        (_execute_first_errors, RuntimeError),
+    ])
+    def test_raising_spec_tears_down_promptly(self, monkeypatch,
+                                              replacement, expected):
+        monkeypatch.setattr(engine_mod, "execute_spec", replacement)
+        engine = ExecutionEngine(jobs=2)
+        start = time.monotonic()
+        with pytest.raises(expected):
+            engine._run_pool(_specs(4))
+        # Without teardown, shutdown would wait out every hanging
+        # worker (~_HANG_S); with it the batch dies in seconds.
+        assert time.monotonic() - start < 30.0

@@ -19,7 +19,8 @@ from repro.workloads.registry import workload_by_abbrev
 class TestRegistry:
     def test_all_paper_experiments_present(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-                    "table1", "fig9", "fig10", "fig11", "fig12", "chaos"}
+                    "table1", "fig9", "fig10", "fig11", "fig12", "chaos",
+                    "crashchaos"}
         assert expected == set(REGENERATORS)
 
     def test_unknown_experiment(self):

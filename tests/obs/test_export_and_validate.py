@@ -143,6 +143,73 @@ class TestJsonlAndMetrics:
         assert "eas.grid_search_us" in payload["metrics"]["histograms"]
 
 
+class TestAtomicWrites:
+    """A crash mid-export must never publish a truncated artifact:
+    every writer stages to a temp file and atomically renames."""
+
+    def _observer(self):
+        observer = Observer(metadata={"component": "test"})
+        observer.inc("n")
+        return observer
+
+    def test_interrupted_write_preserves_previous_file(self, tmp_path,
+                                                       monkeypatch):
+        import os as os_mod
+
+        observer = self._observer()
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path, observer)
+        with open(path) as fh:
+            before = fh.read()
+
+        real_replace = os_mod.replace
+
+        def crash_at_publish(src, dst, **kwargs):
+            if str(dst) == path:
+                raise OSError("simulated crash at rename")
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr(os_mod, "replace", crash_at_publish)
+        observer.inc("n")
+        with pytest.raises(OSError, match="simulated crash"):
+            write_metrics(path, observer)
+        monkeypatch.undo()
+        # The previous complete artifact is intact and still validates.
+        with open(path) as fh:
+            assert fh.read() == before
+        assert validate_file(path) == "metrics"
+        # No temp-file litter either.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "metrics.json"]
+
+    def test_all_writers_leave_no_temp_files(self, fig2_style_run,
+                                             tmp_path):
+        run, observer = fig2_style_run
+        write_jsonl(str(tmp_path / "events.jsonl"), observer)
+        write_metrics(str(tmp_path / "metrics.json"), observer)
+        write_chrome_trace(
+            str(tmp_path / "trace.json"),
+            [TraceSection("run", observer=observer, power_trace=run.trace)])
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["events.jsonl", "metrics.json", "trace.json"]
+        for name in names:
+            validate_file(str(tmp_path / name))
+
+    def test_truncated_artifact_fails_validation(self, fig2_style_run,
+                                                 tmp_path):
+        """What atomicity prevents: a half-written file is not valid
+        (so a non-atomic writer crash would poison downstream)."""
+        _, observer = fig2_style_run
+        path = str(tmp_path / "metrics.json")
+        write_metrics(path, observer)
+        with open(path) as fh:
+            whole = fh.read()
+        with open(path, "w") as fh:
+            fh.write(whole[:len(whole) // 2])
+        with pytest.raises(ObservabilityError):
+            validate_file(path)
+
+
 class TestValidatorRejections:
     def test_rejects_non_trace_object(self):
         with pytest.raises(ObservabilityError):

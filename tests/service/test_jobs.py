@@ -1,0 +1,111 @@
+"""JobSpec canonicalization, admission control, and backoff policy."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    AdmissionPolicy,
+    BackoffPolicy,
+    JobSpec,
+    table_digest,
+)
+
+
+class TestJobSpec:
+    def test_json_round_trip(self):
+        spec = JobSpec(workload="BS", platform="tablet", scheduler="eas",
+                       metric="energy", fault_level=0.1, seed=3,
+                       tick_mode="fast", warm_table=False)
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_sha_is_stable_and_sensitive(self):
+        a = JobSpec(workload="BS")
+        b = JobSpec(workload="BS")
+        c = JobSpec(workload="MM")
+        assert a.sha() == b.sha()
+        assert a.sha() != c.sha()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job spec field"):
+            JobSpec.from_json('{"workload": "BS", "color": "red"}')
+
+    def test_unparseable_json_rejected(self):
+        with pytest.raises(ServiceError, match="unparseable"):
+            JobSpec.from_json("{nope")
+
+    @pytest.mark.parametrize("kwargs, match", [
+        ({"workload": "BS", "platform": "phone"}, "unknown platform"),
+        ({"workload": "BS", "scheduler": "magic"}, "unknown scheduler"),
+        ({"workload": "BS", "scheduler": "static"}, "needs an alpha"),
+        ({"workload": "BS", "tick_mode": "warp"}, "unknown tick mode"),
+    ])
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ServiceError, match=match):
+            JobSpec(**kwargs)
+
+    def test_warm_only_for_eas(self):
+        assert JobSpec(workload="BS", scheduler="eas").warm
+        assert not JobSpec(workload="BS", scheduler="eas",
+                           warm_table=False).warm
+        assert not JobSpec(workload="BS", scheduler="cpu").warm
+
+    def test_warm_key_binds_the_table_snapshot(self):
+        spec = JobSpec(workload="BS")
+        empty = table_digest([])
+        filled = table_digest([{"key": "k", "alpha": 0.5}])
+        assert spec.warm_cache_key(empty) != spec.warm_cache_key(filled)
+        assert spec.warm_cache_key(empty) == spec.warm_cache_key(empty)
+
+    def test_table_digest_is_order_independent(self):
+        a = {"key": "a", "alpha": 0.1}
+        b = {"key": "b", "alpha": 0.2}
+        assert table_digest([a, b]) == table_digest([b, a])
+
+    def test_cold_runspec_key_differs_by_platform(self):
+        desktop = JobSpec(workload="BS", scheduler="cpu")
+        tablet = JobSpec(workload="BS", scheduler="cpu", platform="tablet")
+        assert (desktop.to_runspec().cache_key()
+                != tablet.to_runspec().cache_key())
+
+
+class TestAdmissionPolicy:
+    def test_admits_within_bounds(self):
+        decision = AdmissionPolicy().admit(depth=0, tenant_depth=0,
+                                           tenant="t")
+        assert decision and decision.reason == "admitted"
+
+    def test_rejects_full_queue_with_reason(self):
+        policy = AdmissionPolicy(max_depth=2)
+        decision = policy.admit(depth=2, tenant_depth=0, tenant="t")
+        assert not decision
+        assert "queue full" in decision.reason
+
+    def test_rejects_over_quota_tenant_with_reason(self):
+        policy = AdmissionPolicy(max_depth=100, tenant_quota=1)
+        decision = policy.admit(depth=5, tenant_depth=1, tenant="noisy")
+        assert not decision
+        assert "noisy" in decision.reason and "quota" in decision.reason
+
+    def test_per_tenant_override(self):
+        policy = AdmissionPolicy(tenant_quota=1,
+                                 tenant_quotas={"bulk": 10})
+        assert policy.admit(depth=5, tenant_depth=5, tenant="bulk")
+        assert not policy.admit(depth=5, tenant_depth=5, tenant="other")
+
+
+class TestBackoffPolicy:
+    def test_deterministic_per_job_and_attempt(self):
+        a = BackoffPolicy(seed=1)
+        b = BackoffPolicy(seed=1)
+        assert a.delay_s(7, 3) == b.delay_s(7, 3)
+        assert a.delay_s(7, 3) != a.delay_s(8, 3)
+
+    def test_grows_exponentially_until_cap(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=1.0, seed=0)
+        # Jitter is in [0.5, 1.0), so raw bounds still separate tiers.
+        assert 0.05 <= policy.delay_s(1, 1) < 0.1
+        assert 0.1 <= policy.delay_s(1, 2) < 0.2
+        assert policy.delay_s(1, 20) < 1.0  # capped
+
+    def test_zeroth_attempt_has_no_delay(self):
+        assert BackoffPolicy().delay_s(1, 0) == 0.0

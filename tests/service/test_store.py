@@ -1,0 +1,265 @@
+"""Durable-store contracts: WAL, schema refusal, kill -9 survival,
+job state machine atomicity, and the table-G persistence round-trip.
+"""
+
+import multiprocessing
+import os
+import signal
+import sqlite3
+import time
+
+import pytest
+
+from repro.errors import StoreSchemaError
+from repro.service.store import (
+    CANCELLED,
+    CLAIMED,
+    DEAD,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    STORE_SCHEMA_VERSION,
+    DurableStore,
+    JobRow,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with DurableStore(str(tmp_path / "svc.db")) as s:
+        yield s
+
+
+def _submit(store, sha="s0", **kwargs):
+    return store.submit_job('{"workload":"MB"}', sha, **kwargs)
+
+
+class TestOpenAndSchema:
+    def test_opens_in_wal_mode(self, store):
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert str(mode).lower() == "wal"
+
+    def test_fresh_file_is_stamped(self, store):
+        version = store._conn.execute("PRAGMA user_version").fetchone()[0]
+        assert version == STORE_SCHEMA_VERSION
+
+    def test_refuses_future_schema_version(self, tmp_path):
+        path = str(tmp_path / "future.db")
+        DurableStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version = {STORE_SCHEMA_VERSION + 1}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaError, match="written by schema"):
+            DurableStore(path)
+
+    def test_refuses_unstamped_foreign_file(self, tmp_path):
+        path = str(tmp_path / "foreign.db")
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE something_else (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaError, match="no schema version"):
+            DurableStore(path)
+
+    def test_reopen_same_version_is_fine(self, tmp_path):
+        path = str(tmp_path / "svc.db")
+        with DurableStore(path) as s:
+            _submit(s)
+        with DurableStore(path) as s:
+            assert len(s.jobs()) == 1
+
+
+class TestJobStateMachine:
+    def test_submit_claim_run_complete(self, store):
+        job_id = _submit(store)
+        job = store.claim_next()
+        assert job is not None and job.id == job_id
+        assert job.state == CLAIMED
+        store.mark_running(job_id)
+        assert store.job(job_id).state == RUNNING
+        assert store.complete_job(job_id, "deadbeef")
+        done = store.job(job_id)
+        assert done.state == DONE and done.result_key == "deadbeef"
+        assert store.counters()["completions"] == 1.0
+
+    def test_complete_is_idempotent(self, store):
+        job_id = _submit(store)
+        store.claim_next()
+        assert store.complete_job(job_id, "k1")
+        # A duplicate completion (at-least-once replay) is a no-op:
+        # no second counter bump, no overwritten result pointer.
+        assert not store.complete_job(job_id, "k2")
+        assert store.job(job_id).result_key == "k1"
+        assert store.counters()["completions"] == 1.0
+
+    def test_claim_orders_by_priority_then_id(self, store):
+        low = _submit(store, priority=0)
+        high = _submit(store, priority=5)
+        also_low = _submit(store, priority=0)
+        claimed = [store.claim_next().id for _ in range(3)]
+        assert claimed == [high, low, also_low]
+
+    def test_claim_respects_backoff_window(self, store):
+        job_id = _submit(store)
+        store.claim_next()
+        store.fail_job(job_id, "transient", retryable=True, backoff_s=60.0)
+        assert store.claim_next() is None  # still inside the window
+        assert store.claim_next(now=time.time() + 61.0).id == job_id
+
+    def test_retry_budget_exhaustion_goes_dead(self, store):
+        job_id = _submit(store, max_retries=1)
+        for expected in (PENDING, DEAD):
+            store.claim_next(now=time.time() + 100.0)
+            state = store.fail_job(job_id, "boom", retryable=True)
+            assert state == expected
+        assert store.counters()["dead_letters"] == 1.0
+        assert store.counters()["retries"] == 1.0
+
+    def test_non_retryable_fails_permanently(self, store):
+        job_id = _submit(store, max_retries=5)
+        store.claim_next()
+        assert store.fail_job(job_id, "bad spec", retryable=False) == FAILED
+        assert store.job(job_id).attempts == 1
+
+    def test_cancel_only_before_running(self, store):
+        queued = _submit(store)
+        ok, state = store.cancel_job(queued)
+        assert ok and state == CANCELLED
+        running = _submit(store)
+        store.claim_next()
+        store.mark_running(running)
+        ok, reason = store.cancel_job(running)
+        assert not ok and "RUNNING" in reason
+
+    def test_recover_orphans_reenqueues(self, store):
+        claimed = _submit(store)
+        store.claim_next()
+        running = _submit(store)
+        store.claim_next()
+        store.mark_running(running)
+        done = _submit(store)
+        store.claim_next()
+        store.complete_job(done, "k")
+        assert store.recover_orphans() == 2
+        states = {store.job(j).state for j in (claimed, running)}
+        assert states == {PENDING}
+        assert store.job(done).state == DONE
+        assert store.counters()["recoveries"] == 2.0
+
+    def test_queue_depth_counts_live_jobs_per_tenant(self, store):
+        _submit(store, tenant="a")
+        _submit(store, tenant="a")
+        _submit(store, tenant="b")
+        done = _submit(store, tenant="b")
+        store.claim_next()  # live states still count toward depth
+        with_done = store.claim_next()
+        while with_done is not None and with_done.id != done:
+            with_done = store.claim_next()
+        assert store.queue_depth() == 4
+        store.complete_job(done, "k")
+        assert store.queue_depth() == 3
+        assert store.queue_depth("a") == 2
+        assert store.queue_depth("b") == 1
+
+
+class TestTableGPersistence:
+    ROWS = [
+        {"key": "bs/1024", "alpha": 0.9, "weight": 1024.0,
+         "category": "M-SL", "invocations": 3, "derived_at_items": 1024.0,
+         "provisional": False, "quarantined": False},
+        {"key": "bs/1024|co:mp2", "alpha": 0.4, "weight": 512.0,
+         "category": "M-SL", "invocations": 1, "derived_at_items": 512.0,
+         "provisional": False, "quarantined": False},
+        {"key": "bfs/1", "alpha": 0.0, "weight": 1.0, "category": None,
+         "invocations": 1, "derived_at_items": 1.0,
+         "provisional": True, "quarantined": False},
+        {"key": "rt/64", "alpha": 0.5, "weight": 64.0, "category": "C-SS",
+         "invocations": 2, "derived_at_items": 64.0,
+         "provisional": False, "quarantined": True},
+    ]
+
+    def test_round_trip_preserves_everything(self, store):
+        store.save_table_rows("haswell-desktop", self.ROWS)
+        loaded = store.load_table_rows("haswell-desktop")
+        assert loaded == sorted(self.ROWS, key=lambda r: r["key"])
+
+    def test_platforms_are_isolated(self, store):
+        store.save_table_rows("haswell-desktop", self.ROWS)
+        assert store.load_table_rows("baytrail-tablet") == []
+
+    def test_merge_replaces_by_key(self, store):
+        store.save_table_rows("p", self.ROWS)
+        store.save_table_rows("p", [dict(self.ROWS[0], alpha=0.1)])
+        by_key = {r["key"]: r for r in store.load_table_rows("p")}
+        assert by_key["bs/1024"]["alpha"] == pytest.approx(0.1)
+        assert len(by_key) == len(self.ROWS)
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "svc.db")
+        with DurableStore(path) as s:
+            s.save_table_rows("p", self.ROWS)
+        with DurableStore(path) as s:
+            loaded = s.load_table_rows("p")
+        quarantined = [r for r in loaded if r["quarantined"]]
+        assert [r["key"] for r in quarantined] == ["rt/64"]
+        assert any("|co:mp2" in r["key"] for r in loaded)
+
+
+class TestCharacterizationAndMeta:
+    def test_characterization_round_trip(self, store):
+        store.save_characterization("haswell-desktop", '{"fit": 1}')
+        assert store.load_characterization("haswell-desktop") == '{"fit": 1}'
+        assert store.load_characterization("other") is None
+
+    def test_meta_round_trip(self, store):
+        store.set_meta("daemon.pid", "1234")
+        assert store.get_meta("daemon.pid") == "1234"
+        store.clear_meta("daemon.pid")
+        assert store.get_meta("daemon.pid") is None
+
+    def test_counters_accumulate(self, store):
+        store.bump_counter("completions", 2.0)
+        store.bump_counter("completions")
+        assert store.counters()["completions"] == 3.0
+
+
+def _hammer_writes(path: str) -> None:
+    """Child entry point: write jobs and counters as fast as possible."""
+    with DurableStore(path) as child_store:
+        i = 0
+        while True:
+            child_store.submit_job('{"workload":"MB"}', f"sha{i}")
+            child_store.bump_counter("hammer")
+            i += 1
+
+
+class TestKillNineSurvival:
+    def test_sigkill_mid_write_rolls_back_cleanly(self, tmp_path):
+        """SIGKILL a process writing concurrently; the file must
+        reopen with a clean integrity check and consistent rows."""
+        path = str(tmp_path / "svc.db")
+        DurableStore(path).close()
+        ctx = multiprocessing.get_context("fork")
+        writer = ctx.Process(target=_hammer_writes, args=(path,))
+        writer.start()
+        deadline = time.monotonic() + 10.0
+        with DurableStore(path) as watcher:
+            while time.monotonic() < deadline:
+                if watcher.counters().get("hammer", 0.0) >= 5.0:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("writer child never made progress")
+        os.kill(writer.pid, signal.SIGKILL)
+        writer.join()
+        with DurableStore(path) as store:
+            assert store.integrity_ok()
+            jobs = store.jobs()
+            assert len(jobs) >= 5
+            assert all(isinstance(j, JobRow) and j.state == PENDING
+                       for j in jobs)
+            # The store stays fully writable after the crash.
+            store.submit_job('{"workload":"MB"}', "after-crash")
+            assert store.jobs()[-1].spec_sha == "after-crash"

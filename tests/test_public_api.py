@@ -15,7 +15,7 @@ EXPECTED_API = sorted([
     # errors
     "ReproError", "SimulationError", "SchedulingError", "WorkloadError",
     "HarnessError", "ObservabilityError", "UnknownNameError",
-    "GpuFaultError",
+    "GpuFaultError", "ServiceError", "StoreSchemaError", "AdmissionError",
     # platforms & simulator
     "PlatformSpec", "haswell_desktop", "baytrail_tablet",
     "IntegratedProcessor", "KernelCostModel", "use_tick_mode",
@@ -37,6 +37,7 @@ EXPECTED_API = sorted([
     "REGENERATORS", "regenerate", "experiment_id",
     "ChaosCampaignResult", "ChaosCell", "run_chaos_campaign",
     "MultiprogramChaosCampaignResult", "run_multiprogram_chaos_campaign",
+    "CrashChaosResult", "CrashChaosCell", "run_crash_chaos",
     # multiprogram tenancy
     "ARBITER_POLICIES", "GpuLeaseArbiter", "MultiprogramResult",
     "TenantResult", "TenantSpec", "parse_tenant_specs", "run_multiprogram",
@@ -47,6 +48,9 @@ EXPECTED_API = sorted([
     "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
     "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",
     "write_chrome_trace", "write_jsonl", "write_metrics", "validate_file",
+    # scheduler service (docs/SERVICE.md)
+    "SchedulerService", "JobSpec", "DurableStore",
+    "AdmissionPolicy", "AdmissionDecision",
 ])
 
 
