@@ -1,0 +1,8 @@
+"""``python -m repro`` - the unified command-line front door."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

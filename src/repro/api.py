@@ -29,7 +29,16 @@ Grouped by layer:
   (see docs/OBSERVABILITY.md);
 * **scheduler service** - the crash-safe persistent daemon: durable
   job queue, persisted table G, idempotent replay, and the
-  kill-and-restart chaos harness (see docs/SERVICE.md).
+  kill-and-restart chaos harness (see docs/SERVICE.md);
+* **fleet simulation** - trace-driven dispatch of kernel requests
+  across thousands of simulated SoCs under pluggable placement
+  policies, deduped through the engine cache (see docs/FLEET.md).
+
+Deprecated (still exported, warn once per process): the
+``use_tick_mode`` process-global context manager - pass
+``tick_mode=...`` to the platform factories or specs instead - and
+stringly ``RunSpec.tenancy`` strings, replaced by
+:class:`TenancySpec`.
 """
 
 from __future__ import annotations
@@ -83,6 +92,24 @@ from repro.harness.crashchaos import (
     CrashChaosResult,
     run_crash_chaos,
 )
+from repro.fleet import (
+    PLACEMENT_POLICIES,
+    PLATFORM_KINDS,
+    TRACE_KINDS,
+    FleetCellProfile,
+    FleetComparisonResult,
+    FleetRequest,
+    FleetResult,
+    FleetSpec,
+    FleetView,
+    NodeSpec,
+    RequestOutcome,
+    TraceSpec,
+    compare_fleet_policies,
+    generate_trace,
+    make_policy,
+    run_fleet,
+)
 from repro.harness.experiment import ApplicationRun, run_application
 from repro.harness.figures import REGENERATORS, experiment_id, regenerate
 from repro.harness.suite import (
@@ -118,6 +145,7 @@ from repro.runtime.tenancy import (
     ARBITER_POLICIES,
     GpuLeaseArbiter,
     MultiprogramResult,
+    TenancySpec,
     TenantResult,
     TenantSpec,
     parse_tenant_specs,
@@ -164,7 +192,8 @@ __all__ = [
     "CrashChaosResult", "CrashChaosCell", "run_crash_chaos",
     # multiprogram tenancy (see docs/ARCHITECTURE.md)
     "ARBITER_POLICIES", "GpuLeaseArbiter", "MultiprogramResult",
-    "TenantResult", "TenantSpec", "parse_tenant_specs", "run_multiprogram",
+    "TenancySpec", "TenantResult", "TenantSpec", "parse_tenant_specs",
+    "run_multiprogram",
     # execution engine (see docs/PARALLELISM.md)
     "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
     "ResultCache", "get_default_engine", "set_default_engine", "use_engine",
@@ -175,4 +204,10 @@ __all__ = [
     # scheduler service (see docs/SERVICE.md)
     "SchedulerService", "JobSpec", "DurableStore",
     "AdmissionPolicy", "AdmissionDecision",
+    # fleet simulation (see docs/FLEET.md)
+    "FleetSpec", "NodeSpec", "PLATFORM_KINDS",
+    "TraceSpec", "FleetRequest", "generate_trace", "TRACE_KINDS",
+    "PLACEMENT_POLICIES", "make_policy", "FleetView",
+    "run_fleet", "FleetResult", "RequestOutcome", "FleetCellProfile",
+    "compare_fleet_policies", "FleetComparisonResult",
 ]

@@ -1,0 +1,400 @@
+"""The global dispatcher: an event-driven loop over the arrival trace.
+
+Two phases, both deterministic:
+
+1. **Cell resolution.**  Every (platform class, workload) pair the
+   trace could touch becomes one ``fleet-cell``
+   :class:`~repro.harness.engine.RunSpec`, submitted as a single
+   engine batch - parallel under ``--jobs N``, deduped by the
+   content-addressed cache, byte-identical serial vs pooled (the
+   engine's own guarantee).  A thousand-node fleet costs as many
+   simulations as it has distinct cells.
+
+2. **Dispatch.**  Requests replay in arrival order; a pending-completion
+   heap (keyed ``(t_complete, dispatch seq)``) retires finished work
+   before each arrival, so placement policies observe exactly the
+   completions a real-time dispatcher would have seen.  Placement
+   reads only the :class:`~repro.fleet.policies.FleetView`; the
+   simulated execution itself is the phase-1 profile (per-node EAS
+   stays black-box).
+
+Determinism contract (docs/FLEET.md): same
+(:class:`~repro.fleet.topology.FleetSpec`,
+:class:`~repro.fleet.trace.TraceSpec`, policy) in, byte-identical
+:meth:`FleetResult.fingerprint` out - on reruns, across ``--jobs N``,
+and across processes.  Every tie anywhere (equal arrival times, equal
+backlogs, equal completion instants) breaks on an explicit integer
+(request id, node index, dispatch sequence), never on iteration
+order of a hash container.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HarnessError
+from repro.fleet.cells import FleetCellProfile
+from repro.fleet.policies import (
+    PLACEMENT_POLICIES,
+    FleetView,
+    make_policy,
+)
+from repro.fleet.topology import FleetSpec
+from repro.fleet.trace import FleetRequest, TraceSpec
+from repro.harness.engine import (
+    KIND_FLEET_CELL,
+    ExecutionEngine,
+    RunSpec,
+    SchedulerSpec,
+    get_default_engine,
+)
+from repro.harness.report import format_table, heading
+from repro.obs.observer import Observer
+from repro.obs.records import DecisionRecord
+
+#: ``exit_path`` tag on fleet placement decision records (the node-
+#: level records keep the scheduler's own Fig.-7 exit paths).
+EXIT_FLEET_PLACEMENT = "fleet-placement"
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One routed request, end to end, on the fleet clock."""
+
+    req_id: int
+    workload: str
+    #: Stable node id (``<kind>-<index>``), also on the decision record.
+    node: str
+    node_index: int
+    platform_kind: str
+    t_arrival_s: float
+    t_start_s: float
+    t_complete_s: float
+    #: Relative latency budget the request arrived with.
+    deadline_s: float
+    #: Software-visible energy of the node-level run, joules.
+    energy_j: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.t_complete_s - self.t_arrival_s
+
+    @property
+    def missed_deadline(self) -> bool:
+        return self.latency_s > self.deadline_s
+
+    def canonical(self) -> str:
+        return (f"{self.req_id}|{self.workload}|{self.node}"
+                f"|{self.t_arrival_s!r}|{self.t_start_s!r}"
+                f"|{self.t_complete_s!r}|{self.deadline_s!r}"
+                f"|{self.energy_j!r}")
+
+
+@dataclass
+class FleetResult:
+    """One policy's routing of one trace over one fleet."""
+
+    fleet: FleetSpec
+    trace: TraceSpec
+    policy: str
+    outcomes: Tuple[RequestOutcome, ...]
+    #: Distinct cell profiles the dispatch drew on, sorted by
+    #: (platform_kind, workload).
+    cells: Tuple[FleetCellProfile, ...]
+    #: Per-request placement audit records (node-id tagged); excluded
+    #: from the fingerprint, same contract as chaos decision records.
+    placement_records: Tuple[DecisionRecord, ...] = ()
+    #: Engine executions vs cache recalls for the cell batch.
+    cells_executed: int = 0
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Busy (active-execution) energy across the fleet, joules -
+        the quantity placement actually moves."""
+        return sum(o.energy_j for o in self.outcomes)
+
+    @property
+    def makespan_s(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return max(o.t_complete_s for o in self.outcomes)
+
+    @property
+    def idle_energy_estimate_j(self) -> float:
+        """Fleet idle-floor energy over the makespan: every node burns
+        its spec idle power whenever not executing.  Reported apart
+        from :attr:`total_energy_j` because for a fixed fleet and
+        horizon it is (near-)policy-invariant - folding it into the
+        headline number would only dilute the placement signal."""
+        horizon = self.makespan_s
+        busy_by_node: Dict[int, float] = {}
+        for outcome in self.outcomes:
+            busy_by_node[outcome.node_index] = (
+                busy_by_node.get(outcome.node_index, 0.0)
+                + (outcome.t_complete_s - outcome.t_start_s))
+        idle_power = {
+            kind: self.fleet.platform_spec(kind).idle_power_w
+            for kind in ("desktop", "tablet")}
+        total = 0.0
+        for node in self.fleet.nodes():
+            busy = busy_by_node.get(node.index, 0.0)
+            total += idle_power[node.platform_kind] * max(
+                0.0, horizon - busy)
+        return total
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(1 for o in self.outcomes if o.missed_deadline)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.deadline_misses / self.n_requests if self.outcomes else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.latency_s for o in self.outcomes) / len(self.outcomes)
+
+    def latency_percentile_s(self, pct: float) -> float:
+        """Nearest-rank percentile of request latency."""
+        if not self.outcomes:
+            return 0.0
+        ordered = sorted(o.latency_s for o in self.outcomes)
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def dispatches_by_kind(self) -> Dict[str, int]:
+        counts = {"desktop": 0, "tablet": 0}
+        for outcome in self.outcomes:
+            counts[outcome.platform_kind] += 1
+        return counts
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 over specs, policy, cells, and every outcome."""
+        lines = [
+            f"fleet|{self.fleet.canonical()}",
+            f"trace|{self.trace.canonical()}",
+            f"policy|{self.policy}",
+        ]
+        lines.extend(f"cell|{c.canonical()}" for c in self.cells)
+        lines.extend(o.canonical() for o in self.outcomes)
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+    def render(self) -> str:
+        kinds = self.dispatches_by_kind()
+        rows = [
+            ("requests", f"{self.n_requests}"),
+            ("nodes", f"{self.fleet.n_nodes} "
+                      f"({self.fleet.desktop_fraction:.0%} desktop)"),
+            ("distinct cells", f"{len(self.cells)} "
+                               f"({self.cells_executed} executed, rest "
+                               f"cached/deduped)"),
+            ("dispatches", f"desktop={kinds['desktop']} "
+                           f"tablet={kinds['tablet']}"),
+            ("fleet energy (busy)", f"{self.total_energy_j:.1f} J"),
+            ("idle-floor estimate", f"{self.idle_energy_estimate_j:.1f} J "
+                                    f"over {self.makespan_s:.1f} s"),
+            ("mean latency", f"{self.mean_latency_s:.2f} s"),
+            ("p95 latency", f"{self.latency_percentile_s(95):.2f} s"),
+            ("deadline misses", f"{self.deadline_misses} "
+                                f"({self.miss_rate:.1%})"),
+        ]
+        return "\n".join([
+            heading(f"Fleet dispatch: policy={self.policy}, "
+                    f"trace={self.trace.kind}"),
+            format_table(["quantity", "value"], rows),
+            "",
+            f"fingerprint: {self.fingerprint()}",
+        ])
+
+
+@dataclass
+class FleetComparisonResult:
+    """Several policies routing the *same* trace over the same fleet."""
+
+    fleet: FleetSpec
+    trace: TraceSpec
+    results: Tuple[FleetResult, ...]
+
+    def result(self, policy: str) -> FleetResult:
+        for result in self.results:
+            if result.policy == policy:
+                return result
+        raise HarnessError(f"no result for policy {policy!r}")
+
+    def fingerprint(self) -> str:
+        lines = [f"{r.policy}|{r.fingerprint()}" for r in self.results]
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+    def render(self) -> str:
+        rows = []
+        for r in self.results:
+            kinds = r.dispatches_by_kind()
+            rows.append((
+                r.policy, r.n_requests, f"{r.total_energy_j:.1f}",
+                f"{r.mean_latency_s:.2f}",
+                f"{r.latency_percentile_s(95):.2f}",
+                f"{r.deadline_misses} ({r.miss_rate:.1%})",
+                f"{kinds['desktop']}/{kinds['tablet']}",
+            ))
+        return "\n".join([
+            heading(f"Fleet policy comparison: {self.fleet.n_nodes} nodes, "
+                    f"{self.trace.kind} trace, "
+                    f"{len(self.trace.requests())} requests"),
+            format_table(
+                ["policy", "reqs", "energy (J)", "mean lat (s)",
+                 "p95 lat (s)", "misses", "desktop/tablet"], rows),
+            "",
+            f"fingerprint: {self.fingerprint()}",
+        ])
+
+
+# -- the dispatch loop -----------------------------------------------------------
+
+def _resolve_cells(fleet: FleetSpec, requests: Sequence[FleetRequest],
+                   view: FleetView, engine: ExecutionEngine,
+                   observer: Optional[Observer]
+                   ) -> Tuple[Dict[Tuple[str, str], FleetCellProfile], int]:
+    """One engine batch covering every reachable (class, workload) cell."""
+    pairs: List[Tuple[str, str]] = []
+    seen = set()
+    for request in requests:
+        kinds = view.eligible_kinds(request.workload)
+        if not kinds:
+            raise HarnessError(
+                f"request {request.req_id}: no node in this fleet can run "
+                f"workload {request.workload!r}")
+        for kind in kinds:
+            if (kind, request.workload) not in seen:
+                seen.add((kind, request.workload))
+                pairs.append((kind, request.workload))
+    pairs.sort()
+    specs = [
+        RunSpec(platform=fleet.platform_spec(kind), workload=workload,
+                scheduler=SchedulerSpec.eas(metric=fleet.metric),
+                kind=KIND_FLEET_CELL, tablet=(kind == "tablet"),
+                seed=fleet.seed)
+        for kind, workload in pairs]
+    results = engine.run_batch(specs, observer=observer)
+    executed = sum(1 for r in results if not r.from_cache)
+    return ({pair: result.payload for pair, result in zip(pairs, results)},
+            executed)
+
+
+def run_fleet(fleet: FleetSpec, trace: TraceSpec,
+              policy: str = "energy_aware",
+              engine: Optional[ExecutionEngine] = None,
+              observer: Optional[Observer] = None) -> FleetResult:
+    """Route ``trace`` over ``fleet`` under one placement policy."""
+    if engine is None:
+        engine = get_default_engine()
+    obs = observer if observer is not None and observer.enabled else None
+    requests = trace.requests()
+    view = FleetView(fleet.nodes())
+    placer = make_policy(policy, seed=fleet.seed)
+
+    if obs is not None:
+        span = obs.span("fleet.run", policy=policy, nodes=fleet.n_nodes,
+                        trace=trace.kind, requests=len(requests))
+        span.__enter__()
+    profiles, executed = _resolve_cells(fleet, requests, view, engine, obs)
+
+    outcomes: List[RequestOutcome] = []
+    records: List[DecisionRecord] = []
+    # Pending completions: (t_complete, dispatch seq, outcome index).
+    pending: List[Tuple[float, int, int]] = []
+    seq = 0
+
+    def retire(until: float) -> None:
+        while pending and pending[0][0] <= until:
+            _, _, outcome_index = heapq.heappop(pending)
+            outcome = outcomes[outcome_index]
+            view.note_completion(
+                outcome.node_index, outcome.workload,
+                outcome.t_complete_s - outcome.t_start_s, outcome.energy_j)
+            if obs is not None:
+                obs.inc("fleet.completions")
+                if outcome.missed_deadline:
+                    obs.inc("fleet.deadline_misses")
+                obs.observe("fleet.latency_s", outcome.latency_s)
+
+    for request in requests:
+        view.now = request.t_arrival_s
+        retire(request.t_arrival_s)
+        node_index, reason = placer.place(view, request)
+        if not view.is_eligible(node_index, request.workload):
+            raise HarnessError(
+                f"policy {policy!r} placed {request.workload!r} on "
+                f"ineligible node {view.nodes[node_index].name}")
+        node = view.nodes[node_index]
+        profile = profiles[(node.platform_kind, request.workload)]
+        t_start = max(request.t_arrival_s, view.free_at[node_index])
+        t_complete = t_start + profile.time_s
+        outcomes.append(RequestOutcome(
+            req_id=request.req_id,
+            workload=request.workload,
+            node=node.name,
+            node_index=node_index,
+            platform_kind=node.platform_kind,
+            t_arrival_s=request.t_arrival_s,
+            t_start_s=t_start,
+            t_complete_s=t_complete,
+            deadline_s=request.deadline_s,
+            energy_j=profile.energy_j))
+        view.note_dispatch(node_index, request.workload, t_complete)
+        heapq.heappush(pending, (t_complete, seq, len(outcomes) - 1))
+        seq += 1
+        records.append(DecisionRecord(
+            exit_path=EXIT_FLEET_PLACEMENT,
+            kernel=request.workload,
+            alpha=profile.final_alpha or 0.0,
+            tenant=node.name,
+            sim_time_s=request.t_arrival_s,
+            notes=[f"policy:{policy}", f"node:{node.name}",
+                   f"reason:{reason}",
+                   f"deadline_s:{request.deadline_s:.1f}"]))
+        if obs is not None:
+            obs.inc("fleet.dispatches")
+            obs.inc(f"fleet.dispatches.{node.platform_kind}")
+
+    retire(float("inf"))
+
+    cells = tuple(profiles[pair] for pair in sorted(profiles))
+    result = FleetResult(
+        fleet=fleet, trace=trace, policy=policy,
+        outcomes=tuple(outcomes), cells=cells,
+        placement_records=tuple(records), cells_executed=executed)
+    if obs is not None:
+        for record in records:
+            obs.decision(record)
+        obs.set_gauge("fleet.nodes", fleet.n_nodes)
+        obs.observe("fleet.energy_j", result.total_energy_j)
+        span.__exit__(None, None, None)
+    return result
+
+
+def compare_fleet_policies(fleet: FleetSpec, trace: TraceSpec,
+                           policies: Sequence[str] = PLACEMENT_POLICIES,
+                           engine: Optional[ExecutionEngine] = None,
+                           observer: Optional[Observer] = None
+                           ) -> FleetComparisonResult:
+    """Route the same trace under each policy (cells resolve once -
+    the engine cache dedupes across policies)."""
+    results = tuple(
+        run_fleet(fleet, trace, policy=policy, engine=engine,
+                  observer=observer)
+        for policy in policies)
+    return FleetComparisonResult(fleet=fleet, trace=trace, results=results)

@@ -1,0 +1,228 @@
+"""Seeded open-loop arrival traces: the fleet's stand-in for traffic.
+
+Three generator families, all driven by one ``random.Random(seed)``
+(Mersenne Twister - platform-stable), so a :class:`TraceSpec` maps to
+exactly one request sequence forever:
+
+* ``diurnal`` - a non-homogeneous Poisson process whose rate follows a
+  one-period sinusoid over the trace (the classic day/night curve),
+  sampled by thinning;
+* ``bursty`` - a background Poisson stream plus seeded burst clusters:
+  each burst is a cloud of near-simultaneous requests for *one* hot
+  workload (a cache-stampede / hot-content shape);
+* ``adversarial`` - synchronized thundering-herd waves: every wave
+  lands a block of identical-workload requests at *exactly* the same
+  instant with the tightest deadline, plus a thin background trickle.
+  Built to stress tie-breaking, hotspot collapse, and deadline
+  accounting in the dispatcher.
+
+Requests carry a *relative* deadline (a latency budget from arrival);
+the dispatcher turns it absolute.  Request ids are positional in
+arrival order, so the trace itself is part of the fleet fingerprint.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import HarnessError
+from repro.workloads.registry import workload_by_abbrev
+
+#: The arrival-trace families :func:`generate_trace` implements.
+TRACE_KINDS: Tuple[str, ...] = ("diurnal", "bursty", "adversarial")
+
+#: Default request mix: tablet-supported workloads with strongly
+#: asymmetric per-platform energy (MB and MM are far cheaper on the
+#: tablet, BS far cheaper on the desktop), so placement quality is
+#: visible in the fleet totals.
+DEFAULT_TRACE_WORKLOADS: Tuple[str, ...] = ("MB", "MM", "RT", "BS")
+
+#: Diurnal swing: rate(t) = mean * (1 + AMP * sin(...)), so the peak
+#: runs at (1+AMP)x the mean and the trough at (1-AMP)x.
+_DIURNAL_AMPLITUDE = 0.8
+#: Bursty split: this fraction of the load arrives in bursts, the rest
+#: as background Poisson.
+_BURST_LOAD_FRACTION = 0.6
+#: Mean requests per burst (geometric-ish, via an exponential draw).
+_BURST_MEAN_SIZE = 12.0
+#: Seconds a burst's requests are smeared over.
+_BURST_WINDOW_S = 0.5
+#: Adversarial split: fraction of the load arriving in synchronized
+#: waves (the rest is the background trickle).
+_WAVE_LOAD_FRACTION = 0.8
+_N_WAVES = 8
+
+
+@dataclass(frozen=True)
+class FleetRequest:
+    """One kernel request in the arrival stream."""
+
+    #: Positional id in arrival order (ties broken by generation
+    #: order), so the id sequence is itself deterministic.
+    req_id: int
+    #: Arrival time on the fleet clock, seconds.
+    t_arrival_s: float
+    #: Table-1 workload abbreviation.
+    workload: str
+    #: Relative latency budget: the request misses its deadline when
+    #: completion exceeds ``t_arrival_s + deadline_s``.
+    deadline_s: float
+
+    def canonical(self) -> str:
+        return (f"{self.req_id}|{self.t_arrival_s!r}|{self.workload}"
+                f"|{self.deadline_s!r}")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Frozen description of one arrival trace (seed included).
+
+    Hashable and canonically serializable: the trace participates in
+    the :meth:`~repro.fleet.dispatcher.FleetResult.fingerprint`
+    through :meth:`canonical`, never through the expanded request
+    list.
+    """
+
+    kind: str = "bursty"
+    duration_s: float = 60.0
+    #: Long-run average arrival rate, requests/second (each family
+    #: redistributes the same total load in its own shape).
+    mean_rate_hz: float = 4.0
+    workloads: Tuple[str, ...] = DEFAULT_TRACE_WORKLOADS
+    seed: int = 2016
+    #: Relative-deadline budget range, drawn uniformly per request
+    #: (adversarial waves always use the tight end).
+    deadline_lo_s: float = 30.0
+    deadline_hi_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workloads, tuple):
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+        if self.kind not in TRACE_KINDS:
+            raise HarnessError(f"unknown trace kind {self.kind!r}; "
+                               f"expected one of {TRACE_KINDS}")
+        if self.duration_s <= 0.0:
+            raise HarnessError("trace duration_s must be positive")
+        if self.mean_rate_hz <= 0.0:
+            raise HarnessError("trace mean_rate_hz must be positive")
+        if not self.workloads:
+            raise HarnessError("trace needs at least one workload")
+        for abbrev in self.workloads:
+            workload_by_abbrev(abbrev)  # fail fast with did-you-mean
+        if not 0.0 < self.deadline_lo_s <= self.deadline_hi_s:
+            raise HarnessError("need 0 < deadline_lo_s <= deadline_hi_s")
+
+    def canonical(self) -> str:
+        return (f"{self.kind}|{self.duration_s!r}|{self.mean_rate_hz!r}"
+                f"|{','.join(self.workloads)}|{self.seed}"
+                f"|{self.deadline_lo_s!r}|{self.deadline_hi_s!r}")
+
+    def requests(self) -> Tuple[FleetRequest, ...]:
+        return generate_trace(self)
+
+
+@dataclass
+class _Draft:
+    """A request before ids are assigned (generation order retained)."""
+
+    t: float
+    workload: str
+    deadline_s: float
+    order: int = field(default=0)
+
+
+def _finalize(drafts: List[_Draft]) -> Tuple[FleetRequest, ...]:
+    for i, draft in enumerate(drafts):
+        draft.order = i
+    drafts.sort(key=lambda d: (d.t, d.order))
+    return tuple(
+        FleetRequest(req_id=i, t_arrival_s=d.t, workload=d.workload,
+                     deadline_s=d.deadline_s)
+        for i, d in enumerate(drafts))
+
+
+def _poisson_arrivals(rng: random.Random, rate_hz: float,
+                      duration_s: float) -> List[float]:
+    times: List[float] = []
+    t = rng.expovariate(rate_hz)
+    while t < duration_s:
+        times.append(t)
+        t += rng.expovariate(rate_hz)
+    return times
+
+
+def _diurnal(spec: TraceSpec, rng: random.Random) -> List[_Draft]:
+    # Thinning: draw a homogeneous process at the peak rate, accept
+    # each candidate with probability rate(t)/peak.  One full sinusoid
+    # period spans the trace, trough first (night), peak mid-trace.
+    peak = spec.mean_rate_hz * (1.0 + _DIURNAL_AMPLITUDE)
+    drafts: List[_Draft] = []
+    for t in _poisson_arrivals(rng, peak, spec.duration_s):
+        phase = 2.0 * math.pi * t / spec.duration_s - math.pi / 2.0
+        rate = spec.mean_rate_hz * (
+            1.0 + _DIURNAL_AMPLITUDE * math.sin(phase))
+        if rng.random() * peak < rate:
+            drafts.append(_Draft(
+                t=t, workload=rng.choice(spec.workloads),
+                deadline_s=rng.uniform(spec.deadline_lo_s,
+                                       spec.deadline_hi_s)))
+    return drafts
+
+
+def _bursty(spec: TraceSpec, rng: random.Random) -> List[_Draft]:
+    background_rate = spec.mean_rate_hz * (1.0 - _BURST_LOAD_FRACTION)
+    drafts = [
+        _Draft(t=t, workload=rng.choice(spec.workloads),
+               deadline_s=rng.uniform(spec.deadline_lo_s,
+                                      spec.deadline_hi_s))
+        for t in _poisson_arrivals(rng, background_rate, spec.duration_s)]
+    burst_load = spec.mean_rate_hz * spec.duration_s * _BURST_LOAD_FRACTION
+    n_bursts = max(1, round(burst_load / _BURST_MEAN_SIZE))
+    for _ in range(n_bursts):
+        epoch = rng.uniform(0.0, spec.duration_s)
+        size = 1 + int(rng.expovariate(1.0 / _BURST_MEAN_SIZE))
+        hot = rng.choice(spec.workloads)  # one hot workload per burst
+        for _ in range(size):
+            t = epoch + rng.uniform(0.0, _BURST_WINDOW_S)
+            if t < spec.duration_s:
+                drafts.append(_Draft(
+                    t=t, workload=hot,
+                    deadline_s=rng.uniform(spec.deadline_lo_s,
+                                           spec.deadline_hi_s)))
+    return drafts
+
+
+def _adversarial(spec: TraceSpec, rng: random.Random) -> List[_Draft]:
+    trickle_rate = spec.mean_rate_hz * (1.0 - _WAVE_LOAD_FRACTION)
+    drafts = [
+        _Draft(t=t, workload=rng.choice(spec.workloads),
+               deadline_s=rng.uniform(spec.deadline_lo_s,
+                                      spec.deadline_hi_s))
+        for t in _poisson_arrivals(rng, trickle_rate, spec.duration_s)]
+    wave_load = spec.mean_rate_hz * spec.duration_s * _WAVE_LOAD_FRACTION
+    per_wave = max(1, round(wave_load / _N_WAVES))
+    for wave in range(_N_WAVES):
+        t = wave * spec.duration_s / _N_WAVES
+        workload = spec.workloads[wave % len(spec.workloads)]
+        for _ in range(per_wave):
+            # Identical timestamps on purpose: the dispatcher's
+            # tie-breaking (request id order) must be deterministic.
+            drafts.append(_Draft(t=t, workload=workload,
+                                 deadline_s=spec.deadline_lo_s))
+    return drafts
+
+
+_GENERATORS = {
+    "diurnal": _diurnal,
+    "bursty": _bursty,
+    "adversarial": _adversarial,
+}
+
+
+def generate_trace(spec: TraceSpec) -> Tuple[FleetRequest, ...]:
+    """Expand ``spec`` into its (deterministic) request sequence."""
+    rng = random.Random(spec.seed)
+    return _finalize(_GENERATORS[spec.kind](spec, rng))

@@ -1,7 +1,19 @@
-"""``python -m repro.harness`` dispatches to the CLI."""
+"""Deprecated alias: ``python -m repro.harness`` -> ``python -m repro``.
+
+The flag surface is unchanged (``--figure``, ``--run``, ``--tenants``,
+...); only the entry point moved.  ``python -m repro figure 9`` is the
+supported spelling.
+"""
 
 import sys
 
+from repro._compat import warn_once
 from repro.harness.cli import main
 
+# stacklevel=2 attributes the warning to this module (running as
+# __main__), where the default warning filters actually display it.
+warn_once("harness.__main__",
+          "'python -m repro.harness' is deprecated; use 'python -m repro' "
+          "subcommands instead (e.g. 'python -m repro figure 9')",
+          stacklevel=2)
 sys.exit(main())

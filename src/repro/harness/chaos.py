@@ -291,7 +291,9 @@ def run_chaos_campaign(spec: Optional[PlatformSpec] = None,
                        seed: int = 2016,
                        metric: EnergyMetric = EDP,
                        eas_config: Optional[SchedulerConfig] = None,
-                       engine=None) -> ChaosCampaignResult:
+                       engine=None,
+                       tick_mode: Optional[str] = None
+                       ) -> ChaosCampaignResult:
     """Sweep fault probability over the workload suite under EAS.
 
     Fully deterministic given ``seed``: per-cell fault streams are
@@ -311,7 +313,7 @@ def run_chaos_campaign(spec: Optional[PlatformSpec] = None,
         standard_metric_name,
     )
 
-    spec = spec or haswell_desktop()
+    spec = spec or haswell_desktop(tick_mode=tick_mode)
     if workloads is None:
         workloads = [workload_by_abbrev(a) for a in DEFAULT_WORKLOADS]
     if engine is None:
@@ -373,9 +375,9 @@ def run_chaos_campaign(spec: Optional[PlatformSpec] = None,
     )
 
 
-def regenerate_chaos() -> ChaosCampaignResult:
+def regenerate_chaos(tick_mode: Optional[str] = None) -> ChaosCampaignResult:
     """Registry entry point: the default desktop chaos campaign."""
-    return run_chaos_campaign()
+    return run_chaos_campaign(tick_mode=tick_mode)
 
 
 # -- multiprogram chaos ----------------------------------------------------------
@@ -474,6 +476,7 @@ def run_multiprogram_chaos_campaign(
         lease_quantum: int = 2,
         metric: EnergyMetric = EDP,
         eas_config: Optional[SchedulerConfig] = None,
+        tick_mode: Optional[str] = None,
 ) -> MultiprogramChaosCampaignResult:
     """Sweep fault probability over the tenancy layer, per policy.
 
@@ -488,7 +491,7 @@ def run_multiprogram_chaos_campaign(
         run_multiprogram,
     )
 
-    spec = spec or haswell_desktop()
+    spec = spec or haswell_desktop(tick_mode=tick_mode)
     if policies is None:
         policies = list(ARBITER_POLICIES)
     characterization = get_characterization(spec)

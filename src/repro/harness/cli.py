@@ -63,7 +63,7 @@ from repro.obs.export import (
 )
 from repro.obs.observer import Observer
 from repro.soc.faults import FaultConfig
-from repro.soc.spec import TICK_MODES, baytrail_tablet, haswell_desktop, use_tick_mode
+from repro.soc.spec import TICK_MODES, baytrail_tablet, haswell_desktop
 from repro.workloads.registry import workload_by_abbrev
 
 
@@ -90,7 +90,8 @@ def _write_merged_metrics(path: str, observers: "Dict[str, Observer]",
 def _run_custom(args: argparse.Namespace) -> int:
     """Run one workload under selected strategies and print the table."""
     tablet = args.platform == "tablet"
-    spec = baytrail_tablet() if tablet else haswell_desktop()
+    factory = baytrail_tablet if tablet else haswell_desktop
+    spec = factory(tick_mode=args.tick_mode)
     workload = workload_by_abbrev(args.run)
     metric = metric_by_name(args.metric)
     wanted = [s.strip().lower() for s in args.strategies.split(",")]
@@ -167,20 +168,23 @@ def _run_custom(args: argparse.Namespace) -> int:
 def _run_multiprogram(args: argparse.Namespace,
                       engine: ExecutionEngine) -> int:
     """Run a multiprogram co-scheduling experiment through the engine."""
-    from repro.runtime.tenancy import parse_tenant_specs
+    from repro.runtime.tenancy import TenancySpec, parse_tenant_specs
 
-    parse_tenant_specs(args.tenants)  # validate before submitting
     if args.lease_quantum < 1:
         raise HarnessError("--lease-quantum must be >= 1")
+    tenancy = TenancySpec(policy=args.arbiter,
+                          lease_quantum=args.lease_quantum,
+                          tenants=parse_tenant_specs(args.tenants))
     tablet = args.platform == "tablet"
+    factory = baytrail_tablet if tablet else haswell_desktop
     spec = RunSpec(
-        platform=baytrail_tablet() if tablet else haswell_desktop(),
+        platform=factory(tick_mode=args.tick_mode),
         kind=KIND_MULTIPROGRAM,
         scheduler=SchedulerSpec.eas(metric=args.metric),
         tablet=tablet,
         fault_level=args.fault_level,
         seed=args.seed,
-        tenancy=f"{args.arbiter};{args.lease_quantum};{args.tenants}")
+        tenancy=tenancy)
     result = engine.run_one(spec).payload
     print(result.render())
     return 0
@@ -270,18 +274,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed run-result "
                              "cache entirely (no reads, no writes)")
-    parser.add_argument("--tick-mode", choices=TICK_MODES, default="exact",
+    parser.add_argument("--tick-mode", choices=TICK_MODES, default=None,
                         help="simulator clock mode: 'exact' (reference, "
                              "byte-stable fingerprints) or 'fast' "
                              "(event-driven fast-forward, <1e-6 relative "
-                             "divergence; see docs/PERFORMANCE.md)")
+                             "divergence; see docs/PERFORMANCE.md). "
+                             "Default: exact, except the fleet and "
+                             "crashchaos experiments which default to "
+                             "fast")
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
         raise HarnessError("--jobs must be >= 1")
     engine = ExecutionEngine(jobs=args.jobs, cache=_make_cache(args))
 
-    with use_tick_mode(args.tick_mode), use_engine(engine):
+    with use_engine(engine):
         if args.run is not None:
             return _run_custom(args)
 
@@ -310,9 +317,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in names:
             started = time.perf_counter()
             if name == "chaos":
-                result = run_chaos_campaign(seed=args.seed, engine=engine)
+                result = run_chaos_campaign(seed=args.seed, engine=engine,
+                                            tick_mode=args.tick_mode)
             else:
-                result = REGENERATORS[name]()
+                result = REGENERATORS[name](tick_mode=args.tick_mode)
             elapsed = time.perf_counter() - started
             print(result.render())
             print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")

@@ -50,10 +50,10 @@ DEFAULT_KILL_POINTS = 10
 DEFAULT_PLATFORMS: Tuple[str, ...] = ("desktop", "tablet")
 
 
-def _campaign_specs(platform: str,
-                    workloads: Sequence[str]) -> List[JobSpec]:
+def _campaign_specs(platform: str, workloads: Sequence[str],
+                    tick_mode: str = "fast") -> List[JobSpec]:
     return [JobSpec(workload=abbrev, platform=platform, scheduler="eas",
-                    tick_mode="fast")
+                    tick_mode=tick_mode)
             for abbrev in workloads]
 
 
@@ -155,7 +155,7 @@ class CrashChaosResult:
 
 def _reference_run(platform: str, workloads: Sequence[str],
                    char_by_platform: Dict[str, str],
-                   root: str) -> Tuple[str, float]:
+                   root: str, tick_mode: str = "fast") -> Tuple[str, float]:
     """Uninterrupted campaign through the same machinery; returns the
     fingerprint every kill point must reproduce, and the wall time the
     kill delays are drawn from."""
@@ -164,7 +164,8 @@ def _reference_run(platform: str, workloads: Sequence[str],
     _seed_store(db, char_by_platform)
     service = SchedulerService(db, cache, inline=True)
     try:
-        _submit_all(service, _campaign_specs(platform, workloads))
+        _submit_all(service,
+                    _campaign_specs(platform, workloads, tick_mode))
         start = time.monotonic()
         service.run_until_idle()
         wall = time.monotonic() - start
@@ -180,7 +181,8 @@ def _reference_run(platform: str, workloads: Sequence[str],
 def _run_kill_point(platform: str, point: int, delay_s: float,
                     workloads: Sequence[str],
                     char_by_platform: Dict[str, str],
-                    reference: str, root: str) -> CrashChaosCell:
+                    reference: str, root: str,
+                    tick_mode: str = "fast") -> CrashChaosCell:
     import multiprocessing
 
     db = os.path.join(root, f"kill-{platform}-{point}.db")
@@ -189,8 +191,8 @@ def _run_kill_point(platform: str, point: int, delay_s: float,
 
     submitter = SchedulerService(db, cache, inline=True)
     try:
-        job_ids = _submit_all(submitter,
-                              _campaign_specs(platform, workloads))
+        job_ids = _submit_all(
+            submitter, _campaign_specs(platform, workloads, tick_mode))
     finally:
         submitter.close()
 
@@ -234,7 +236,8 @@ def run_crash_chaos(platforms: Sequence[str] = DEFAULT_PLATFORMS,
                     kill_points: int = DEFAULT_KILL_POINTS,
                     workloads: Sequence[str] = DEFAULT_WORKLOADS,
                     seed: int = 2016,
-                    work_dir: Optional[str] = None) -> CrashChaosResult:
+                    work_dir: Optional[str] = None,
+                    tick_mode: str = "fast") -> CrashChaosResult:
     """SIGKILL the daemon at ``kill_points`` seeded delays per platform.
 
     Delays span (0, ~90% of the uninterrupted wall time], so the sweep
@@ -249,25 +252,26 @@ def run_crash_chaos(platforms: Sequence[str] = DEFAULT_PLATFORMS,
         char_by_platform: Dict[str, str] = {}
         for platform in platforms:
             spec = JobSpec(workload=workloads[0], platform=platform,
-                           tick_mode="fast").platform_spec()
+                           tick_mode=tick_mode).platform_spec()
             char_by_platform[spec.name] = (
                 get_characterization(spec).to_json())
         for platform in platforms:
             reference, wall = _reference_run(
-                platform, workloads, char_by_platform, root)
+                platform, workloads, char_by_platform, root, tick_mode)
             result.references[platform] = reference
             for point in range(kill_points):
                 rng = random.Random(f"{seed}:{platform}:{point}")
                 delay_s = rng.uniform(0.02, max(0.1, wall * 0.9))
                 result.cells.append(_run_kill_point(
                     platform, point, delay_s, workloads,
-                    char_by_platform, reference, root))
+                    char_by_platform, reference, root, tick_mode))
     finally:
         if owns_root:
             shutil.rmtree(root, ignore_errors=True)
     return result
 
 
-def regenerate_crash_chaos() -> CrashChaosResult:
+def regenerate_crash_chaos(tick_mode: Optional[str] = None
+                           ) -> CrashChaosResult:
     """Registry entry point: the full acceptance sweep (10 x 2)."""
-    return run_crash_chaos()
+    return run_crash_chaos(tick_mode=tick_mode or "fast")

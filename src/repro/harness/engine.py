@@ -51,6 +51,7 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro._compat import warn_once
 from repro.core.baselines import (
     CpuOnlyScheduler,
     GpuOnlyScheduler,
@@ -62,8 +63,10 @@ from repro.core.metrics import EnergyMetric, metric_by_name
 from repro.core.scheduler import EnergyAwareScheduler, SchedulerConfig
 from repro.errors import HarnessError
 from repro.harness.experiment import run_application
+from repro.errors import SchedulingError
 from repro.obs.observer import Observer
 from repro.runtime.runtime import ConcordRuntime
+from repro.runtime.tenancy import TenancySpec
 from repro.soc.faults import FaultConfig
 from repro.soc.simulator import IntegratedProcessor
 from repro.soc.spec import PlatformSpec
@@ -74,7 +77,11 @@ from repro.workloads.registry import workload_by_abbrev
 #: semantics of a cached payload change (simulator behaviour, result
 #: dataclass layout, worker dispatch) so stale entries miss instead of
 #: resurfacing as wrong results.
-CACHE_SCHEMA_VERSION = 3
+#:
+#: v4: ``RunSpec.tenancy`` became a typed :class:`TenancySpec`
+#: serialized as a canonical dict (was an opaque string), and the
+#: ``fleet-cell`` kind joined the dispatch table.
+CACHE_SCHEMA_VERSION = 4
 
 # -- task kinds -----------------------------------------------------------------
 
@@ -91,9 +98,15 @@ KIND_MICROBENCH_TIMELINE = "microbench-timeline"
 #: One multiprogram co-scheduling run: N tenant streams on one SoC
 #: under a GPU lease arbiter (-> MultiprogramResult).
 KIND_MULTIPROGRAM = "multiprogram"
+#: One fleet dispatch cell: EAS running one workload end to end on one
+#: node *class* of a simulated fleet (-> FleetCellProfile).  The fleet
+#: dispatcher fans these out; identical (platform, workload, seed)
+#: cells dedupe across thousands of nodes.
+KIND_FLEET_CELL = "fleet-cell"
 
 _ALL_KINDS = (KIND_APPLICATION, KIND_CHAOS_CELL, KIND_CHAOS_BASELINE,
-              KIND_CHAR_SWEEP, KIND_MICROBENCH_TIMELINE, KIND_MULTIPROGRAM)
+              KIND_CHAR_SWEEP, KIND_MICROBENCH_TIMELINE, KIND_MULTIPROGRAM,
+              KIND_FLEET_CELL)
 
 _SCHEDULER_KINDS = ("cpu", "gpu", "perf", "static", "eas")
 _STRATEGY_NAMES = {"cpu": "CPU", "gpu": "GPU", "perf": "PERF", "eas": "EAS"}
@@ -219,11 +232,12 @@ class RunSpec:
     microbench: Optional[CharacterizationMicrobench] = None
     #: Kind-specific numeric parameters, canonicalized.
     params: Tuple[Tuple[str, float], ...] = ()
-    #: Multiprogram tenancy description (``multiprogram`` only):
-    #: ``"<policy>;<lease_quantum>;<tenant-spec-text>"`` where the
-    #: tenant text is :func:`repro.runtime.tenancy.parse_tenant_specs`
-    #: syntax (e.g. ``"fifo;2;BS,CC:5"``).
-    tenancy: str = ""
+    #: Multiprogram tenancy description (``multiprogram`` only): a
+    #: typed :class:`~repro.runtime.tenancy.TenancySpec`.  The legacy
+    #: one-string spelling ``"<policy>;<quantum>;<tenant-text>"`` is
+    #: still accepted (parsed through :meth:`TenancySpec.parse` with a
+    #: ``DeprecationWarning``) and hashes to the same cache key.
+    tenancy: Optional[TenancySpec] = None
     #: Collect an Observer (spans/events/decisions/metrics) in the
     #: worker and return it for merging into the parent's.
     observe: bool = False
@@ -238,10 +252,28 @@ class RunSpec:
         if self.kind == KIND_CHAR_SWEEP and (
                 self.microbench is None or self.sweep_step <= 0.0):
             raise HarnessError("char-sweep spec needs a microbench and step")
-        if self.kind == KIND_MULTIPROGRAM and len(
-                self.tenancy.split(";", 2)) != 3:
+        if isinstance(self.tenancy, str):
+            # Legacy stringly-typed spelling: parse into the typed
+            # spec (same cache key, one deprecation warning).
+            if self.tenancy:
+                warn_once(
+                    "engine.RunSpec.tenancy-string",
+                    "passing RunSpec.tenancy as a 'policy;quantum;tenants' "
+                    "string is deprecated; build a typed TenancySpec "
+                    "(repro.runtime.tenancy.TenancySpec) instead")
+                try:
+                    parsed = TenancySpec.parse(self.tenancy)
+                except SchedulingError as exc:
+                    raise HarnessError(
+                        f"multiprogram spec needs tenancy="
+                        f"'policy;quantum;tenants': {exc}") from exc
+                object.__setattr__(self, "tenancy", parsed)
+            else:
+                object.__setattr__(self, "tenancy", None)
+        if self.kind == KIND_MULTIPROGRAM and self.tenancy is None:
             raise HarnessError(
-                "multiprogram spec needs tenancy='policy;quantum;tenants'")
+                "multiprogram spec needs a TenancySpec "
+                "(legacy 'policy;quantum;tenants' strings still parse)")
 
     def param(self, name: str, default: float = 0.0) -> float:
         return dict(self.params).get(name, default)
@@ -274,7 +306,8 @@ class RunSpec:
             "sweep_step": self.sweep_step,
             "microbench": bench,
             "params": list(list(p) for p in self.params),
-            "tenancy": self.tenancy,
+            "tenancy": (self.tenancy.canonical_dict()
+                        if self.tenancy is not None else None),
             "observe": self.observe,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -416,21 +449,27 @@ def _run_microbench_timeline_spec(spec: RunSpec,
 
 def _run_multiprogram_spec(spec: RunSpec,
                            observer: Optional[Observer]) -> Any:
-    from repro.runtime.tenancy import parse_tenant_specs, run_multiprogram
+    from repro.runtime.tenancy import run_multiprogram
 
-    policy, quantum, tenant_text = spec.tenancy.split(";", 2)
+    tenancy = spec.tenancy
     return run_multiprogram(
         spec=spec.platform,
-        tenants=parse_tenant_specs(tenant_text),
-        policy=policy,
+        tenants=tenancy.tenants,
+        policy=tenancy.policy,
         seed=spec.seed,
         metric=metric_by_name(spec.scheduler.metric),
         tablet=spec.tablet,
         fault_level=spec.fault_level,
-        lease_quantum=int(quantum),
+        lease_quantum=tenancy.lease_quantum,
         eas_config=spec.scheduler.eas_config(),
         observer=observer,
         characterization=_characterization_for(spec.platform))
+
+
+def _run_fleet_cell_spec(spec: RunSpec, observer: Optional[Observer]) -> Any:
+    from repro.fleet.cells import run_fleet_cell
+
+    return run_fleet_cell(spec, observer=observer)
 
 
 _DISPATCH = {
@@ -440,6 +479,7 @@ _DISPATCH = {
     KIND_CHAR_SWEEP: _run_char_sweep_spec,
     KIND_MICROBENCH_TIMELINE: _run_microbench_timeline_spec,
     KIND_MULTIPROGRAM: _run_multiprogram_spec,
+    KIND_FLEET_CELL: _run_fleet_cell_spec,
 }
 
 
@@ -688,7 +728,8 @@ class ExecutionEngine:
         engine) every platform the batch's EAS/chaos specs need."""
         platforms: Dict[str, PlatformSpec] = {}
         for spec in specs:
-            needs = (spec.kind in (KIND_CHAOS_CELL, KIND_MULTIPROGRAM)
+            needs = (spec.kind in (KIND_CHAOS_CELL, KIND_MULTIPROGRAM,
+                                   KIND_FLEET_CELL)
                      or (spec.kind == KIND_APPLICATION
                          and spec.scheduler is not None
                          and spec.scheduler.kind == "eas"))

@@ -25,7 +25,7 @@ Index (see DESIGN.md for the full mapping):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,12 +54,14 @@ from repro.workloads.microbench import microbench_for
 from repro.workloads.registry import suite_workloads, workload_by_abbrev
 
 #: Sweeps are metric-independent and expensive; cache per process.
-_sweep_cache: Dict[Tuple[str, str], AlphaSweep] = {}
+#: Keyed by (platform name, tick mode, workload) - the clock mode is
+#: part of the simulation identity, so exact/fast runs never alias.
+_sweep_cache: Dict[Tuple[str, str, str], AlphaSweep] = {}
 
 
 def _cached_sweep(spec: PlatformSpec, workload: Workload,
                   tablet: bool) -> AlphaSweep:
-    key = (spec.name, workload.abbrev)
+    key = (spec.name, spec.tick_mode, workload.abbrev)
     sweep = _sweep_cache.get(key)
     if sweep is None:
         sweep = sweep_alphas(spec, workload, tablet=tablet)
@@ -108,8 +110,8 @@ class Figure1Result:
         ])
 
 
-def regenerate_figure_1() -> Figure1Result:
-    spec = haswell_desktop()
+def regenerate_figure_1(tick_mode: Optional[str] = None) -> Figure1Result:
+    spec = haswell_desktop(tick_mode=tick_mode)
     workload = workload_by_abbrev("CC")
     sweep = _cached_sweep(spec, workload, tablet=False)
     return Figure1Result(
@@ -202,7 +204,7 @@ class TimelineResult:
         return "\n".join(parts)
 
 
-def regenerate_figure_2() -> TimelineResult:
+def regenerate_figure_2(tick_mode: Optional[str] = None) -> TimelineResult:
     """Memory-bound workload, 90% GPU / 10% CPU, on both platforms."""
     from repro.harness.engine import (
         KIND_MICROBENCH_TIMELINE,
@@ -216,8 +218,8 @@ def regenerate_figure_2() -> TimelineResult:
     # finishes its 90% share long before the CPU finishes 10% - the
     # GPU-biased memory cell (M-LS) of the taxonomy.  The two platform
     # timelines are independent simulations: one engine batch.
-    platforms = ((baytrail_tablet(), "Bay Trail tablet"),
-                 (haswell_desktop(), "Haswell desktop"))
+    platforms = ((baytrail_tablet(tick_mode=tick_mode), "Bay Trail tablet"),
+                 (haswell_desktop(tick_mode=tick_mode), "Haswell desktop"))
     results = get_default_engine().run_batch([
         RunSpec(platform=spec, kind=KIND_MICROBENCH_TIMELINE,
                 workload="M-LS",
@@ -239,9 +241,9 @@ def regenerate_figure_2() -> TimelineResult:
         series=series, notes=notes)
 
 
-def regenerate_figure_3() -> TimelineResult:
+def regenerate_figure_3(tick_mode: Optional[str] = None) -> TimelineResult:
     """Long compute- vs memory-bound co-execution on the desktop."""
-    spec = haswell_desktop()
+    spec = haswell_desktop(tick_mode=tick_mode)
     series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
     notes: List[str] = []
     averages: Dict[str, float] = {}
@@ -262,9 +264,9 @@ def regenerate_figure_3() -> TimelineResult:
         series=series, notes=notes)
 
 
-def regenerate_figure_4() -> TimelineResult:
+def regenerate_figure_4(tick_mode: Optional[str] = None) -> TimelineResult:
     """Ten short GPU bursts on a memory-bound workload (desktop)."""
-    spec = haswell_desktop()
+    spec = haswell_desktop(tick_mode=tick_mode)
     n = _items_for_duration(spec, "M-LL", 0.45)
     trace = _run_microbench_partitioned(spec, "M-LL", alpha=0.05, n_items=n,
                                         repetitions=10, gap_s=0.5)
@@ -318,14 +320,16 @@ class CharacterizationFigure:
         return "\n".join(parts)
 
 
-def regenerate_figure_5() -> CharacterizationFigure:
-    spec = haswell_desktop()
+def regenerate_figure_5(tick_mode: Optional[str] = None
+                        ) -> CharacterizationFigure:
+    spec = haswell_desktop(tick_mode=tick_mode)
     return CharacterizationFigure(platform=spec.name,
                                   characterization=get_characterization(spec))
 
 
-def regenerate_figure_6() -> CharacterizationFigure:
-    spec = baytrail_tablet()
+def regenerate_figure_6(tick_mode: Optional[str] = None
+                        ) -> CharacterizationFigure:
+    spec = baytrail_tablet(tick_mode=tick_mode)
     return CharacterizationFigure(platform=spec.name,
                                   characterization=get_characterization(spec))
 
@@ -374,8 +378,8 @@ def _measure_classification(spec: PlatformSpec,
         remaining_items=launch.remaining_items))
 
 
-def regenerate_table_1() -> Table1Result:
-    spec = haswell_desktop()
+def regenerate_table_1(tick_mode: Optional[str] = None) -> Table1Result:
+    spec = haswell_desktop(tick_mode=tick_mode)
     rows = []
     for workload in suite_workloads(tablet=False):
         category = _measure_classification(spec, workload)
@@ -444,42 +448,65 @@ def _efficiency_figure(spec: PlatformSpec, tablet: bool, metric: EnergyMetric,
     # ones then belong to its single engine batch (parallel across
     # workloads) instead of being forced serially here, and the batch
     # results backfill the memo for the sibling figures.
-    sweeps = {w.abbrev: _sweep_cache[(spec.name, w.abbrev)]
-              for w in workloads if (spec.name, w.abbrev) in _sweep_cache}
+    sweeps = {w.abbrev: _sweep_cache[(spec.name, spec.tick_mode, w.abbrev)]
+              for w in workloads
+              if (spec.name, spec.tick_mode, w.abbrev) in _sweep_cache}
     evaluation = evaluate_suite(spec, workloads, metric, tablet=tablet,
                                 sweeps=sweeps)
     for abbrev, sweep in evaluation.sweeps.items():
-        _sweep_cache.setdefault((spec.name, abbrev), sweep)
+        _sweep_cache.setdefault((spec.name, spec.tick_mode, abbrev), sweep)
     return EfficiencyFigure(title=title, paper_averages=paper_averages,
                             evaluation=evaluation)
 
 
-def regenerate_figure_9() -> EfficiencyFigure:
+def regenerate_figure_9(tick_mode: Optional[str] = None) -> EfficiencyFigure:
     return _efficiency_figure(
-        haswell_desktop(), tablet=False, metric=EDP,
+        haswell_desktop(tick_mode=tick_mode), tablet=False, metric=EDP,
         title="Figure 9: relative EDP efficiency vs Oracle (desktop)",
         paper_averages={"GPU": 79.6, "PERF": 83.9, "EAS": 96.2})
 
 
-def regenerate_figure_10() -> EfficiencyFigure:
+def regenerate_figure_10(tick_mode: Optional[str] = None) -> EfficiencyFigure:
     return _efficiency_figure(
-        haswell_desktop(), tablet=False, metric=ENERGY,
+        haswell_desktop(tick_mode=tick_mode), tablet=False, metric=ENERGY,
         title="Figure 10: relative energy-use efficiency vs Oracle (desktop)",
         paper_averages={"GPU": 95.8, "PERF": 70.4, "EAS": 97.2})
 
 
-def regenerate_figure_11() -> EfficiencyFigure:
+def regenerate_figure_11(tick_mode: Optional[str] = None) -> EfficiencyFigure:
     return _efficiency_figure(
-        baytrail_tablet(), tablet=True, metric=EDP,
+        baytrail_tablet(tick_mode=tick_mode), tablet=True, metric=EDP,
         title="Figure 11: relative EDP efficiency vs Oracle (Bay Trail)",
         paper_averages={"EAS": 93.2})
 
 
-def regenerate_figure_12() -> EfficiencyFigure:
+def regenerate_figure_12(tick_mode: Optional[str] = None) -> EfficiencyFigure:
     return _efficiency_figure(
-        baytrail_tablet(), tablet=True, metric=ENERGY,
+        baytrail_tablet(tick_mode=tick_mode), tablet=True, metric=ENERGY,
         title="Figure 12: relative energy-use efficiency vs Oracle (Bay Trail)",
         paper_averages={"EAS": 96.4})
+
+
+# ---------------------------------------------------------------------------
+# Fleet dispatch (not a paper figure; see docs/FLEET.md)
+# ---------------------------------------------------------------------------
+
+def regenerate_fleet(tick_mode: Optional[str] = None):
+    """All five placement policies over a 64-node fleet, bursty trace.
+
+    Returns a :class:`~repro.fleet.dispatcher.FleetComparisonResult`.
+    Defaults to the ``fast`` clock (a fleet run is many full
+    application executions; the exact clock is available via
+    ``python -m repro fleet --tick-mode exact``).
+    """
+    from repro.fleet.dispatcher import compare_fleet_policies
+    from repro.fleet.topology import FleetSpec
+    from repro.fleet.trace import TraceSpec
+
+    fleet = FleetSpec(n_nodes=64, desktop_fraction=0.5,
+                      tick_mode=tick_mode or "fast")
+    trace = TraceSpec(kind="bursty", duration_s=60.0, mean_rate_hz=4.0)
+    return compare_fleet_policies(fleet, trace)
 
 
 # ---------------------------------------------------------------------------
@@ -500,6 +527,7 @@ REGENERATORS = {
     "fig12": regenerate_figure_12,
     "chaos": regenerate_chaos,
     "crashchaos": regenerate_crash_chaos,
+    "fleet": regenerate_fleet,
 }
 
 

@@ -86,6 +86,102 @@ class TenantSpec:
 
 
 @dataclass(frozen=True)
+class TenancySpec:
+    """Typed, frozen description of one multiprogram co-scheduling cell.
+
+    Replaces the stringly-typed ``RunSpec.tenancy`` field
+    (``"policy;quantum;tenants"``): the arbitration policy, the lease
+    quantum, and the tenant roster are real fields, validated at
+    construction, hashable, and picklable - so the spec participates
+    in engine cache keys through :meth:`canonical_dict` instead of an
+    opaque string.  :meth:`parse` accepts the legacy spelling (the
+    ``RunSpec`` shim routes old strings through it with a
+    ``DeprecationWarning``).
+    """
+
+    #: Arbitration policy: one of :data:`ARBITER_POLICIES`.
+    policy: str = "fifo"
+    #: Invocations a lease winner keeps the GPU for.
+    lease_quantum: int = DEFAULT_LEASE_QUANTUM
+    #: The tenant roster, in registration (round-robin) order.
+    tenants: Tuple[TenantSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tenants, tuple):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+        if self.policy not in ARBITER_POLICIES:
+            raise SchedulingError(
+                f"unknown arbitration policy {self.policy!r}; "
+                f"expected one of {ARBITER_POLICIES}")
+        if int(self.lease_quantum) < 1:
+            raise SchedulingError("lease_quantum must be >= 1")
+        if not self.tenants:
+            raise SchedulingError("tenancy spec needs at least one tenant")
+        for tenant in self.tenants:
+            if not isinstance(tenant, TenantSpec):
+                raise SchedulingError(
+                    f"tenants must be TenantSpec instances, got "
+                    f"{type(tenant).__name__}")
+
+    @classmethod
+    def parse(cls, text: str) -> "TenancySpec":
+        """Parse the legacy ``"policy;quantum;tenant-text"`` spelling."""
+        parts = text.split(";", 2)
+        if len(parts) != 3:
+            raise SchedulingError(
+                f"bad tenancy string {text!r}; expected "
+                "'policy;quantum;tenants' (e.g. 'fifo;2;BS,CC:5')")
+        policy, quantum_text, tenant_text = parts
+        try:
+            quantum = int(quantum_text)
+        except ValueError as exc:
+            raise SchedulingError(
+                f"bad lease quantum {quantum_text!r} in tenancy string "
+                f"{text!r}") from exc
+        return cls(policy=policy, lease_quantum=quantum,
+                   tenants=parse_tenant_specs(tenant_text))
+
+    @property
+    def tenant_text(self) -> str:
+        """The roster in ``--tenants`` syntax (for display and the
+        legacy spelling)."""
+        entries = []
+        for tenant in self.tenants:
+            entry = tenant.workload
+            if tenant.deadline_s is not None:
+                entry += f":{tenant.priority}:{tenant.deadline_s:g}"
+            elif tenant.priority:
+                entry += f":{tenant.priority}"
+            entries.append(entry)
+        return ",".join(entries)
+
+    def legacy_text(self) -> str:
+        """The deprecated one-string spelling this spec replaces."""
+        return f"{self.policy};{self.lease_quantum};{self.tenant_text}"
+
+    def canonical_dict(self) -> dict:
+        """Canonical JSON-ready form for engine cache keys.
+
+        Deliberately identical to what :meth:`parse` of the equivalent
+        legacy string produces, so migrating a call site does not
+        invalidate its cache entries.
+        """
+        return {
+            "policy": self.policy,
+            "lease_quantum": int(self.lease_quantum),
+            "tenants": [
+                {
+                    "name": t.name,
+                    "workload": t.workload,
+                    "priority": t.priority,
+                    "deadline_s": t.deadline_s,
+                }
+                for t in self.tenants
+            ],
+        }
+
+
+@dataclass(frozen=True)
 class LeaseEvent:
     """One arbiter transition, in simulated time."""
 

@@ -1,7 +1,19 @@
-"""Entry point: ``python -m repro.service <command>``."""
+"""Deprecated alias: ``python -m repro.service`` -> ``python -m repro``.
+
+The subcommands are unchanged (``serve``, ``submit``, ``status``,
+``cancel``, ``drain``); only the entry point moved.
+``python -m repro serve`` is the supported spelling.
+"""
 
 import sys
 
+from repro._compat import warn_once
 from repro.service.cli import main
 
+# stacklevel=2 attributes the warning to this module (running as
+# __main__), where the default warning filters actually display it.
+warn_once("service.__main__",
+          "'python -m repro.service' is deprecated; use 'python -m repro' "
+          "subcommands instead (e.g. 'python -m repro serve')",
+          stacklevel=2)
 sys.exit(main())

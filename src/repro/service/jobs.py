@@ -34,7 +34,6 @@ from repro.soc.spec import (
     TICK_MODES,
     baytrail_tablet,
     haswell_desktop,
-    use_tick_mode,
 )
 
 _PLATFORMS = ("desktop", "tablet")
@@ -110,8 +109,8 @@ class JobSpec:
 
     def platform_spec(self):
         """The platform spec, built under this job's tick mode."""
-        with use_tick_mode(self.tick_mode):
-            return baytrail_tablet() if self.tablet else haswell_desktop()
+        factory = baytrail_tablet if self.tablet else haswell_desktop
+        return factory(tick_mode=self.tick_mode)
 
     @property
     def warm(self) -> bool:

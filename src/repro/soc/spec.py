@@ -21,12 +21,14 @@ tablet, ~1.5 W CPU-alone / ~2 W GPU-alone compute-bound and ~0.7 W /
 
 from __future__ import annotations
 
+import dataclasses
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Optional
 
 import numpy as np
 
+from repro._compat import warn_once
 from repro.errors import SpecError
 from repro.units import gb_per_s, ghz, ms
 
@@ -56,37 +58,85 @@ def _pow(base, exponent: float):
 #:   relative; traces are decimated, not per-tick.
 TICK_MODES = ("exact", "fast")
 
+#: Fallback mode used when a factory is called without an explicit
+#: ``tick_mode``.  Only the DEPRECATED global shims below ever change
+#: it; new code passes ``tick_mode=`` to the factories (or uses
+#: :meth:`PlatformSpec.with_tick_mode`) and never touches this.
 _default_tick_mode = "exact"
 
 
+def _validated_tick_mode(mode: str) -> str:
+    if mode not in TICK_MODES:
+        raise SpecError(f"tick mode {mode!r} not in {TICK_MODES}")
+    return mode
+
+
+def _resolve_tick_mode(mode: Optional[str]) -> str:
+    """Factory helper: explicit mode wins; None falls back to the
+    (legacy) process default."""
+    if mode is None:
+        return _default_tick_mode
+    return _validated_tick_mode(mode)
+
+
 def default_tick_mode() -> str:
-    """The tick mode new :class:`PlatformSpec` factories bake in."""
+    """The tick mode factories fall back to.
+
+    .. deprecated:: 1.2
+       The process-global default is being retired; pass ``tick_mode=``
+       to the platform factories instead (docs/FLEET.md, "Migrating").
+    """
+    warn_once(
+        "soc.default_tick_mode",
+        "default_tick_mode() is deprecated; pass tick_mode= to the "
+        "platform factories (haswell_desktop(tick_mode='fast')) instead")
     return _default_tick_mode
 
 
 def set_default_tick_mode(mode: str) -> str:
     """Set the factory default tick mode; returns the previous one.
 
-    Affects :func:`haswell_desktop`, :func:`ultrabook_15w` and
-    :func:`baytrail_tablet` calls made *after* this; specs already
-    constructed keep the mode they were built with.
+    .. deprecated:: 1.2
+       Mutable process-global state: a library call (or another
+       thread) observing the default mid-flight gets whatever mode the
+       last caller left behind.  Pass ``tick_mode=`` explicitly to
+       :func:`haswell_desktop`, :func:`ultrabook_15w` and
+       :func:`baytrail_tablet`, or rebuild an existing spec with
+       :meth:`PlatformSpec.with_tick_mode`.
     """
+    warn_once(
+        "soc.set_default_tick_mode",
+        "set_default_tick_mode() is deprecated; pass tick_mode= to the "
+        "platform factories (haswell_desktop(tick_mode='fast')) or use "
+        "PlatformSpec.with_tick_mode() instead")
+    return _set_default_tick_mode(mode)
+
+
+def _set_default_tick_mode(mode: str) -> str:
     global _default_tick_mode
-    if mode not in TICK_MODES:
-        raise SpecError(f"tick mode {mode!r} not in {TICK_MODES}")
     previous = _default_tick_mode
-    _default_tick_mode = mode
+    _default_tick_mode = _validated_tick_mode(mode)
     return previous
 
 
 @contextmanager
 def use_tick_mode(mode: str) -> Iterator[None]:
-    """Scoped :func:`set_default_tick_mode` (the CLI's ``--tick-mode``)."""
-    previous = set_default_tick_mode(mode)
+    """Scoped :func:`set_default_tick_mode`.
+
+    .. deprecated:: 1.2
+       Same global-state problem in context-manager clothing; kept as
+       a shim so existing scripts run (with one DeprecationWarning).
+       Pass ``tick_mode=`` to the factories instead.
+    """
+    warn_once(
+        "soc.use_tick_mode",
+        "use_tick_mode() is deprecated; pass tick_mode= to the platform "
+        "factories (haswell_desktop(tick_mode='fast')) instead")
+    previous = _set_default_tick_mode(mode)
     try:
         yield
     finally:
-        set_default_tick_mode(previous)
+        _set_default_tick_mode(previous)
 
 
 @dataclass(frozen=True)
@@ -280,12 +330,27 @@ class PlatformSpec:
             raise SpecError(
                 f"tick_mode {self.tick_mode!r} not in {TICK_MODES}")
 
+    def with_tick_mode(self, mode: str) -> "PlatformSpec":
+        """This spec under another clock mode (validated, frozen copy).
 
-def haswell_desktop() -> PlatformSpec:
+        The supported way to flip an existing spec between ``exact``
+        and ``fast``: explicit at the call site, no process-global
+        state, and the copy participates in engine cache keys exactly
+        like a factory-built spec.
+        """
+        if mode == self.tick_mode:
+            return self
+        return dataclasses.replace(self, tick_mode=mode)
+
+
+def haswell_desktop(tick_mode: Optional[str] = None) -> PlatformSpec:
     """Calibrated spec for the paper's desktop platform.
 
     3.4 GHz 4-core/8-thread Core i7-4770 class CPU with an HD Graphics
     4600 class GPU (20 EUs x 7 threads x SIMD16 = 2240-way), 8 GB RAM.
+
+    ``tick_mode`` selects the simulator clock mode explicitly (one of
+    :data:`TICK_MODES`); None keeps the legacy process default.
     """
     cpu = CpuSpec(
         name="i7-4770-class",
@@ -349,11 +414,11 @@ def haswell_desktop() -> PlatformSpec:
         energy_unit_j=1.0 / (1 << 14),
         tick_s=ms(0.5),
         gpu_profile_size=2048,
-        tick_mode=_default_tick_mode,
+        tick_mode=_resolve_tick_mode(tick_mode),
     )
 
 
-def ultrabook_15w() -> PlatformSpec:
+def ultrabook_15w(tick_mode: Optional[str] = None) -> PlatformSpec:
     """A third, hypothetical platform: a 15 W-class ultrabook SoC.
 
     Not part of the paper's evaluation - included because the paper's
@@ -420,11 +485,11 @@ def ultrabook_15w() -> PlatformSpec:
         energy_unit_j=1.0 / (1 << 14),
         tick_s=ms(0.5),
         gpu_profile_size=12 * 7 * 16,
-        tick_mode=_default_tick_mode,
+        tick_mode=_resolve_tick_mode(tick_mode),
     )
 
 
-def baytrail_tablet() -> PlatformSpec:
+def baytrail_tablet(tick_mode: Optional[str] = None) -> PlatformSpec:
     """Calibrated spec for the paper's tablet platform.
 
     1.33 GHz 4-core Atom Z3740 class CPU with a 4-EU integrated GPU
@@ -494,5 +559,5 @@ def baytrail_tablet() -> PlatformSpec:
         energy_unit_j=1.0 / (1 << 5) * 1e-3,
         tick_s=ms(1.0),
         gpu_profile_size=448,
-        tick_mode=_default_tick_mode,
+        tick_mode=_resolve_tick_mode(tick_mode),
     )

@@ -1,0 +1,91 @@
+"""Arrival-trace generators: determinism, shapes, validation."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.fleet import TRACE_KINDS, TraceSpec, generate_trace
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_same_spec_same_requests(self, kind):
+        spec = TraceSpec(kind=kind, duration_s=30.0, mean_rate_hz=3.0,
+                         seed=11)
+        assert generate_trace(spec) == generate_trace(spec)
+
+    def test_seed_changes_trace(self):
+        a = TraceSpec(kind="bursty", seed=1).requests()
+        b = TraceSpec(kind="bursty", seed=2).requests()
+        assert a != b
+
+    def test_ids_positional_in_arrival_order(self):
+        requests = TraceSpec(kind="bursty", duration_s=30.0).requests()
+        assert [r.req_id for r in requests] == list(range(len(requests)))
+        times = [r.t_arrival_s for r in requests]
+        assert times == sorted(times)
+
+
+class TestShapes:
+    def test_rate_roughly_respected(self):
+        spec = TraceSpec(kind="diurnal", duration_s=200.0, mean_rate_hz=5.0)
+        n = len(spec.requests())
+        assert 0.6 * 1000 < n < 1.4 * 1000
+
+    def test_adversarial_has_simultaneous_waves(self):
+        spec = TraceSpec(kind="adversarial", duration_s=40.0,
+                         mean_rate_hz=4.0)
+        requests = spec.requests()
+        by_time = {}
+        for r in requests:
+            by_time.setdefault(r.t_arrival_s, []).append(r)
+        waves = [rs for rs in by_time.values() if len(rs) > 3]
+        assert len(waves) >= 4
+        for wave in waves:
+            # one workload per wave, tightest deadline
+            assert len({r.workload for r in wave}) == 1
+            assert all(r.deadline_s == spec.deadline_lo_s for r in wave)
+
+    def test_bursty_bursts_share_hot_workload(self):
+        spec = TraceSpec(kind="bursty", duration_s=60.0, mean_rate_hz=4.0)
+        requests = spec.requests()
+        # at least one 0.5s window holds a cluster of one workload
+        found = False
+        for i, r in enumerate(requests):
+            cluster = [q for q in requests[i:i + 12]
+                       if q.t_arrival_s - r.t_arrival_s <= 0.5]
+            if len(cluster) >= 6 and len({q.workload for q in cluster}) <= 2:
+                found = True
+                break
+        assert found
+
+    def test_deadlines_in_range(self):
+        spec = TraceSpec(kind="diurnal", duration_s=30.0)
+        for r in spec.requests():
+            assert spec.deadline_lo_s <= r.deadline_s <= spec.deadline_hi_s
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(HarnessError):
+            TraceSpec(kind="linear")
+
+    def test_unknown_workload(self):
+        with pytest.raises(HarnessError):
+            TraceSpec(workloads=("MM", "XX"))
+
+    def test_bad_rate_and_duration(self):
+        with pytest.raises(HarnessError):
+            TraceSpec(duration_s=0.0)
+        with pytest.raises(HarnessError):
+            TraceSpec(mean_rate_hz=-1.0)
+
+    def test_bad_deadlines(self):
+        with pytest.raises(HarnessError):
+            TraceSpec(deadline_lo_s=10.0, deadline_hi_s=5.0)
+
+    def test_canonical_round_trip_stability(self):
+        spec = TraceSpec(kind="bursty", duration_s=45.5, seed=3)
+        assert spec.canonical() == TraceSpec(
+            kind="bursty", duration_s=45.5, seed=3).canonical()
+        assert spec.canonical() != TraceSpec(
+            kind="bursty", duration_s=45.5, seed=4).canonical()

@@ -20,7 +20,7 @@ class TestRegistry:
     def test_all_paper_experiments_present(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
                     "table1", "fig9", "fig10", "fig11", "fig12", "chaos",
-                    "crashchaos"}
+                    "crashchaos", "fleet"}
         assert expected == set(REGENERATORS)
 
     def test_unknown_experiment(self):

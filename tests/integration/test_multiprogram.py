@@ -26,6 +26,7 @@ from repro.obs.observer import Observer
 from repro.obs.records import EXIT_GPU_BUSY
 from repro.runtime.tenancy import (
     LEASE_DENIED_NOTE,
+    TenancySpec,
     parse_tenant_specs,
     run_multiprogram,
 )
@@ -105,7 +106,9 @@ class TestDeterminism:
         specs = [RunSpec(platform=haswell_desktop(),
                          kind=KIND_MULTIPROGRAM,
                          scheduler=SchedulerSpec.eas(),
-                         tenancy=f"{policy};2;{MIX}")
+                         tenancy=TenancySpec(
+                             policy=policy, lease_quantum=2,
+                             tenants=parse_tenant_specs(MIX)))
                  for policy in ("fifo", "priority")]
         serial = ExecutionEngine(jobs=1).run_batch(specs)
         pooled = ExecutionEngine(jobs=2).run_batch(specs)
@@ -150,9 +153,15 @@ class TestPolicyBehaviour:
 
 class TestHarnessIntegration:
     def test_multiprogram_spec_requires_scheduler_and_tenancy(self):
+        tenancy = TenancySpec(tenants=parse_tenant_specs(MIX))
         with pytest.raises(HarnessError):
             RunSpec(platform=haswell_desktop(), kind=KIND_MULTIPROGRAM,
-                    tenancy=f"fifo;2;{MIX}")
+                    tenancy=tenancy)
+        with pytest.raises(HarnessError):
+            RunSpec(platform=haswell_desktop(), kind=KIND_MULTIPROGRAM,
+                    scheduler=SchedulerSpec.eas())
+        # The legacy one-string spelling still fails loudly when
+        # malformed (no silent None).
         with pytest.raises(HarnessError):
             RunSpec(platform=haswell_desktop(), kind=KIND_MULTIPROGRAM,
                     scheduler=SchedulerSpec.eas(), tenancy="fifo")
@@ -160,7 +169,9 @@ class TestHarnessIntegration:
     def test_result_cache_round_trip(self, tmp_path):
         spec = RunSpec(platform=haswell_desktop(), kind=KIND_MULTIPROGRAM,
                        scheduler=SchedulerSpec.eas(),
-                       tenancy=f"fifo;2;{MIX}")
+                       tenancy=TenancySpec(
+                           policy="fifo", lease_quantum=2,
+                           tenants=parse_tenant_specs(MIX)))
         engine = ExecutionEngine(jobs=1,
                                  cache=ResultCache(str(tmp_path / "runs")))
         first = engine.run_one(spec)

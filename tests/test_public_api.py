@@ -40,7 +40,8 @@ EXPECTED_API = sorted([
     "CrashChaosResult", "CrashChaosCell", "run_crash_chaos",
     # multiprogram tenancy
     "ARBITER_POLICIES", "GpuLeaseArbiter", "MultiprogramResult",
-    "TenantResult", "TenantSpec", "parse_tenant_specs", "run_multiprogram",
+    "TenancySpec", "TenantResult", "TenantSpec", "parse_tenant_specs",
+    "run_multiprogram",
     # execution engine
     "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
     "ResultCache", "get_default_engine", "set_default_engine", "use_engine",
@@ -51,6 +52,12 @@ EXPECTED_API = sorted([
     # scheduler service (docs/SERVICE.md)
     "SchedulerService", "JobSpec", "DurableStore",
     "AdmissionPolicy", "AdmissionDecision",
+    # fleet simulation (docs/FLEET.md)
+    "FleetSpec", "NodeSpec", "PLATFORM_KINDS",
+    "TraceSpec", "FleetRequest", "generate_trace", "TRACE_KINDS",
+    "PLACEMENT_POLICIES", "make_policy", "FleetView",
+    "run_fleet", "FleetResult", "RequestOutcome", "FleetCellProfile",
+    "compare_fleet_policies", "FleetComparisonResult",
 ])
 
 
