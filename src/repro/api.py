@@ -77,12 +77,22 @@ from repro.harness.chaos import (
     run_chaos_campaign,
     run_multiprogram_chaos_campaign,
 )
+from repro.harness.diff import (
+    DiffCase,
+    DiffReport,
+    compare_outcomes,
+    diff_case,
+    grid_cases,
+    run_case,
+)
 from repro.harness.engine import (
     ExecutionEngine,
     ResultCache,
     RunResult,
     RunSpec,
     SchedulerSpec,
+    SpecGang,
+    execute_gang,
     get_default_engine,
     set_default_engine,
     use_engine,
@@ -155,11 +165,13 @@ from repro.soc.cost_model import KernelCostModel
 from repro.soc.faults import FaultConfig, FaultySoC
 from repro.soc.simulator import IntegratedProcessor
 from repro.soc.spec import (
+    TICK_MODES,
     PlatformSpec,
     baytrail_tablet,
     haswell_desktop,
     use_tick_mode,
 )
+from repro.soc.vector import VectorCore, model_identity, use_vector_core
 from repro.workloads.base import InvocationSpec, Workload
 from repro.workloads.registry import all_workloads, workload_by_abbrev
 
@@ -171,6 +183,7 @@ __all__ = [
     # platforms & simulator
     "PlatformSpec", "haswell_desktop", "baytrail_tablet",
     "IntegratedProcessor", "KernelCostModel", "use_tick_mode",
+    "TICK_MODES",
     # fault injection
     "FaultConfig", "FaultySoC",
     # runtime
@@ -197,6 +210,11 @@ __all__ = [
     # execution engine (see docs/PARALLELISM.md)
     "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
     "ResultCache", "get_default_engine", "set_default_engine", "use_engine",
+    "SpecGang", "execute_gang",
+    # vectorized-core sharing & differential testing (docs/PERFORMANCE.md)
+    "VectorCore", "model_identity", "use_vector_core",
+    "DiffCase", "DiffReport", "run_case", "diff_case", "grid_cases",
+    "compare_outcomes",
     # observability
     "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
     "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",

@@ -70,6 +70,7 @@ from repro.runtime.tenancy import TenancySpec
 from repro.soc.faults import FaultConfig
 from repro.soc.simulator import IntegratedProcessor
 from repro.soc.spec import PlatformSpec
+from repro.soc.vector import VectorCore, model_identity, use_vector_core
 from repro.workloads.base import Workload
 from repro.workloads.registry import workload_by_abbrev
 
@@ -81,7 +82,11 @@ from repro.workloads.registry import workload_by_abbrev
 #: v4: ``RunSpec.tenancy`` became a typed :class:`TenancySpec`
 #: serialized as a canonical dict (was an opaque string), and the
 #: ``fleet-cell`` kind joined the dispatch table.
-CACHE_SCHEMA_VERSION = 4
+#:
+#: v5: the ``bounded`` tick mode landed (``PlatformSpec.bounded_tol``
+#: joined the canonical platform dict) and workers execute specs in
+#: model-identity gangs sharing a :class:`~repro.soc.vector.VectorCore`.
+CACHE_SCHEMA_VERSION = 5
 
 # -- task kinds -----------------------------------------------------------------
 
@@ -503,6 +508,68 @@ def execute_spec(spec: RunSpec) -> RunResult:
     return RunResult(key=spec.cache_key(), payload=payload, observer=observer)
 
 
+@dataclass(frozen=True)
+class SpecGang:
+    """An ordered batch of specs that may share one vectorized core.
+
+    A gang is the engine's unit of model-memo sharing: every member
+    resolves to the same :func:`~repro.soc.vector.model_identity`
+    (platform modulo tick mode and tolerance), so the rate/power memos
+    one member fills are bit-valid for every other.  Specs of *mixed*
+    platforms must not be ganged - their model inputs differ - and
+    :meth:`of` refuses to build one.
+
+    Construct only via :meth:`of`; the constructor performs no
+    validation (it must stay cheap for pickling into pool workers).
+    """
+
+    specs: Tuple[RunSpec, ...]
+
+    @classmethod
+    def of(cls, specs: Sequence[RunSpec]) -> "SpecGang":
+        specs = tuple(specs)
+        if not specs:
+            raise HarnessError("a SpecGang needs at least one spec")
+        identities = {model_identity(spec.platform) for spec in specs}
+        if len(identities) > 1:
+            names = sorted({spec.platform.name for spec in specs})
+            raise HarnessError(
+                "cannot gang specs with mixed platform model identities: "
+                + ", ".join(names))
+        return cls(specs=specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def execute_gang(gang: SpecGang) -> List[RunResult]:
+    """Execute a gang's specs in order under one shared vectorized core.
+
+    The pool submits one of these per worker chunk; the serial path
+    calls it directly, so ``jobs=1`` and ``jobs>1`` run identical code.
+    Sharing never changes results: the core's memos hold bit-stable
+    model evaluations only (see :mod:`repro.soc.vector`), so each
+    member's payload is byte-identical to an un-ganged run - the
+    engine-equivalence tests pin that down.
+    """
+    core = VectorCore()
+    with use_vector_core(core):
+        return [execute_spec(spec) for spec in gang.specs]
+
+
+def _gang_positions(specs: Sequence[RunSpec]) -> List[List[int]]:
+    """Group spec indices by platform model identity.
+
+    Order-preserving twice over: gangs appear in first-seen order and
+    each gang lists its member indices in submission order, so results
+    can be placed back positionally.
+    """
+    groups: Dict[PlatformSpec, List[int]] = {}
+    for i, spec in enumerate(specs):
+        groups.setdefault(model_identity(spec.platform), []).append(i)
+    return list(groups.values())
+
+
 def _seed_worker(characterizations: Dict[str, str]) -> None:
     """Pool initializer: pre-seed platform characterizations so worker
     processes never redo the (expensive) one-time characterization."""
@@ -664,7 +731,7 @@ class ExecutionEngine:
         if to_run:
             pending = [specs[i] for i in to_run]
             if self.jobs == 1 or len(pending) == 1:
-                executed = [execute_spec(spec) for spec in pending]
+                executed = self._run_serial(pending)
             else:
                 executed = self._run_pool(pending)
             for i, result in zip(to_run, executed):
@@ -684,16 +751,38 @@ class ExecutionEngine:
 
     # -- internals ---------------------------------------------------------------
 
+    def _run_serial(self, specs: List[RunSpec]) -> List[RunResult]:
+        executed: List[Optional[RunResult]] = [None] * len(specs)
+        for positions in _gang_positions(specs):
+            gang = SpecGang.of([specs[i] for i in positions])
+            for i, result in zip(positions, execute_gang(gang)):
+                executed[i] = result
+        return executed  # type: ignore[return-value]
+
     def _run_pool(self, specs: List[RunSpec]) -> List[RunResult]:
         payload = self._characterization_payload(specs)
-        workers = min(self.jobs, len(specs))
+        # Chunk each model-identity gang into at most ``jobs`` pieces:
+        # one big gang still saturates every worker, while each chunk
+        # keeps enough siblings together to warm a shared core.
+        chunks: List[List[int]] = []
+        for positions in _gang_positions(specs):
+            pieces = min(self.jobs, len(positions))
+            size = -(-len(positions) // pieces)  # ceil division
+            for start in range(0, len(positions), size):
+                chunks.append(positions[start:start + size])
+        workers = min(self.jobs, len(chunks))
         pool = ProcessPoolExecutor(max_workers=workers,
                                    initializer=_seed_worker,
                                    initargs=(payload,))
         futures = []
         try:
-            futures = [pool.submit(execute_spec, spec) for spec in specs]
-            results = [future.result() for future in futures]
+            futures = [pool.submit(execute_gang,
+                                   SpecGang.of([specs[i] for i in chunk]))
+                       for chunk in chunks]
+            results: List[Optional[RunResult]] = [None] * len(specs)
+            for chunk, future in zip(chunks, futures):
+                for i, result in zip(chunk, future.result()):
+                    results[i] = result
         except BaseException:
             # KeyboardInterrupt / SIGTERM mid-batch: without this, the
             # plain `with` block would wait for every queued spec and
@@ -702,7 +791,7 @@ class ExecutionEngine:
             self._teardown_pool(pool, futures)
             raise
         pool.shutdown(wait=True)
-        return results
+        return results  # type: ignore[return-value]
 
     @staticmethod
     def _teardown_pool(pool: ProcessPoolExecutor, futures: List) -> None:

@@ -518,6 +518,7 @@ def run_multiprogram(spec: Optional[PlatformSpec] = None,
                      metric: Optional["EnergyMetric"] = None,
                      tablet: bool = False,
                      fault_level: float = 0.0,
+                     fault_config: Optional[FaultConfig] = None,
                      lease_quantum: int = DEFAULT_LEASE_QUANTUM,
                      eas_config: Optional["SchedulerConfig"] = None,
                      observer: Optional[Observer] = None,
@@ -536,7 +537,10 @@ def run_multiprogram(spec: Optional[PlatformSpec] = None,
 
     ``fault_level > 0`` additionally wraps the shared SoC in the PR-1
     fault-injection substrate, so chaos campaigns can exercise
-    contention and hardware faults together.
+    contention and hardware faults together.  ``fault_config``
+    overrides the level-derived :class:`FaultConfig` with an explicit
+    one (the differential harness uses this to run faulted cells with
+    MSR read corruption off); ``fault_level`` still stamps the result.
     """
     from repro.core.metrics import EDP
     from repro.core.scheduler import EnergyAwareScheduler
@@ -553,7 +557,9 @@ def run_multiprogram(spec: Optional[PlatformSpec] = None,
 
     inner = IntegratedProcessor(spec, observer=observer)
     processor = inner
-    if fault_level > 0.0:
+    if fault_config is not None:
+        processor = FaultySoC(inner, fault_config)
+    elif fault_level > 0.0:
         processor = FaultySoC(
             inner, FaultConfig.from_level(fault_level, seed=seed))
     arbiter = GpuLeaseArbiter(policy=policy, lease_quantum=lease_quantum)

@@ -56,7 +56,15 @@ def _pow(base, exponent: float):
 #:   target, no throttle, no pending event) in closed-form macro-steps.
 #:   End-to-end time/energy/items agree with exact mode to < 1e-6
 #:   relative; traces are decimated, not per-tick.
-TICK_MODES = ("exact", "fast")
+#: * ``"bounded"`` - everything ``fast`` does, plus phase-outcome
+#:   replay and span-vectorized commits that are *not* bit-identical
+#:   per tick.  End-to-end observables are held to the explicit
+#:   tolerance contract ``PlatformSpec.bounded_tol``
+#:   (``|bounded - exact| <= tol * max(1, |exact|)``), enforced by the
+#:   differential sweep in ``tests/soc/test_differential_modes.py``.
+#:   The mode of choice for wide sweeps/chaos/fleet fan-outs where
+#:   byte-stability is not required.
+TICK_MODES = ("exact", "fast", "bounded")
 
 #: Fallback mode used when a factory is called without an explicit
 #: ``tick_mode``.  Only the DEPRECATED global shims below ever change
@@ -318,6 +326,13 @@ class PlatformSpec:
     #: so it flows into :class:`~repro.harness.engine.RunSpec` cache
     #: keys: fast and exact results are never conflated.
     tick_mode: str = field(default="exact")
+    #: Relative error tolerance for ``tick_mode="bounded"``: every
+    #: end-to-end observable O must satisfy
+    #: ``|O_bounded - O_exact| <= bounded_tol * max(1, |O_exact|)``.
+    #: Part of the spec so it flows into engine cache keys - results at
+    #: different tolerances are never conflated.  Ignored by the exact
+    #: and fast modes.
+    bounded_tol: float = field(default=1e-6)
 
     def __post_init__(self) -> None:
         if self.tick_s <= 0:
@@ -329,6 +344,8 @@ class PlatformSpec:
         if self.tick_mode not in TICK_MODES:
             raise SpecError(
                 f"tick_mode {self.tick_mode!r} not in {TICK_MODES}")
+        if self.bounded_tol <= 0:
+            raise SpecError("bounded_tol must be positive")
 
     def with_tick_mode(self, mode: str) -> "PlatformSpec":
         """This spec under another clock mode (validated, frozen copy).

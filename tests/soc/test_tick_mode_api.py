@@ -43,7 +43,17 @@ class TestExplicitParameter:
             haswell_desktop().with_tick_mode("warp")
 
     def test_modes_inventory(self):
-        assert TICK_MODES == ("exact", "fast")
+        assert TICK_MODES == ("exact", "fast", "bounded")
+
+    def test_bounded_tol_validated(self):
+        spec = haswell_desktop(tick_mode="bounded")
+        assert spec.bounded_tol == pytest.approx(1e-6)
+        import dataclasses
+
+        with pytest.raises(SpecError):
+            dataclasses.replace(spec, bounded_tol=0.0)
+        with pytest.raises(SpecError):
+            dataclasses.replace(spec, bounded_tol=-1e-9)
 
 
 class TestNoCrossTestLeakage:

@@ -19,6 +19,7 @@ EXPECTED_API = sorted([
     # platforms & simulator
     "PlatformSpec", "haswell_desktop", "baytrail_tablet",
     "IntegratedProcessor", "KernelCostModel", "use_tick_mode",
+    "TICK_MODES",
     # fault injection
     "FaultConfig", "FaultySoC",
     # runtime
@@ -45,6 +46,11 @@ EXPECTED_API = sorted([
     # execution engine
     "ExecutionEngine", "RunSpec", "RunResult", "SchedulerSpec",
     "ResultCache", "get_default_engine", "set_default_engine", "use_engine",
+    "SpecGang", "execute_gang",
+    # vectorized-core sharing & differential testing (docs/PERFORMANCE.md)
+    "VectorCore", "model_identity", "use_vector_core",
+    "DiffCase", "DiffReport", "run_case", "diff_case", "grid_cases",
+    "compare_outcomes",
     # observability
     "Observer", "NullObserver", "NULL_OBSERVER", "MetricsRegistry",
     "DecisionRecord", "ALL_EXIT_PATHS", "TraceSection",
