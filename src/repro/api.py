@@ -103,6 +103,7 @@ from repro.harness.crashchaos import (
     run_crash_chaos,
 )
 from repro.fleet import (
+    DISPATCH_MODES,
     PLACEMENT_POLICIES,
     PLATFORM_KINDS,
     TRACE_KINDS,
@@ -111,14 +112,20 @@ from repro.fleet import (
     FleetRequest,
     FleetResult,
     FleetSpec,
+    FleetStreamResult,
     FleetView,
+    LatencySketch,
     NodeSpec,
     RequestOutcome,
+    TraceChunk,
     TraceSpec,
     compare_fleet_policies,
+    dispatch_stream,
     generate_trace,
+    iter_trace_chunks,
     make_policy,
     run_fleet,
+    trace_columns,
 )
 from repro.harness.experiment import ApplicationRun, run_application
 from repro.harness.figures import REGENERATORS, experiment_id, regenerate
@@ -225,7 +232,11 @@ __all__ = [
     # fleet simulation (see docs/FLEET.md)
     "FleetSpec", "NodeSpec", "PLATFORM_KINDS",
     "TraceSpec", "FleetRequest", "generate_trace", "TRACE_KINDS",
+    "TraceChunk", "trace_columns", "iter_trace_chunks",
     "PLACEMENT_POLICIES", "make_policy", "FleetView",
     "run_fleet", "FleetResult", "RequestOutcome", "FleetCellProfile",
     "compare_fleet_policies", "FleetComparisonResult",
+    # streaming fleet dispatch (docs/FLEET.md, "Streaming dispatch")
+    "DISPATCH_MODES", "dispatch_stream", "FleetStreamResult",
+    "LatencySketch",
 ]

@@ -25,32 +25,51 @@ Layers:
 
 from repro.fleet.cells import FleetCellProfile, run_fleet_cell
 from repro.fleet.dispatcher import (
+    DISPATCH_MODES,
     FleetComparisonResult,
     FleetResult,
+    FleetStreamResult,
     RequestOutcome,
     compare_fleet_policies,
+    dispatch_stream,
     run_fleet,
 )
 from repro.fleet.policies import PLACEMENT_POLICIES, FleetView, make_policy
+from repro.fleet.sketch import LatencySketch
 from repro.fleet.topology import PLATFORM_KINDS, FleetSpec, NodeSpec
-from repro.fleet.trace import TRACE_KINDS, FleetRequest, TraceSpec, generate_trace
+from repro.fleet.trace import (
+    TRACE_KINDS,
+    FleetRequest,
+    TraceChunk,
+    TraceSpec,
+    generate_trace,
+    iter_trace_chunks,
+    trace_columns,
+)
 
 __all__ = [
+    "DISPATCH_MODES",
     "FleetCellProfile",
     "FleetComparisonResult",
     "FleetRequest",
     "FleetResult",
     "FleetSpec",
+    "FleetStreamResult",
     "FleetView",
+    "LatencySketch",
     "NodeSpec",
     "PLACEMENT_POLICIES",
     "PLATFORM_KINDS",
     "RequestOutcome",
     "TRACE_KINDS",
+    "TraceChunk",
     "TraceSpec",
     "compare_fleet_policies",
+    "dispatch_stream",
     "generate_trace",
+    "iter_trace_chunks",
     "make_policy",
     "run_fleet",
     "run_fleet_cell",
+    "trace_columns",
 ]

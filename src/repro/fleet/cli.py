@@ -23,9 +23,18 @@ import time
 from typing import List, Optional
 
 from repro.errors import HarnessError, UnknownNameError, closest_names
-from repro.fleet.dispatcher import compare_fleet_policies, run_fleet
+from repro.fleet.dispatcher import (
+    DISPATCH_MODES,
+    compare_fleet_policies,
+    run_fleet,
+)
 from repro.fleet.topology import FleetSpec
-from repro.fleet.trace import DEFAULT_TRACE_WORKLOADS, TRACE_KINDS, TraceSpec
+from repro.fleet.trace import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_TRACE_WORKLOADS,
+    TRACE_KINDS,
+    TraceSpec,
+)
 from repro.fleet.policies import PLACEMENT_POLICIES
 from repro.harness.engine import ExecutionEngine, ResultCache
 from repro.soc.spec import TICK_MODES
@@ -84,6 +93,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: edp)")
     parser.add_argument("--tick-mode", choices=TICK_MODES, default="exact",
                         help="node simulator clock mode (default: exact)")
+    parser.add_argument("--dispatch-mode", choices=DISPATCH_MODES,
+                        default="reference",
+                        help="dispatch implementation: the per-request "
+                             "reference loop or the chunked streaming "
+                             "pipeline (identical placement decisions; "
+                             "default: reference)")
+    parser.add_argument("--chunk-size", type=int,
+                        default=DEFAULT_CHUNK_SIZE, metavar="N",
+                        help="requests per streaming chunk "
+                             f"(default: {DEFAULT_CHUNK_SIZE}; streaming "
+                             "mode only)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for cell simulations "
                              "(default: 1 = serial; fingerprints are "
@@ -122,14 +142,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     started = time.perf_counter()
     if len(policies) == 1:
-        result = run_fleet(fleet, trace, policy=policies[0], engine=engine)
+        result = run_fleet(fleet, trace, policy=policies[0], engine=engine,
+                           dispatch_mode=args.dispatch_mode,
+                           chunk_size=args.chunk_size)
         if args.fingerprint_only:
             print(f"{result.policy} {result.fingerprint()}")
         else:
             print(result.render())
     else:
         comparison = compare_fleet_policies(fleet, trace, policies=policies,
-                                            engine=engine)
+                                            engine=engine,
+                                            dispatch_mode=args.dispatch_mode,
+                                            chunk_size=args.chunk_size)
         if args.fingerprint_only:
             for result in comparison.results:
                 print(f"{result.policy} {result.fingerprint()}")

@@ -47,6 +47,12 @@ PLACEMENT_POLICIES: Tuple[str, ...] = (
 #: service times.
 SPILL_SERVICE_FACTOR = 4.0
 
+#: XOR salt decorrelating :class:`RandomPolicy`'s stream from the
+#: trace generator's (both are seeded from the fleet seed).  Shared
+#: with the streaming dispatcher, which must replay the exact same
+#: draw sequence.
+RANDOM_POLICY_SALT = 0x9E3779B9
+
 
 @dataclass
 class CellStats:
@@ -58,11 +64,14 @@ class CellStats:
 
     @property
     def mean_time_s(self) -> float:
-        return self.total_time_s / self.count
+        # Zero-count guard: a cell with no completed requests (empty
+        # trace, or every dispatch spilled elsewhere) reports zero
+        # mean rather than raising ZeroDivisionError mid-dispatch.
+        return self.total_time_s / self.count if self.count else 0.0
 
     @property
     def mean_energy_j(self) -> float:
-        return self.total_energy_j / self.count
+        return self.total_energy_j / self.count if self.count else 0.0
 
 
 class FleetView:
@@ -188,7 +197,7 @@ class RandomPolicy(PlacementPolicy):
     def __init__(self, seed: int = 0) -> None:
         super().__init__(seed)
         # Decorrelated from the trace generator's stream.
-        self._rng = random.Random(seed ^ 0x9E3779B9)
+        self._rng = random.Random(seed ^ RANDOM_POLICY_SALT)
 
     def place(self, view: FleetView, request) -> Tuple[int, str]:
         eligible = view.eligible_nodes(request.workload)

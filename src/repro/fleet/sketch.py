@@ -1,0 +1,112 @@
+"""Streaming latency quantiles at fixed memory: a log-bucket sketch.
+
+The reference dispatcher materializes every latency and answers
+percentile queries with a full ``sorted()`` pass - O(requests) memory
+and O(n log n) time, hopeless at millions of requests.  This sketch
+answers the same nearest-rank queries from a *fixed* array of
+logarithmic buckets:
+
+* **Error bound.**  Bucket ``i`` covers ``[m * g^i, m * g^(i+1))``
+  with ``m = min_value`` and growth ``g = (1 + rel_err)**2``; a query
+  returns the bucket's geometric midpoint ``m * g^(i+0.5)``, clamped
+  to the exact observed ``[min, max]``.  Any value in the bucket is
+  within a factor ``sqrt(g) = 1 + rel_err`` of the midpoint, so the
+  **relative error is at most rel_err** (1% by default) for every
+  value in ``[min_value, max_value]``.  Values below ``min_value``
+  (sub-microsecond latencies, by default) are floored to the first
+  bucket: the bound there degrades to the *absolute* floor
+  ``min_value``.  Values above ``max_value`` saturate the last bucket
+  the same way.
+* **Order independence.**  Bucket counts are commutative, so the
+  sketch is insertion-order independent - the streaming dispatcher
+  inserts in dispatch order while the reference observes completion
+  order, and both must agree.  (This is why a P^2-style estimator,
+  whose state depends on insertion order, is unusable here.)
+* **Exact moments.**  ``count``, ``sum``, ``min`` and ``max`` are
+  tracked exactly, so means and extremes carry no sketch error.
+
+Memory: ~1500 int64 buckets at the 1% default over the 1e-6..1e7 s
+span - ~12 KiB regardless of request count.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import HarnessError
+
+__all__ = ["LatencySketch"]
+
+
+class LatencySketch:
+    """Fixed-memory log-bucket quantile sketch (see module docstring).
+
+    ``quantile(pct)`` mirrors the reference nearest-rank definition
+    (``rank = max(1, ceil(pct/100 * count))``), so the sketched value
+    estimates exactly the order statistic the reference reports.
+    """
+
+    def __init__(self, rel_err: float = 0.01,
+                 min_value: float = 1e-6,
+                 max_value: float = 1e7) -> None:
+        if not 0.0 < rel_err < 1.0:
+            raise HarnessError("sketch rel_err must be in (0, 1)")
+        if not 0.0 < min_value < max_value:
+            raise HarnessError("need 0 < min_value < max_value")
+        self.rel_err = rel_err
+        self.min_value = min_value
+        self.max_value = max_value
+        self._growth = (1.0 + rel_err) ** 2
+        self._log_growth = math.log(self._growth)
+        self._n_buckets = 1 + int(math.ceil(
+            math.log(max_value / min_value) / self._log_growth))
+        self._counts = np.zeros(self._n_buckets, dtype=np.int64)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _indices(self, values: np.ndarray) -> np.ndarray:
+        clipped = np.maximum(values, self.min_value)
+        idx = np.floor(
+            np.log(clipped / self.min_value) / self._log_growth
+        ).astype(np.int64)
+        return np.clip(idx, 0, self._n_buckets - 1)
+
+    def add(self, value: float) -> None:
+        """Insert one observation."""
+        self.add_batch(np.asarray([value], dtype=np.float64))
+
+    def add_batch(self, values: np.ndarray) -> None:
+        """Insert a block of observations (one bincount pass)."""
+        if len(values) == 0:
+            return
+        values = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(values)):
+            raise HarnessError("sketch values must be finite")
+        self._counts += np.bincount(self._indices(values),
+                                    minlength=self._n_buckets)
+        self.count += len(values)
+        self.sum += float(np.sum(values))
+        self.min = min(self.min, float(np.min(values)))
+        self.max = max(self.max, float(np.max(values)))
+
+    @property
+    def mean(self) -> float:
+        """Exact mean (tracked moments carry no sketch error)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, pct: float) -> float:
+        """Nearest-rank percentile estimate, 0.0 on an empty sketch."""
+        if not 0.0 < pct <= 100.0:
+            raise HarnessError("percentile must be in (0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(pct / 100.0 * self.count))
+        bucket = int(np.searchsorted(np.cumsum(self._counts), rank))
+        midpoint = self.min_value * self._growth ** (bucket + 0.5)
+        # Clamping to the exact extremes can only shrink the error:
+        # the true order statistic lies inside [min, max].
+        return min(max(midpoint, self.min), self.max)

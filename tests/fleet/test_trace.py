@@ -1,9 +1,16 @@
-"""Arrival-trace generators: determinism, shapes, validation."""
+"""Arrival-trace generators: determinism, shapes, validation, columns."""
 
+import numpy as np
 import pytest
 
 from repro.errors import HarnessError
-from repro.fleet import TRACE_KINDS, TraceSpec, generate_trace
+from repro.fleet import (
+    TRACE_KINDS,
+    TraceSpec,
+    generate_trace,
+    iter_trace_chunks,
+    trace_columns,
+)
 
 
 class TestDeterminism:
@@ -89,3 +96,59 @@ class TestValidation:
             kind="bursty", duration_s=45.5, seed=3).canonical()
         assert spec.canonical() != TraceSpec(
             kind="bursty", duration_s=45.5, seed=4).canonical()
+
+
+class TestColumnarForm:
+    """The chunked columnar generators are element-for-element twins
+    of the scalar generators under the same seed - the streaming
+    dispatcher's input contract."""
+
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    @pytest.mark.parametrize("seed", (1, 7, 2016))
+    def test_columns_match_scalar_trace(self, kind, seed):
+        spec = TraceSpec(kind=kind, duration_s=30.0, mean_rate_hz=3.0,
+                         seed=seed)
+        requests = spec.requests()
+        t, w, d = trace_columns(spec)
+        assert len(t) == len(w) == len(d) == len(requests)
+        for i, r in enumerate(requests):
+            assert float(t[i]) == r.t_arrival_s
+            assert spec.workloads[int(w[i])] == r.workload
+            assert float(d[i]) == r.deadline_s
+
+    def test_dtypes_and_order(self):
+        spec = TraceSpec(kind="bursty", duration_s=40.0, mean_rate_hz=4.0)
+        t, w, d = trace_columns(spec)
+        assert t.dtype == np.float64
+        assert w.dtype == np.uint16
+        assert d.dtype == np.float64
+        assert np.all(np.diff(t) >= 0.0)
+
+    @pytest.mark.parametrize("chunk_size", (1, 7, 10 ** 6))
+    def test_chunks_tile_the_trace(self, chunk_size):
+        spec = TraceSpec(kind="bursty", duration_s=30.0, mean_rate_hz=3.0,
+                         seed=5)
+        requests = spec.requests()
+        chunks = list(iter_trace_chunks(spec, chunk_size=chunk_size))
+        assert sum(len(c) for c in chunks) == len(requests)
+        assert all(len(c) <= chunk_size for c in chunks)
+        rebuilt = [r for c in chunks for r in c.requests()]
+        assert tuple(rebuilt) == requests
+        # chunk rows keep positional ids
+        for chunk in chunks:
+            assert chunk.start_id == next(chunk.requests()).req_id
+
+    def test_chunk_arrays_are_read_only(self):
+        spec = TraceSpec(kind="diurnal", duration_s=20.0, mean_rate_hz=2.0)
+        chunk = next(iter_trace_chunks(spec, chunk_size=8))
+        with pytest.raises(ValueError):
+            chunk.t_arrival_s[0] = 0.0
+        with pytest.raises(ValueError):
+            chunk.workload_idx[0] = 0
+
+    def test_bad_chunk_size(self):
+        spec = TraceSpec(kind="bursty", duration_s=10.0)
+        with pytest.raises(HarnessError):
+            next(iter_trace_chunks(spec, chunk_size=0))
+        with pytest.raises(HarnessError):
+            next(iter_trace_chunks(spec, chunk_size=-4))

@@ -1,0 +1,85 @@
+"""Property suites for the columnar arrival-trace generators.
+
+The streaming dispatcher's input contract: under any spec, the
+columnar form (``trace_columns`` / ``iter_trace_chunks``) is the
+element-for-element twin of the scalar ``generate_trace``, arrivals
+are nondecreasing, deadlines stay inside the spec's range, and
+chunking at any size tiles the trace exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    TRACE_KINDS,
+    TraceSpec,
+    generate_trace,
+    iter_trace_chunks,
+    trace_columns,
+)
+
+#: Keep traces small: the properties are per-element, not per-scale.
+spec_st = st.builds(
+    TraceSpec,
+    kind=st.sampled_from(TRACE_KINDS),
+    duration_s=st.floats(0.5, 40.0),
+    mean_rate_hz=st.floats(0.2, 6.0),
+    workloads=st.sampled_from((("MM",), ("MM", "RT"), ("MM", "RT", "SM"))),
+    seed=st.integers(0, 2 ** 31 - 1),
+)
+
+
+class TestColumnScalarTwins:
+    @given(spec=spec_st)
+    @settings(max_examples=40, deadline=None)
+    def test_columns_equal_scalar_elementwise(self, spec):
+        requests = generate_trace(spec)
+        t, w, d = trace_columns(spec)
+        assert len(t) == len(requests)
+        for i, r in enumerate(requests):
+            assert float(t[i]) == r.t_arrival_s
+            assert spec.workloads[int(w[i])] == r.workload
+            assert float(d[i]) == r.deadline_s
+
+    @given(spec=spec_st)
+    @settings(max_examples=40, deadline=None)
+    def test_shape_invariants(self, spec):
+        t, w, d = trace_columns(spec)
+        assert t.dtype == np.float64
+        assert w.dtype == np.uint16
+        assert d.dtype == np.float64
+        if len(t):
+            assert np.all(np.diff(t) >= 0.0)
+            assert float(t[0]) >= 0.0
+            assert float(t[-1]) <= spec.duration_s
+            assert np.all(w < len(spec.workloads))
+            assert np.all(d >= spec.deadline_lo_s)
+            assert np.all(d <= spec.deadline_hi_s)
+
+    @given(spec=spec_st, chunk_size=st.integers(1, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_chunks_tile_exactly(self, spec, chunk_size):
+        t, w, d = trace_columns(spec)
+        chunks = list(iter_trace_chunks(spec, chunk_size=chunk_size))
+        assert sum(len(c) for c in chunks) == len(t)
+        assert all(0 < len(c) <= chunk_size for c in chunks)
+        next_id = 0
+        for chunk in chunks:
+            assert chunk.start_id == next_id
+            next_id += len(chunk)
+        if chunks:
+            rebuilt_t = np.concatenate([c.t_arrival_s for c in chunks])
+            rebuilt_w = np.concatenate([c.workload_idx for c in chunks])
+            rebuilt_d = np.concatenate([c.deadline_s for c in chunks])
+            assert np.array_equal(rebuilt_t, t)
+            assert np.array_equal(rebuilt_w, w)
+            assert np.array_equal(rebuilt_d, d)
+
+    @given(spec=spec_st)
+    @settings(max_examples=20, deadline=None)
+    def test_regeneration_is_deterministic(self, spec):
+        a = trace_columns(spec)
+        b = trace_columns(spec)
+        for col_a, col_b in zip(a, b):
+            assert np.array_equal(col_a, col_b)

@@ -1,0 +1,79 @@
+"""Property suite for the fixed-memory latency quantile sketch.
+
+The documented bound: for values inside ``[min_value, max_value]``,
+every nearest-rank quantile estimate is within ``rel_err`` relative
+error of the exact sorted order statistic, insertion order never
+changes an answer, and the tracked moments (count/sum/min/max) are
+exact.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import LatencySketch
+
+#: Latency-like magnitudes well inside the sketch's default
+#: [1e-6, 1e7] span, so the relative bound (not the floor/saturation
+#: fallback) applies everywhere.
+values_st = st.lists(
+    st.floats(1e-4, 1e5, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=400)
+
+pct_st = st.floats(0.5, 100.0)
+
+
+def _exact_nearest_rank(values, pct):
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    rank = max(1, int(np.ceil(pct / 100.0 * len(ordered))))
+    return float(ordered[rank - 1])
+
+
+class TestSketchBound:
+    @given(values=values_st, pct=pct_st)
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_within_documented_error(self, values, pct):
+        sketch = LatencySketch()
+        sketch.add_batch(np.asarray(values))
+        exact = _exact_nearest_rank(values, pct)
+        estimate = sketch.quantile(pct)
+        assert abs(estimate - exact) <= sketch.rel_err * exact + 1e-12
+
+    @given(values=values_st, seed=st.integers(0, 2 ** 16), pct=pct_st)
+    @settings(max_examples=60, deadline=None)
+    def test_insertion_order_independence(self, values, seed, pct):
+        shuffled = list(values)
+        np.random.default_rng(seed).shuffle(shuffled)
+        a, b = LatencySketch(), LatencySketch()
+        a.add_batch(np.asarray(values))
+        b.add_batch(np.asarray(shuffled))
+        assert a.quantile(pct) == b.quantile(pct)
+        assert a.count == b.count
+        assert a.min == b.min and a.max == b.max
+
+    @given(values=values_st)
+    @settings(max_examples=60, deadline=None)
+    def test_moments_are_exact(self, values):
+        arr = np.asarray(values, dtype=np.float64)
+        sketch = LatencySketch()
+        # split inserts arbitrarily: one batch then scalars
+        half = len(arr) // 2
+        sketch.add_batch(arr[:half])
+        for v in arr[half:]:
+            sketch.add(float(v))
+        assert sketch.count == len(arr)
+        # replicate the sketch's own accumulation order exactly
+        expected = float(np.sum(arr[:half])) if half else 0.0
+        for v in arr[half:]:
+            expected += float(v)
+        assert sketch.sum == expected
+        assert sketch.min == float(np.min(arr))
+        assert sketch.max == float(np.max(arr))
+        assert sketch.min <= sketch.quantile(50) <= sketch.max
+
+    @given(values=values_st, pct=pct_st)
+    @settings(max_examples=40, deadline=None)
+    def test_estimate_clamped_to_observed_range(self, values, pct):
+        sketch = LatencySketch()
+        sketch.add_batch(np.asarray(values))
+        assert sketch.min <= sketch.quantile(pct) <= sketch.max

@@ -61,9 +61,13 @@ EXPECTED_API = sorted([
     # fleet simulation (docs/FLEET.md)
     "FleetSpec", "NodeSpec", "PLATFORM_KINDS",
     "TraceSpec", "FleetRequest", "generate_trace", "TRACE_KINDS",
+    "TraceChunk", "trace_columns", "iter_trace_chunks",
     "PLACEMENT_POLICIES", "make_policy", "FleetView",
     "run_fleet", "FleetResult", "RequestOutcome", "FleetCellProfile",
     "compare_fleet_policies", "FleetComparisonResult",
+    # streaming fleet dispatch (docs/FLEET.md, "Streaming dispatch")
+    "DISPATCH_MODES", "dispatch_stream", "FleetStreamResult",
+    "LatencySketch",
 ])
 
 
