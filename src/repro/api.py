@@ -47,11 +47,19 @@ from repro.core.baselines import (
     CpuOnlyScheduler,
     GpuOnlyScheduler,
     ProfiledPerfScheduler,
+    RaceToIdleScheduler,
     StaticAlphaScheduler,
 )
 from repro.core.characterization import PlatformCharacterization
 from repro.core.hinted import HintedEnergyAwareScheduler
-from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric, metric_by_name
+from repro.core.metrics import (
+    ED2,
+    EDP,
+    ENERGY,
+    ConstrainedMetric,
+    EnergyMetric,
+    metric_by_name,
+)
 from repro.core.scheduler import (
     EasConfig,
     EnergyAwareScheduler,
@@ -168,6 +176,7 @@ from repro.runtime.tenancy import (
     parse_tenant_specs,
     run_multiprogram,
 )
+from repro.soc.carbon import CarbonSpec, CarbonTrace
 from repro.soc.cost_model import KernelCostModel
 from repro.soc.faults import FaultConfig, FaultySoC
 from repro.soc.simulator import IntegratedProcessor
@@ -198,10 +207,11 @@ __all__ = [
     # schedulers
     "EnergyAwareScheduler", "SchedulerConfig", "EasConfig",
     "HintedEnergyAwareScheduler", "CpuOnlyScheduler", "GpuOnlyScheduler",
-    "StaticAlphaScheduler", "ProfiledPerfScheduler",
-    # characterization & metrics
+    "StaticAlphaScheduler", "ProfiledPerfScheduler", "RaceToIdleScheduler",
+    # characterization & metrics (see docs/OBJECTIVES.md)
     "PlatformCharacterization", "get_characterization",
     "EnergyMetric", "ENERGY", "EDP", "ED2", "metric_by_name",
+    "ConstrainedMetric",
     # workloads
     "Workload", "InvocationSpec", "all_workloads", "workload_by_abbrev",
     # harness
@@ -239,4 +249,6 @@ __all__ = [
     # streaming fleet dispatch (docs/FLEET.md, "Streaming dispatch")
     "DISPATCH_MODES", "dispatch_stream", "FleetStreamResult",
     "LatencySketch",
+    # carbon-aware scheduling (docs/OBJECTIVES.md)
+    "CarbonSpec", "CarbonTrace",
 ]

@@ -15,7 +15,7 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
-from repro.core.metrics import EnergyMetric
+from repro.core.metrics import ConstrainedMetric, EnergyMetric
 from repro.core.power_curve import PowerCurve
 from repro.core.time_model import ExecutionTimeModel
 from repro.errors import SchedulingError
@@ -25,11 +25,21 @@ DEFAULT_ALPHA_STEP = 0.1
 
 
 def alpha_grid(step: float = DEFAULT_ALPHA_STEP) -> "list[float]":
-    """The closed grid {0, step, 2*step, ..., 1}."""
+    """The closed grid {0, step, 2*step, ..., 1}.
+
+    The grid is *closed*: both endpoints are always present.  For a
+    non-divisor step (e.g. 0.3) the rounded interior points stop short
+    of 1.0, so the pure-GPU endpoint is appended explicitly - dropping
+    it silently excluded alpha=1.0 from the search and could make
+    ``best_alpha`` wrong for GPU-dominant kernels.
+    """
     if not 0.0 < step <= 1.0:
         raise SchedulingError("alpha step must be in (0, 1]")
     n = int(round(1.0 / step))
-    return [min(1.0, i * step) for i in range(n + 1)]
+    grid = [min(1.0, i * step) for i in range(n + 1)]
+    if grid[-1] != 1.0:
+        grid.append(1.0)
+    return grid
 
 
 @dataclass(frozen=True)
@@ -64,12 +74,54 @@ class AlphaOptimizer:
 
     def best_alpha(self, power_curve: PowerCurve,
                    time_model: ExecutionTimeModel) -> Tuple[float, float]:
-        """(alpha, objective) minimizing the metric on the grid."""
+        """(alpha, objective) minimizing the metric on the grid.
+
+        When the optimizer's metric is a
+        :class:`~repro.core.metrics.ConstrainedMetric` the search is
+        the feasible-set one (:meth:`best_alpha_constrained`), so
+        every caller of this method honors the deadline; the
+        feasibility flag is dropped here - callers that need it (the
+        scheduler's ``deadline-infeasible`` exit) use
+        :meth:`best_alpha_constrained` directly.
+        """
+        if isinstance(self.metric, ConstrainedMetric):
+            alpha, objective, _ = self.best_alpha_constrained(
+                power_curve, time_model, self.metric.deadline_s)
+            return alpha, objective
         evaluations = self.evaluate(power_curve, time_model)
         best = min(evaluations, key=lambda e: e.objective)
         if not np.isfinite(best.objective):
             raise SchedulingError("no feasible alpha: both devices stalled")
         return best.alpha, best.objective
+
+    def best_alpha_constrained(
+            self, power_curve: PowerCurve, time_model: ExecutionTimeModel,
+            deadline_s: float) -> Tuple[float, float, bool]:
+        """Feasible-set grid search: min metric over {a : T(a) <= deadline}.
+
+        Returns ``(alpha, objective, feasible)``.  A grid point whose
+        predicted time lands *exactly* on the deadline is feasible
+        (the budget is inclusive).  When no grid point meets the
+        deadline the search falls back to the minimum-T point -
+        finish as soon as possible - and reports ``feasible=False``
+        so the scheduler can emit the ``deadline-infeasible`` exit.
+        Ties (equal objectives, or equal times in the fallback) break
+        toward the lowest alpha, matching the unconstrained search's
+        first-of-equals grid order.
+        """
+        evaluations = self.evaluate(power_curve, time_model)
+        feasible_set = [e for e in evaluations
+                        if e.predicted_time_s <= deadline_s]
+        if feasible_set:
+            best = min(feasible_set, key=lambda e: e.objective)
+            if np.isfinite(best.objective):
+                return best.alpha, best.objective, True
+        finite = [e for e in evaluations
+                  if np.isfinite(e.predicted_time_s)]
+        if not finite:
+            raise SchedulingError("no feasible alpha: both devices stalled")
+        best = min(finite, key=lambda e: e.predicted_time_s)
+        return best.alpha, best.objective, False
 
 
 def best_alpha_for(metric: EnergyMetric, power_fn: Callable[[float], float],
@@ -78,15 +130,31 @@ def best_alpha_for(metric: EnergyMetric, power_fn: Callable[[float], float],
     """Functional helper: minimize metric(power_fn(a), time_fn(a)) on the grid.
 
     Used by the Oracle baseline, which minimizes over *measured* values
-    rather than model predictions.
+    rather than model predictions.  A
+    :class:`~repro.core.metrics.ConstrainedMetric` restricts the
+    search to its feasible set, falling back to the min-time point
+    when no grid point meets the deadline (same contract as
+    :meth:`AlphaOptimizer.best_alpha_constrained`).
     """
+    deadline = (metric.deadline_s
+                if isinstance(metric, ConstrainedMetric) else None)
     best_a = 0.0
     best_obj = float("inf")
+    fallback_a = 0.0
+    fallback_t = float("inf")
     for alpha in alpha_grid(step):
-        obj = metric.value(power_fn(alpha), time_fn(alpha))
+        t = time_fn(alpha)
+        if t < fallback_t:
+            fallback_t = t
+            fallback_a = alpha
+        if deadline is not None and t > deadline:
+            continue
+        obj = metric.value(power_fn(alpha), t)
         if obj < best_obj:
             best_obj = obj
             best_a = alpha
     if not np.isfinite(best_obj):
+        if deadline is not None and np.isfinite(fallback_t):
+            return fallback_a
         raise SchedulingError("objective is infinite across the whole grid")
     return best_a

@@ -58,13 +58,14 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.characterization import PlatformCharacterization
 from repro.core.classification import ClassificationInputs, OnlineClassifier
-from repro.core.metrics import EnergyMetric
+from repro.core.metrics import ConstrainedMetric, EnergyMetric
 from repro.core.optimizer import DEFAULT_ALPHA_STEP, AlphaOptimizer
 from repro.core.profiling import KernelTable, ProfileAggregate
 from repro.errors import GpuFaultError, SchedulingError
 from repro.obs.observer import NULL_OBSERVER, Observer, resolve
 from repro.obs.records import (
     EXIT_COOLDOWN,
+    EXIT_DEADLINE_INFEASIBLE,
     EXIT_DEGRADED,
     EXIT_FAULT_DEGRADED,
     EXIT_GPU_BUSY,
@@ -286,6 +287,12 @@ class EnergyAwareScheduler:
         #: Table audit state of the invocation in flight.
         self._table_hit: bool = False
         self._table_usable: bool = False
+        #: Set by the *final* grid search of the invocation in flight
+        #: when the metric is deadline-constrained and the feasible
+        #: set {alpha : T(alpha) <= deadline} came up empty - the
+        #: invocation then ran at the min-T alpha and exits through
+        #: EXIT_DEADLINE_INFEASIBLE instead of EXIT_PROFILED.
+        self._deadline_infeasible: bool = False
 
     # -- SchedulerProtocol ---------------------------------------------------------
 
@@ -309,6 +316,7 @@ class EnergyAwareScheduler:
         self.table.note_invocation(tkey)
         self._fault_events = []
         self._debounce_idle_s = 0.0
+        self._deadline_infeasible = False
 
         profile_size = (self.config.gpu_profile_size
                         or launch.processor.spec.gpu_profile_size)
@@ -490,15 +498,30 @@ class EnergyAwareScheduler:
             record.notes.insert(0, f"category={category.short_code}")
         if sanity_note is not None:
             record.notes.append(sanity_note)
+        exit_path = EXIT_PROFILED
+        fallback_reason = ("partitioned phase faulted; remainder "
+                           "drained on the CPU" if fell_back else None)
+        if self._deadline_infeasible:
+            # The constrained grid search found an empty feasible set:
+            # no alpha meets the metric's deadline, so the invocation
+            # ran at the min-T alpha.  Same profiled pipeline, its own
+            # exit path - a campaign must be able to count how often
+            # the budget was simply unattainable.
+            exit_path = EXIT_DEADLINE_INFEASIBLE
+            deadline = getattr(self.metric, "deadline_s", float("nan"))
+            if fallback_reason is None:
+                fallback_reason = (
+                    f"no alpha meets deadline_s={deadline:g}; "
+                    f"running min-T alpha={alpha:.2f}")
+            record.notes.append("deadline-infeasible")
         self._emit_decision(
-            launch, key, EXIT_PROFILED, alpha=record.alpha,
+            launch, key, exit_path, alpha=record.alpha,
             category=category, rounds=aggregate.num_rounds,
             cpu_throughput=aggregate.cpu_throughput,
             gpu_throughput=aggregate.gpu_throughput,
             decision_overhead=decision_overhead,
             quarantined=faulted,
-            fallback_reason=("partitioned phase faulted; remainder "
-                             "drained on the CPU" if fell_back else None),
+            fallback_reason=fallback_reason,
             notes=record.notes)
         return record
 
@@ -766,6 +789,9 @@ class EnergyAwareScheduler:
             # Profiling observed no progress on either device: the
             # observations are unusable.  Fall back to the last-known-
             # good table entry, else to the CPU-only safe default.
+            # The applied alpha did not come from a constrained search,
+            # so any infeasible verdict from an earlier round is void.
+            self._deadline_infeasible = False
             entry = self.table.lookup(key)
             if (entry is not None and not entry.provisional
                     and not entry.quarantined):
@@ -782,7 +808,16 @@ class EnergyAwareScheduler:
         curve = self.characterization.curve_for(category)
         model = ExecutionTimeModel(cpu_throughput=r_c, gpu_throughput=r_g,
                                    n_items=n_model)
-        alpha, _ = self.optimizer.best_alpha(curve, model)
+        if isinstance(self.metric, ConstrainedMetric):
+            # Feasible-set search: minimize the base objective over
+            # {alpha : T(alpha) <= deadline}, min-T fallback when the
+            # set is empty.  Each round overwrites the flag, so the
+            # *final* (converged) search decides the exit path.
+            alpha, _, feasible = self.optimizer.best_alpha_constrained(
+                curve, model, self.metric.deadline_s)
+            self._deadline_infeasible = not feasible
+        else:
+            alpha, _ = self.optimizer.best_alpha(curve, model)
         return alpha, category, None
 
 

@@ -67,6 +67,7 @@ from repro.harness.engine import (
 from repro.harness.report import format_table, heading
 from repro.obs.observer import Observer
 from repro.obs.records import DecisionRecord
+from repro.soc.carbon import CarbonTrace
 
 #: ``exit_path`` tag on fleet placement decision records (the node-
 #: level records keep the scheduler's own Fig.-7 exit paths).
@@ -108,6 +109,10 @@ class RequestOutcome:
     deadline_s: float
     #: Software-visible energy of the node-level run, joules.
     energy_j: float
+    #: Grams of CO2 this request's energy cost, weighted by the grid
+    #: intensity at ``t_start_s`` in the serving node's region; None
+    #: on carbon-blind fleets.
+    carbon_g: Optional[float] = None
 
     @property
     def latency_s(self) -> float:
@@ -118,10 +123,15 @@ class RequestOutcome:
         return self.latency_s > self.deadline_s
 
     def canonical(self) -> str:
-        return (f"{self.req_id}|{self.workload}|{self.node}"
+        base = (f"{self.req_id}|{self.workload}|{self.node}"
                 f"|{self.t_arrival_s!r}|{self.t_start_s!r}"
                 f"|{self.t_complete_s!r}|{self.deadline_s!r}"
                 f"|{self.energy_j!r}")
+        # Appended only on carbon-aware fleets so carbon-blind
+        # fingerprints keep their pre-existing byte form.
+        if self.carbon_g is not None:
+            base += f"|co2={self.carbon_g!r}"
+        return base
 
 
 @dataclass
@@ -181,6 +191,41 @@ class FleetResult:
             total += idle_power[node.platform_kind] * max(
                 0.0, horizon - busy)
         return total
+
+    @property
+    def total_carbon_g(self) -> float:
+        """Carbon mass across the fleet, grams (0 on carbon-blind
+        fleets, where no outcome carries a carbon figure)."""
+        return sum(o.carbon_g for o in self.outcomes
+                   if o.carbon_g is not None)
+
+    def low_carbon_energy_fraction(self) -> float:
+        """Of the *deferrable* requests' energy, the fraction spent in
+        below-median-intensity windows (median of each serving
+        region's signal over the trace horizon).
+
+        The acceptance number for carbon-aware shifting: a
+        carbon-blind dispatch of a diurnal trace lands roughly half
+        the deferrable energy below the median; temporal shifting
+        should push that fraction well above it.  Raises on
+        carbon-blind fleets (there is no signal to measure against).
+        """
+        if self.fleet.carbon is None:
+            raise HarnessError(
+                "low_carbon_energy_fraction needs a carbon-aware fleet")
+        signal = self.fleet.carbon.trace()
+        horizon = max(self.trace.duration_s, self.makespan_s)
+        medians = [signal.median_intensity(horizon, region)
+                   for region in range(self.fleet.carbon.n_regions)]
+        deferrable = total = 0.0
+        for o in self.outcomes:
+            if self.trace.deferral_fraction * o.deadline_s <= 0.0:
+                continue
+            total += o.energy_j
+            if (signal.intensity(o.t_start_s, o.node_index)
+                    < medians[o.node_index % self.fleet.carbon.n_regions]):
+                deferrable += o.energy_j
+        return deferrable / total if total else 0.0
 
     @property
     def deadline_misses(self) -> int:
@@ -271,6 +316,14 @@ class FleetResult:
             ("deadline misses", f"{self.deadline_misses} "
                                 f"({self.miss_rate:.1%})"),
         ]
+        if self.fleet.carbon is not None:
+            rows.append(("fleet carbon", f"{self.total_carbon_g:.2f} g "
+                                         f"CO2"))
+            if self.trace.deferral_fraction > 0.0:
+                rows.append((
+                    "low-carbon energy",
+                    f"{self.low_carbon_energy_fraction():.1%} of "
+                    f"deferrable energy below median intensity"))
         return "\n".join([
             heading(f"Fleet dispatch: policy={self.policy}, "
                     f"trace={self.trace.kind}"),
@@ -323,6 +376,33 @@ class FleetComparisonResult:
 
 
 # -- the dispatch loop -----------------------------------------------------------
+
+#: Candidate hold instants evaluated per deferrable request: evenly
+#: spaced over ``[arrival, arrival + deferrable_s]``, ties earliest.
+_DEFERRAL_SAMPLES = 17
+
+
+def _deferral_start(request: FleetRequest, carbon: CarbonTrace) -> float:
+    """The earliest lowest-intensity dispatch instant in the hold window.
+
+    The deferral decision happens *before* placement (no node, hence
+    no region, is known yet), so it reads the grid-operator signal -
+    region 0.  Per-region accounting still prices the energy at the
+    serving node's own region once placed.
+    """
+    if request.deferrable_s <= 0.0:
+        return request.t_arrival_s
+    best_t = request.t_arrival_s
+    best_value = carbon.intensity(best_t, 0)
+    for k in range(1, _DEFERRAL_SAMPLES):
+        t = (request.t_arrival_s
+             + request.deferrable_s * k / (_DEFERRAL_SAMPLES - 1))
+        value = carbon.intensity(t, 0)
+        if value < best_value:
+            best_value = value
+            best_t = t
+    return best_t
+
 
 def _run_cell_batch(fleet: FleetSpec, pairs: Sequence[Tuple[str, str]],
                     engine: ExecutionEngine, observer: Optional[Observer]
@@ -414,9 +494,22 @@ def run_fleet(fleet: FleetSpec, trace: TraceSpec,
                     obs.inc("fleet.deadline_misses")
                 obs.observe("fleet.latency_s", outcome.latency_s)
 
-    for request in requests:
-        view.now = request.t_arrival_s
-        retire(request.t_arrival_s)
+    # Carbon-aware temporal shifting: a deferrable request may be held
+    # up to its deferrable_s for a lower-intensity window, after which
+    # it re-enters the dispatch order at its *effective* time (ties on
+    # req_id - explicit-integer tie-breaking, like everything here).
+    # With no carbon signal the schedule is the arrival order verbatim.
+    carbon = fleet.carbon.trace() if fleet.carbon is not None else None
+    if carbon is not None:
+        schedule = [(_deferral_start(request, carbon), request)
+                    for request in requests]
+        schedule.sort(key=lambda pair: (pair[0], pair[1].req_id))
+    else:
+        schedule = [(request.t_arrival_s, request) for request in requests]
+
+    for t_dispatch, request in schedule:
+        view.now = t_dispatch
+        retire(t_dispatch)
         node_index, reason = placer.place(view, request)
         if not view.is_eligible(node_index, request.workload):
             raise HarnessError(
@@ -424,7 +517,7 @@ def run_fleet(fleet: FleetSpec, trace: TraceSpec,
                 f"ineligible node {view.nodes[node_index].name}")
         node = view.nodes[node_index]
         profile = profiles[(node.platform_kind, request.workload)]
-        t_start = max(request.t_arrival_s, view.free_at[node_index])
+        t_start = max(t_dispatch, view.free_at[node_index])
         t_complete = t_start + profile.time_s
         outcomes.append(RequestOutcome(
             req_id=request.req_id,
@@ -436,19 +529,25 @@ def run_fleet(fleet: FleetSpec, trace: TraceSpec,
             t_start_s=t_start,
             t_complete_s=t_complete,
             deadline_s=request.deadline_s,
-            energy_j=profile.energy_j))
+            energy_j=profile.energy_j,
+            carbon_g=(carbon.grams(profile.energy_j, t_start, node_index)
+                      if carbon is not None else None)))
         view.note_dispatch(node_index, request.workload, t_complete)
         heapq.heappush(pending, (t_complete, seq, len(outcomes) - 1))
         seq += 1
+        notes = [f"policy:{policy}", f"node:{node.name}",
+                 f"reason:{reason}",
+                 f"deadline_s:{request.deadline_s:.1f}"]
+        if t_dispatch > request.t_arrival_s:
+            notes.append(
+                f"deferred:{t_dispatch - request.t_arrival_s:.1f}s")
         records.append(DecisionRecord(
             exit_path=EXIT_FLEET_PLACEMENT,
             kernel=request.workload,
             alpha=profile.final_alpha or 0.0,
             tenant=node.name,
-            sim_time_s=request.t_arrival_s,
-            notes=[f"policy:{policy}", f"node:{node.name}",
-                   f"reason:{reason}",
-                   f"deadline_s:{request.deadline_s:.1f}"]))
+            sim_time_s=t_dispatch,
+            notes=notes))
         if obs is not None:
             obs.inc("fleet.dispatches")
             obs.inc(f"fleet.dispatches.{node.platform_kind}")
@@ -754,6 +853,11 @@ def dispatch_stream(fleet: FleetSpec, trace: TraceSpec,
     deadline_aware) run scalar over the columnar chunks with bucketed
     completion retirement.
     """
+    if fleet.carbon is not None:
+        raise HarnessError(
+            "streaming dispatch does not support carbon-aware fleets "
+            "yet (temporal shifting reorders the request stream); use "
+            "dispatch_mode='reference'")
     if engine is None:
         engine = get_default_engine()
     if chunk_size <= 0:

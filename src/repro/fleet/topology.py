@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.metrics import metric_by_name
 from repro.errors import HarnessError
+from repro.soc.carbon import CarbonSpec
 from repro.soc.spec import (
     TICK_MODES,
     PlatformSpec,
@@ -65,6 +66,10 @@ class FleetSpec:
     #: the fleet only picks *where*, the node picks *how*).
     metric: str = "edp"
     seed: int = 2016
+    #: Grid carbon-intensity signal the fleet operates under (None =
+    #: carbon-blind dispatch).  Nodes map onto the signal's regions
+    #: round-robin by index.
+    carbon: Optional[CarbonSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -75,6 +80,9 @@ class FleetSpec:
             raise HarnessError(f"tick_mode {self.tick_mode!r} not in "
                                f"{TICK_MODES}")
         metric_by_name(self.metric)  # fail fast with did-you-mean
+        if self.carbon is not None and not isinstance(self.carbon,
+                                                      CarbonSpec):
+            raise HarnessError("fleet carbon must be a CarbonSpec or None")
 
     def nodes(self) -> Tuple[NodeSpec, ...]:
         """The node roster, platform kinds evenly interleaved.
@@ -103,5 +111,10 @@ class FleetSpec:
                            f"expected one of {PLATFORM_KINDS}")
 
     def canonical(self) -> str:
-        return (f"{self.n_nodes}|{self.desktop_fraction!r}|{self.tick_mode}"
+        base = (f"{self.n_nodes}|{self.desktop_fraction!r}|{self.tick_mode}"
                 f"|{self.metric}|{self.seed}")
+        # Appended only when set: carbon-blind fleets keep their
+        # pre-existing canonical form (golden fingerprints).
+        if self.carbon is not None:
+            base += f"|carbon|{self.carbon.canonical()}"
+        return base

@@ -76,10 +76,21 @@ class FleetRequest:
     #: Relative latency budget: the request misses its deadline when
     #: completion exceeds ``t_arrival_s + deadline_s``.
     deadline_s: float
+    #: How long the dispatcher may *hold* the request past arrival
+    #: (carbon-aware temporal shifting); 0 means dispatch on arrival.
+    #: Always derived as ``deferral_fraction * deadline_s`` - never a
+    #: fresh RNG draw - so enabling deferral does not perturb the
+    #: trace's arrival/deadline stream.
+    deferrable_s: float = 0.0
 
     def canonical(self) -> str:
-        return (f"{self.req_id}|{self.t_arrival_s!r}|{self.workload}"
+        base = (f"{self.req_id}|{self.t_arrival_s!r}|{self.workload}"
                 f"|{self.deadline_s!r}")
+        # Appended only when nonzero so pre-deferral canonicals (and
+        # the fingerprints built on them) are unchanged.
+        if self.deferrable_s:
+            base += f"|defer={self.deferrable_s!r}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -103,6 +114,12 @@ class TraceSpec:
     #: (adversarial waves always use the tight end).
     deadline_lo_s: float = 30.0
     deadline_hi_s: float = 120.0
+    #: Fraction of each request's deadline the dispatcher may spend
+    #: *holding* it for a lower-carbon window (0 disables deferral).
+    #: Derived per request as ``deferral_fraction * deadline_s``, so
+    #: the RNG draw sequence - and therefore every existing trace -
+    #: is untouched.
+    deferral_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.workloads, tuple):
@@ -120,11 +137,19 @@ class TraceSpec:
             workload_by_abbrev(abbrev)  # fail fast with did-you-mean
         if not 0.0 < self.deadline_lo_s <= self.deadline_hi_s:
             raise HarnessError("need 0 < deadline_lo_s <= deadline_hi_s")
+        if not (math.isfinite(self.deferral_fraction)
+                and 0.0 <= self.deferral_fraction <= 1.0):
+            raise HarnessError("deferral_fraction must be in [0, 1]")
 
     def canonical(self) -> str:
-        return (f"{self.kind}|{self.duration_s!r}|{self.mean_rate_hz!r}"
+        base = (f"{self.kind}|{self.duration_s!r}|{self.mean_rate_hz!r}"
                 f"|{','.join(self.workloads)}|{self.seed}"
                 f"|{self.deadline_lo_s!r}|{self.deadline_hi_s!r}")
+        # Appended only when deferral is on: zero-deferral specs keep
+        # their pre-existing canonical form (golden fingerprints).
+        if self.deferral_fraction > 0.0:
+            base += f"|defer={self.deferral_fraction!r}"
+        return base
 
     def requests(self) -> Tuple[FleetRequest, ...]:
         return generate_trace(self)
@@ -144,13 +169,15 @@ class _Draft:
     order: int = field(default=0)
 
 
-def _finalize(drafts: List[_Draft]) -> Tuple[FleetRequest, ...]:
+def _finalize(drafts: List[_Draft],
+              deferral_fraction: float = 0.0) -> Tuple[FleetRequest, ...]:
     for i, draft in enumerate(drafts):
         draft.order = i
     drafts.sort(key=lambda d: (d.t, d.order))
     return tuple(
         FleetRequest(req_id=i, t_arrival_s=d.t, workload=d.workload,
-                     deadline_s=d.deadline_s)
+                     deadline_s=d.deadline_s,
+                     deferrable_s=deferral_fraction * d.deadline_s)
         for i, d in enumerate(drafts))
 
 
@@ -235,7 +262,8 @@ _GENERATORS = {
 def generate_trace(spec: TraceSpec) -> Tuple[FleetRequest, ...]:
     """Expand ``spec`` into its (deterministic) request sequence."""
     rng = random.Random(spec.seed)
-    return _finalize(_GENERATORS[spec.kind](spec, rng))
+    return _finalize(_GENERATORS[spec.kind](spec, rng),
+                     spec.deferral_fraction)
 
 
 # --------------------------------------------------------------------
@@ -267,6 +295,9 @@ class TraceChunk:
     t_arrival_s: np.ndarray     # float64, nondecreasing
     workload_idx: np.ndarray    # uint16 index into ``workloads``
     deadline_s: np.ndarray      # float64 relative latency budget
+    #: The spec's deferral fraction; deferrable_s stays derived
+    #: (``fraction * deadline``) so no column is needed for it.
+    deferral_fraction: float = 0.0
 
     def __len__(self) -> int:
         return len(self.t_arrival_s)
@@ -274,11 +305,13 @@ class TraceChunk:
     def requests(self) -> Iterator[FleetRequest]:
         """Expand to scalar requests (testing/debug convenience)."""
         for i in range(len(self.t_arrival_s)):
+            deadline = float(self.deadline_s[i])
             yield FleetRequest(
                 req_id=self.start_id + i,
                 t_arrival_s=float(self.t_arrival_s[i]),
                 workload=self.workloads[int(self.workload_idx[i])],
-                deadline_s=float(self.deadline_s[i]))
+                deadline_s=deadline,
+                deferrable_s=self.deferral_fraction * deadline)
 
 
 class _ColumnSink:
@@ -446,4 +479,5 @@ def iter_trace_chunks(spec: TraceSpec,
         yield TraceChunk(start_id=start, workloads=spec.workloads,
                          t_arrival_s=t[start:stop],
                          workload_idx=w[start:stop],
-                         deadline_s=d[start:stop])
+                         deadline_s=d[start:stop],
+                         deferral_fraction=spec.deferral_fraction)

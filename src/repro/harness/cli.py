@@ -39,6 +39,7 @@ from repro.core.baselines import (
     CpuOnlyScheduler,
     GpuOnlyScheduler,
     ProfiledPerfScheduler,
+    RaceToIdleScheduler,
 )
 from repro.core.metrics import metric_by_name
 from repro.core.scheduler import EnergyAwareScheduler
@@ -109,8 +110,15 @@ def _run_custom(args: argparse.Namespace) -> int:
         if name == "eas":
             return EnergyAwareScheduler(
                 get_characterization(spec, cache_dir=args.cache_dir), metric)
+        if name == "race":
+            # Race-to-idle banks the same budget the constrained metric
+            # carries (--metric edp@2 -> 2 s); unconstrained metrics
+            # leave it as a pure alpha_PERF sprint.
+            return RaceToIdleScheduler(
+                deadline_s=getattr(metric, "deadline_s", None))
         raise HarnessError(
-            f"unknown strategy {name!r}; expected cpu, gpu, perf or eas")
+            f"unknown strategy {name!r}; expected cpu, gpu, perf, "
+            f"race or eas")
 
     if args.trace_csv and len(wanted) != 1:
         raise HarnessError("--trace-csv needs exactly one strategy "
@@ -232,10 +240,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default="desktop",
                         help="platform for --run (default: desktop)")
     parser.add_argument("--metric", default="edp",
-                        help="objective for --run: energy, edp or ed2 "
-                             "(default: edp)")
+                        help="objective for --run: energy, edp or ed2, "
+                             "optionally deadline-constrained as "
+                             "NAME@SECONDS (e.g. edp@2 minimizes EDP "
+                             "over alphas meeting a 2 s deadline; see "
+                             "docs/OBJECTIVES.md) (default: edp)")
     parser.add_argument("--strategies", default="cpu,gpu,perf,eas",
-                        help="comma-separated strategies for --run "
+                        help="comma-separated strategies for --run: "
+                             "cpu, gpu, perf, race, eas "
                              "(default: cpu,gpu,perf,eas)")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for cached platform "

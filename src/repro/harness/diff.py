@@ -42,7 +42,7 @@ import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.metrics import EDP
+from repro.core.metrics import EDP, metric_by_name
 from repro.core.scheduler import EnergyAwareScheduler
 from repro.errors import HarnessError
 from repro.harness.experiment import run_application
@@ -116,6 +116,10 @@ class DiffCase:
     #: through the GPU lease arbiter.
     tenants: int = 1
     seed: int = 2016
+    #: Objective metric name; constrained spellings (``"edp@2"``) run
+    #: the case under a deadline-constrained objective, so the grid
+    #: also locks the feasible-set search across clock modes.
+    metric: str = "edp"
 
     def __post_init__(self) -> None:
         if self.platform not in PLATFORM_FACTORIES:
@@ -124,12 +128,17 @@ class DiffCase:
                 f"{tuple(PLATFORM_FACTORIES)}")
         if self.tenants not in (1, 2):
             raise HarnessError("diff cases cover solo and 2-tenant only")
+        metric_by_name(self.metric)  # fail fast on unknown names
 
     @property
     def label(self) -> str:
         tenancy = "solo" if self.tenants == 1 else "2-tenant"
-        return (f"{self.platform}/{self.workload}"
+        base = (f"{self.platform}/{self.workload}"
                 f"/fault={self.fault_level}/{tenancy}")
+        # Default-metric labels are unchanged so golden names are stable.
+        if self.metric != "edp":
+            base += f"/{self.metric}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -224,7 +233,8 @@ def _application_outcome(case: DiffCase, mode: str) -> CaseOutcome:
     spec = platform_for(case, mode)
     workload = workload_by_abbrev(case.workload)
     tablet = case.platform == "tablet"
-    scheduler = EnergyAwareScheduler(_characterization_for(case), EDP)
+    scheduler = EnergyAwareScheduler(_characterization_for(case),
+                                     metric_by_name(case.metric))
     run = run_application(spec, workload, scheduler, "EAS", tablet=tablet,
                           fault_config=fault_config_for(case))
     unit = spec.energy_unit_j
@@ -253,7 +263,8 @@ def _multiprogram_outcome(case: DiffCase, mode: str) -> CaseOutcome:
     tenants = parse_tenant_specs(f"{case.workload}:1,{partner}:0")
     result = run_multiprogram(
         spec=spec, tenants=tenants, policy="fifo", seed=case.seed,
-        metric=EDP, tablet=case.platform == "tablet",
+        metric=metric_by_name(case.metric),
+        tablet=case.platform == "tablet",
         fault_level=case.fault_level,
         fault_config=fault_config_for(case),
         characterization=_characterization_for(case))
@@ -366,6 +377,21 @@ def grid_cases(platforms: Sequence[str] = ("desktop", "tablet"),
                     cases.append(DiffCase(
                         platform=platform, workload=abbrev,
                         fault_level=fault_level, tenants=tenants, seed=seed))
+    # One deadline-constrained case per platform.  The deadline is very
+    # loose so every grid point is feasible under all three clock modes
+    # (a tight deadline could flip the feasible set - and the exit path -
+    # between modes near the boundary; that behavior is locked by
+    # single-mode unit tests instead).  What this locks is that the
+    # ConstrainedMetric machinery itself agrees across modes.
+    for platform in platforms:
+        if workloads is not None:
+            if not workloads.get(platform):
+                continue
+            abbrev = workloads[platform][0]
+        else:
+            abbrev = suite_workloads(tablet=platform == "tablet")[0].abbrev
+        cases.append(DiffCase(platform=platform, workload=abbrev,
+                              seed=seed, metric="edp@1000"))
     return cases
 
 

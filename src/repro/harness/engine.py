@@ -56,6 +56,7 @@ from repro.core.baselines import (
     CpuOnlyScheduler,
     GpuOnlyScheduler,
     ProfiledPerfScheduler,
+    RaceToIdleScheduler,
     StaticAlphaScheduler,
 )
 from repro.core.characterization import CharacterizationMicrobench
@@ -91,7 +92,13 @@ from repro.workloads.registry import workload_by_abbrev
 #: ``RunSpec`` grew ``fleet``/``trace``/``policy``/``dispatch_mode``
 #: (all in the canonical payload), so reference- and streaming-mode
 #: fleet results are distinct cache entries.
-CACHE_SCHEMA_VERSION = 6
+#:
+#: v7: constrained objectives landed - :class:`SchedulerSpec` grew
+#: ``deadline_s`` and the ``race`` kind (race-to-idle), constrained
+#: metric names (``"edp@2"``) flow through ``SchedulerSpec.metric``,
+#: and fleet specs may carry carbon/deferral fields.  The scheduler
+#: dict layout changed, so every pre-v7 entry must miss.
+CACHE_SCHEMA_VERSION = 7
 
 # -- task kinds -----------------------------------------------------------------
 
@@ -130,8 +137,9 @@ _ALL_KINDS = (KIND_APPLICATION, KIND_CHAOS_CELL, KIND_CHAOS_BASELINE,
 #: scope - the fleet dispatcher imports the engine).
 _FLEET_DISPATCH_MODES = ("reference", "streaming")
 
-_SCHEDULER_KINDS = ("cpu", "gpu", "perf", "static", "eas")
-_STRATEGY_NAMES = {"cpu": "CPU", "gpu": "GPU", "perf": "PERF", "eas": "EAS"}
+_SCHEDULER_KINDS = ("cpu", "gpu", "perf", "static", "eas", "race")
+_STRATEGY_NAMES = {"cpu": "CPU", "gpu": "GPU", "perf": "PERF", "eas": "EAS",
+                   "race": "RACE"}
 
 
 def config_overrides(config: Optional[SchedulerConfig]
@@ -164,10 +172,16 @@ class SchedulerSpec:
     kind: str
     #: Static GPU offload ratio (``kind == "static"`` only).
     alpha: Optional[float] = None
-    #: Objective metric name (``kind == "eas"`` only).
+    #: Objective metric name (``kind == "eas"`` only).  Constrained
+    #: spellings (``"edp@2"``) round-trip through
+    #: :func:`~repro.core.metrics.metric_by_name`, so deadline-
+    #: constrained objectives key the cache like any other metric.
     metric: str = "edp"
     #: Non-default :class:`SchedulerConfig` fields, canonicalized.
     overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Per-invocation deadline budget the race-to-idle scheduler
+    #: idles out to (``kind == "race"`` only; None = pure sprint).
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _SCHEDULER_KINDS:
@@ -176,6 +190,16 @@ class SchedulerSpec:
                 f"expected one of {_SCHEDULER_KINDS}")
         if self.kind == "static" and self.alpha is None:
             raise HarnessError("static scheduler spec needs an alpha")
+        if self.deadline_s is not None:
+            if self.kind != "race":
+                raise HarnessError(
+                    "deadline_s is a race scheduler knob; constrained "
+                    "EAS carries its deadline in the metric name "
+                    "(e.g. metric='edp@2')")
+            try:
+                RaceToIdleScheduler(deadline_s=self.deadline_s)
+            except SchedulingError as exc:
+                raise HarnessError(str(exc)) from exc
 
     # -- constructors ------------------------------------------------------------
 
@@ -202,6 +226,10 @@ class SchedulerSpec:
         metric_by_name(name)  # validate early, in the submitting process
         return cls(kind="eas", metric=name, overrides=config_overrides(config))
 
+    @classmethod
+    def race(cls, deadline_s: Optional[float] = None) -> "SchedulerSpec":
+        return cls(kind="race", deadline_s=deadline_s)
+
     # -- reconstruction ----------------------------------------------------------
 
     @property
@@ -221,6 +249,8 @@ class SchedulerSpec:
             return GpuOnlyScheduler()
         if self.kind == "perf":
             return ProfiledPerfScheduler()
+        if self.kind == "race":
+            return RaceToIdleScheduler(deadline_s=self.deadline_s)
         if self.kind == "static":
             return StaticAlphaScheduler(alpha=self.alpha)
         if characterization is None:

@@ -510,6 +510,177 @@ def regenerate_fleet(tick_mode: Optional[str] = None):
 
 
 # ---------------------------------------------------------------------------
+# Objectives: constrained EAS vs race-to-idle vs plain EAS, plus a
+# carbon-aware fleet cell (not a paper figure; see docs/OBJECTIVES.md)
+# ---------------------------------------------------------------------------
+
+#: Workloads the objectives comparison sweeps (tablet-supported, one
+#: regular and one irregular).
+_OBJECTIVES_WORKLOADS: Tuple[str, ...] = ("MB", "BS")
+#: Per-invocation deadline budgets, as multiples of the baseline EAS
+#: run's mean invocation time: loose (met by riding the energy-optimal
+#: alpha) and tight (forces faster-but-hungrier operating points).
+_OBJECTIVES_LOOSE_FACTOR = 1.5
+_OBJECTIVES_TIGHT_FACTOR = 0.25
+
+
+@dataclass
+class ObjectivesResult:
+    """Deadline-constrained and carbon-aware objective comparison.
+
+    ``rows`` holds one line per (platform, workload, strategy):
+    baseline EAS, deadline-constrained EAS (loose budget), and
+    race-to-idle on the same budget.  ``infeasible`` audits the tight
+    budget: how many invocations exited ``deadline-infeasible``.
+    ``carbon_rows`` compares a carbon-priced fleet cell with and
+    without temporal shifting.
+    """
+
+    rows: List[Tuple[str, str, str, float, float, float]]
+    #: (platform, workload, deadline_s, infeasible exits, invocations)
+    infeasible: List[Tuple[str, str, float, int, int]]
+    carbon_rows: List[Tuple[str, str]]
+    #: (unshifted, shifted) carbon fleet fingerprints.
+    fleet_fingerprints: Tuple[str, str]
+
+    def fingerprint(self) -> str:
+        import hashlib
+
+        lines = [f"row|{p}|{w}|{s}|{t!r}|{e!r}|{m!r}"
+                 for p, w, s, t, e, m in self.rows]
+        lines += [f"tight|{p}|{w}|{d!r}|{n}|{total}"
+                  for p, w, d, n, total in self.infeasible]
+        lines += [f"carbon|{k}|{v}" for k, v in self.carbon_rows]
+        lines += [f"fleet|{fp}" for fp in self.fleet_fingerprints]
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+    def render(self) -> str:
+        strategy_rows = [
+            (p, w, s, f"{t:.4f}", f"{e:.1f}", f"{m:.2f}")
+            for p, w, s, t, e, m in self.rows]
+        tight_rows = [
+            (p, w, f"{d:.4f}", f"{n}/{total}")
+            for p, w, d, n, total in self.infeasible]
+        return "\n".join([
+            heading("Objectives: deadline-constrained EAS vs "
+                    "race-to-idle (docs/OBJECTIVES.md)"),
+            format_table(
+                ["platform", "workload", "strategy", "time (s)",
+                 "energy (J)", "EDP"], strategy_rows),
+            "",
+            "Tight budgets (deadline-infeasible exits / invocations):",
+            format_table(["platform", "workload", "deadline (s)",
+                          "infeasible"], tight_rows),
+            "",
+            "Carbon-aware fleet cell (diurnal trace):",
+            format_table(["quantity", "value"], self.carbon_rows),
+            "",
+            f"fingerprint: {self.fingerprint()}",
+        ])
+
+
+def regenerate_objectives(tick_mode: Optional[str] = None
+                          ) -> ObjectivesResult:
+    """Both platforms x (EAS, constrained EAS, race-to-idle), plus a
+    carbon-priced fleet cell with and without temporal shifting.
+
+    All application runs go through the engine (parallel under
+    ``--jobs N``, byte-identical fingerprints either way); deadlines
+    derive deterministically from the baseline EAS runs.
+    """
+    from dataclasses import replace
+
+    from repro.fleet.dispatcher import run_fleet
+    from repro.fleet.topology import FleetSpec
+    from repro.fleet.trace import TraceSpec
+    from repro.core.metrics import ConstrainedMetric
+    from repro.core.scheduler import EnergyAwareScheduler
+    from repro.harness.engine import (
+        RunSpec,
+        SchedulerSpec,
+        get_default_engine,
+    )
+    from repro.harness.experiment import run_application
+    from repro.obs.records import EXIT_DEADLINE_INFEASIBLE
+    from repro.soc.carbon import CarbonSpec
+
+    engine = get_default_engine()
+    platforms = [("desktop", haswell_desktop(tick_mode=tick_mode or "fast"),
+                  False),
+                 ("tablet", baytrail_tablet(tick_mode=tick_mode or "fast"),
+                  True)]
+    cells = [(name, spec, tablet, abbrev)
+             for name, spec, tablet in platforms
+             for abbrev in _OBJECTIVES_WORKLOADS]
+
+    # Phase 1: baseline EAS runs set the deadline scale per cell.
+    base_specs = [RunSpec(platform=spec, workload=abbrev,
+                          scheduler=SchedulerSpec.eas("edp"), tablet=tablet)
+                  for _, spec, tablet, abbrev in cells]
+    base_runs = [r.payload for r in engine.run_batch(base_specs)]
+    budgets = []
+    for run in base_runs:
+        mean_inv_s = run.time_s / max(len(run.invocations), 1)
+        budgets.append((round(_OBJECTIVES_LOOSE_FACTOR * mean_inv_s, 6),
+                        round(_OBJECTIVES_TIGHT_FACTOR * mean_inv_s, 6)))
+
+    # Phase 2: one batch covering every strategy cell.
+    strategy_specs = []
+    labels = []
+    for (name, spec, tablet, abbrev), (loose, _) in zip(cells, budgets):
+        constrained = f"edp@{loose:g}"
+        for label, scheduler in [
+                ("EAS", SchedulerSpec.eas("edp")),
+                (f"EAS[{constrained}]", SchedulerSpec.eas(constrained)),
+                (f"RACE[{loose:g}s]", SchedulerSpec.race(loose))]:
+            strategy_specs.append(RunSpec(
+                platform=spec, workload=abbrev, scheduler=scheduler,
+                tablet=tablet))
+            labels.append((name, abbrev, label))
+    strategy_runs = [r.payload for r in engine.run_batch(strategy_specs)]
+    rows = [(name, abbrev, label, run.time_s, run.energy_j,
+             run.energy_j * run.time_s)
+            for (name, abbrev, label), run in zip(labels, strategy_runs)]
+
+    # Tight-budget audit (direct run: the engine payload does not
+    # carry decision records, and this run is deterministic anyway).
+    infeasible = []
+    for (name, spec, tablet, abbrev), (_, tight) in zip(cells, budgets):
+        if abbrev != _OBJECTIVES_WORKLOADS[0]:
+            continue
+        scheduler = EnergyAwareScheduler(
+            get_characterization(spec),
+            ConstrainedMetric.constrain(EDP, tight))
+        run_application(spec, workload_by_abbrev(abbrev), scheduler,
+                        "EAS", tablet=tablet)
+        exits = [r.exit_path for r in scheduler.decisions]
+        infeasible.append((name, abbrev, tight,
+                           exits.count(EXIT_DEADLINE_INFEASIBLE),
+                           len(exits)))
+
+    # Carbon-aware fleet cell: same diurnal trace, shifted vs not.
+    carbon = CarbonSpec(period_s=60.0)
+    fleet = FleetSpec(n_nodes=8, desktop_fraction=0.5,
+                      tick_mode=tick_mode or "fast", carbon=carbon)
+    trace = TraceSpec(kind="diurnal", duration_s=60.0, mean_rate_hz=1.0,
+                      workloads=_OBJECTIVES_WORKLOADS)
+    unshifted = run_fleet(fleet, trace, policy="energy_aware",
+                          engine=engine)
+    shifted = run_fleet(fleet, replace(trace, deferral_fraction=0.8),
+                        policy="energy_aware", engine=engine)
+    carbon_rows = [
+        ("carbon, no shifting", f"{unshifted.total_carbon_g:.3f} g CO2"),
+        ("carbon, shifted", f"{shifted.total_carbon_g:.3f} g CO2"),
+        ("low-carbon energy (shifted)",
+         f"{shifted.low_carbon_energy_fraction():.1%} of deferrable "
+         f"energy below median intensity"),
+    ]
+    return ObjectivesResult(
+        rows=rows, infeasible=infeasible, carbon_rows=carbon_rows,
+        fleet_fingerprints=(unshifted.fingerprint(), shifted.fingerprint()))
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -528,6 +699,7 @@ REGENERATORS = {
     "chaos": regenerate_chaos,
     "crashchaos": regenerate_crash_chaos,
     "fleet": regenerate_fleet,
+    "objectives": regenerate_objectives,
 }
 
 

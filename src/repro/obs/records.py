@@ -24,6 +24,11 @@ to zero.  The exit paths:
                           (lines 13-26); may still carry a
                           ``fallback_reason`` if the partitioned phase
                           faulted and drained on the CPU
+``deadline-infeasible``   profiled under a deadline-constrained metric,
+                          but no grid point met the budget: the
+                          feasible set was empty and the scheduler ran
+                          the min-T alpha instead (see
+                          docs/OBJECTIVES.md)
 ========================  ====================================================
 """
 
@@ -40,10 +45,12 @@ EXIT_DEGRADED = "degraded-cpu-only"
 EXIT_COOLDOWN = "cooldown-cpu-only"
 EXIT_FAULT_DEGRADED = "fault-degraded"
 EXIT_PROFILED = "profiled"
+EXIT_DEADLINE_INFEASIBLE = "deadline-infeasible"
 
 ALL_EXIT_PATHS = (
     EXIT_TABLE_HIT, EXIT_SMALL_N, EXIT_GPU_BUSY, EXIT_DEGRADED,
     EXIT_COOLDOWN, EXIT_FAULT_DEGRADED, EXIT_PROFILED,
+    EXIT_DEADLINE_INFEASIBLE,
 )
 
 

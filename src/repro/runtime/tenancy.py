@@ -45,10 +45,11 @@ either tick mode's reference semantics.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, SpecError
 from repro.obs.observer import Observer
 from repro.obs.records import EXIT_GPU_BUSY, DecisionRecord
 from repro.runtime.runtime import ConcordRuntime, InvocationResult
@@ -73,16 +74,39 @@ LEASE_DENIED_NOTE = "lease-denied-by"
 
 @dataclass(frozen=True)
 class TenantSpec:
-    """One tenant: a workload stream plus arbitration attributes."""
+    """One tenant: a workload stream plus arbitration attributes.
+
+    ``deadline_s`` does double duty (so the priority arbiter and the
+    per-SoC objective agree): earliest deadline wins the GPU lease
+    first under the ``priority`` policy, and the same value becomes
+    the tenant scheduler's per-invocation completion budget via a
+    :class:`~repro.core.metrics.ConstrainedMetric` in
+    :func:`run_multiprogram`.  A deadline, when present, must be a
+    positive finite number - negative, zero, NaN, or infinite values
+    would silently build a nonsense arbiter ordering and an
+    unsatisfiable (or vacuous) objective, so construction rejects
+    them with :class:`~repro.errors.SpecError`.
+    """
 
     name: str
     #: Table-1 workload abbreviation (registry key).
     workload: str
     #: Larger wins ties under the ``priority`` policy.
     priority: int = 0
-    #: Absolute simulated deadline; earliest deadline wins first under
+    #: Simulated-seconds deadline; earliest deadline wins first under
     #: the ``priority`` policy (None = no deadline).
     deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is None:
+            return
+        if (isinstance(self.deadline_s, bool)
+                or not isinstance(self.deadline_s, (int, float))
+                or not math.isfinite(self.deadline_s)
+                or self.deadline_s <= 0):
+            raise SpecError(
+                f"tenant {self.name!r}: deadline_s must be a positive "
+                f"finite number (or None), got {self.deadline_s!r}")
 
 
 @dataclass(frozen=True)
@@ -489,6 +513,12 @@ def parse_tenant_specs(text: str) -> Tuple[TenantSpec, ...]:
     e.g. ``"MM,BS"`` or ``"MM:2,BS:0:1.5"``.  Names are assigned
     positionally (``<abbrev>-<index>``), so two tenants may run the
     same workload.
+
+    Deadlines must be positive and finite: ``float()`` happily parses
+    ``"-5"``, ``"0"``, ``"nan"``, and ``"inf"``, all of which would
+    corrupt the arbiter's earliest-deadline ordering, so entries
+    carrying them are rejected with :class:`~repro.errors.SpecError`
+    naming the offending entry.
     """
     entries = [e.strip() for e in text.split(",") if e.strip()]
     if not entries:
@@ -506,8 +536,11 @@ def parse_tenant_specs(text: str) -> Tuple[TenantSpec, ...]:
             deadline = float(parts[2]) if len(parts) > 2 else None
         except ValueError as exc:
             raise SchedulingError(f"bad tenant entry {entry!r}: {exc}")
-        specs.append(TenantSpec(name=f"{abbrev}-{i}", workload=abbrev,
-                                priority=priority, deadline_s=deadline))
+        try:
+            specs.append(TenantSpec(name=f"{abbrev}-{i}", workload=abbrev,
+                                    priority=priority, deadline_s=deadline))
+        except SpecError as exc:
+            raise SpecError(f"bad tenant entry {entry!r}: {exc}") from None
     return tuple(specs)
 
 
@@ -542,7 +575,7 @@ def run_multiprogram(spec: Optional[PlatformSpec] = None,
     one (the differential harness uses this to run faulted cells with
     MSR read corruption off); ``fault_level`` still stamps the result.
     """
-    from repro.core.metrics import EDP
+    from repro.core.metrics import EDP, ConstrainedMetric
     from repro.core.scheduler import EnergyAwareScheduler
     from repro.harness.suite import get_characterization
     from repro.workloads.registry import workload_by_abbrev
@@ -575,8 +608,19 @@ def run_multiprogram(spec: Optional[PlatformSpec] = None,
                     "tenant": ts.name, "workload": ts.workload,
                     "policy": policy})
             self.runtime = ConcordRuntime(self.view, observer=self.observer)
+            # A tenant deadline constrains that tenant's own objective:
+            # the same deadline_s the arbiter ranks by becomes the
+            # scheduler's per-invocation completion budget, so lease
+            # priority and the per-SoC alpha search finally agree.
+            # Already-constrained or custom metrics pass through as-is.
+            tenant_metric = metric
+            if (ts.deadline_s is not None
+                    and not isinstance(metric, ConstrainedMetric)
+                    and metric.custom_fn is None):
+                tenant_metric = ConstrainedMetric.constrain(
+                    metric, ts.deadline_s)
             self.scheduler = EnergyAwareScheduler(
-                characterization, metric, config=eas_config,
+                characterization, tenant_metric, config=eas_config,
                 observer=self.observer)
             self.kernel = self.workload.make_kernel(tablet=tablet)
             self.pending = list(self.workload.invocations(tablet=tablet))

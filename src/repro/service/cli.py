@@ -81,11 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--platform", choices=("desktop", "tablet"),
                         default="desktop")
     submit.add_argument("--scheduler",
-                        choices=("cpu", "gpu", "perf", "static", "eas"),
+                        choices=("cpu", "gpu", "perf", "static", "eas",
+                                 "race"),
                         default="eas")
-    submit.add_argument("--metric", default="edp")
+    submit.add_argument("--metric", default="edp",
+                        help="objective name; NAME@SECONDS (e.g. edp@2) "
+                             "runs deadline-constrained EAS "
+                             "(docs/OBJECTIVES.md)")
     submit.add_argument("--alpha", type=float, default=None,
                         help="static scheduler offload ratio")
+    submit.add_argument("--deadline", type=float, default=None, metavar="S",
+                        help="race scheduler budget: sprint at alpha_PERF, "
+                             "then idle out the remainder")
     submit.add_argument("--fault-level", type=float, default=0.0)
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--tick-mode", choices=TICK_MODES, default="exact")
@@ -157,7 +164,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         workload=args.workload, platform=args.platform,
         scheduler=args.scheduler, metric=args.metric, alpha=args.alpha,
         fault_level=args.fault_level, seed=args.seed,
-        tick_mode=args.tick_mode, warm_table=not args.cold)
+        tick_mode=args.tick_mode, warm_table=not args.cold,
+        deadline_s=args.deadline)
     service = _make_service(args.db, args.cache_dir)
     try:
         outcome = service.submit(spec, tenant=args.tenant,

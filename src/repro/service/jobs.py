@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.errors import ServiceError
+from repro.errors import HarnessError, SchedulingError, ServiceError
 from repro.harness.engine import (
     CACHE_SCHEMA_VERSION,
     RunSpec,
@@ -37,7 +37,7 @@ from repro.soc.spec import (
 )
 
 _PLATFORMS = ("desktop", "tablet")
-_SCHEDULERS = ("cpu", "gpu", "perf", "static", "eas")
+_SCHEDULERS = ("cpu", "gpu", "perf", "static", "eas", "race")
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,8 @@ class JobSpec:
     workload: str
     platform: str = "desktop"
     scheduler: str = "eas"
+    #: Objective metric name (``eas`` only).  Constrained spellings
+    #: (``"edp@2"``) run deadline-constrained EAS.
     metric: str = "edp"
     alpha: Optional[float] = None
     fault_level: float = 0.0
@@ -55,6 +57,9 @@ class JobSpec:
     #: Seed the EAS scheduler from the persisted table G and merge the
     #: learned entries back after the run (``eas`` only).
     warm_table: bool = True
+    #: Per-invocation deadline budget (``race`` only; the race-to-idle
+    #: scheduler sprints, then idles out the remaining budget).
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.platform not in _PLATFORMS:
@@ -68,6 +73,15 @@ class JobSpec:
         if self.tick_mode not in TICK_MODES:
             raise ServiceError(f"unknown tick mode {self.tick_mode!r}; "
                                f"expected one of {TICK_MODES}")
+        if self.deadline_s is not None and self.scheduler != "race":
+            raise ServiceError(
+                "deadline_s applies to the race scheduler only; "
+                "constrained EAS encodes its deadline in the metric "
+                "name (e.g. metric='edp@2')")
+        try:
+            self.scheduler_spec()  # validate metric/deadline early
+        except (HarnessError, SchedulingError) as exc:
+            raise ServiceError(str(exc)) from exc
 
     # -- serialization -----------------------------------------------------------
 
@@ -82,6 +96,7 @@ class JobSpec:
             "seed": self.seed,
             "tick_mode": self.tick_mode,
             "warm_table": self.warm_table,
+            "deadline_s": self.deadline_s,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -92,7 +107,8 @@ class JobSpec:
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"unparseable job spec: {exc}") from exc
         known = {"workload", "platform", "scheduler", "metric", "alpha",
-                 "fault_level", "seed", "tick_mode", "warm_table"}
+                 "fault_level", "seed", "tick_mode", "warm_table",
+                 "deadline_s"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ServiceError(f"unknown job spec field(s) {unknown}")
@@ -122,6 +138,8 @@ class JobSpec:
             return SchedulerSpec.static(self.alpha)
         if self.scheduler == "eas":
             return SchedulerSpec.eas(self.metric)
+        if self.scheduler == "race":
+            return SchedulerSpec.race(self.deadline_s)
         return SchedulerSpec(kind=self.scheduler)
 
     def to_runspec(self) -> RunSpec:

@@ -1,0 +1,206 @@
+"""Deadline-constrained EAS end to end (docs/OBJECTIVES.md).
+
+The scheduler with a :class:`ConstrainedMetric` runs the feasible-set
+grid search of :meth:`AlphaOptimizer.best_alpha_constrained`; when no
+alpha meets the budget the invocation runs at min-T and exits through
+``deadline-infeasible``.  The acceptance sweep at the bottom checks
+the feasible-set argmin against brute force on every Table-1 workload
+x both platforms, using each workload's own profiled throughputs and
+its classified category's characterization curve.
+"""
+
+import math
+
+import pytest
+
+from repro.core.classification import ClassificationInputs, OnlineClassifier
+from repro.core.metrics import EDP, ConstrainedMetric
+from repro.core.optimizer import AlphaOptimizer, alpha_grid
+from repro.core.scheduler import EnergyAwareScheduler
+from repro.core.time_model import ExecutionTimeModel
+from repro.obs.records import ALL_EXIT_PATHS, EXIT_DEADLINE_INFEASIBLE
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime, KernelLaunch
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.faults import FaultConfig, FaultySoC
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import baytrail_tablet, haswell_desktop
+from repro.workloads.registry import suite_workloads
+
+N_ITEMS = 2_000_000.0
+
+
+def make_kernel(name="budgeted"):
+    return Kernel(name=name, cost=KernelCostModel(
+        name=name, instructions_per_item=500.0,
+        loadstore_fraction=0.2, l3_miss_rate=0.0,
+        cpu_simd_efficiency=0.5, gpu_simd_efficiency=0.5))
+
+
+def run_eas(characterization, platform_spec, deadline_s,
+            kernel=None, processor=None):
+    scheduler = EnergyAwareScheduler(
+        characterization, ConstrainedMetric.constrain(EDP, deadline_s))
+    processor = processor or IntegratedProcessor(platform_spec)
+    ConcordRuntime(processor).parallel_for(
+        kernel or make_kernel(), N_ITEMS, scheduler)
+    return scheduler
+
+
+class TestExitPath:
+    def test_infeasible_exit_is_a_known_path(self):
+        assert EXIT_DEADLINE_INFEASIBLE in ALL_EXIT_PATHS
+        assert EXIT_DEADLINE_INFEASIBLE == "deadline-infeasible"
+
+    def test_loose_budget_matches_unconstrained_choice(
+            self, desktop, desktop_characterization):
+        free = EnergyAwareScheduler(desktop_characterization, EDP)
+        ConcordRuntime(IntegratedProcessor(desktop)).parallel_for(
+            make_kernel(), N_ITEMS, free)
+        constrained = run_eas(desktop_characterization, desktop, 1e9)
+        [a], [b] = free.decisions, constrained.decisions
+        assert b.exit_path == a.exit_path
+        assert b.alpha == a.alpha
+
+    def test_tight_budget_exits_deadline_infeasible(
+            self, desktop, desktop_characterization):
+        scheduler = run_eas(desktop_characterization, desktop, 1e-9)
+        [d] = scheduler.decisions
+        assert d.exit_path == EXIT_DEADLINE_INFEASIBLE
+        assert "deadline-infeasible" in d.notes
+        assert "min-T" in (d.fallback_reason or "")
+
+    def test_infeasible_invocation_still_completes_all_items(
+            self, desktop, desktop_characterization):
+        processor = IntegratedProcessor(desktop)
+        runtime = ConcordRuntime(processor)
+        scheduler = EnergyAwareScheduler(
+            desktop_characterization, ConstrainedMetric.constrain(EDP, 1e-9))
+        result = runtime.parallel_for(make_kernel(), N_ITEMS, scheduler)
+        assert result.cpu_items + result.gpu_items == pytest.approx(
+            N_ITEMS, rel=1e-6)
+
+    def test_deadline_between_platforms(
+            self, desktop, tablet, desktop_characterization,
+            tablet_characterization):
+        """A budget the desktop meets but the slower tablet cannot."""
+        fast = EnergyAwareScheduler(desktop_characterization, EDP)
+        t_desktop = _invocation_time(desktop, fast)
+        slow = EnergyAwareScheduler(tablet_characterization, EDP)
+        t_tablet = _invocation_time(tablet, slow)
+        assert t_tablet > t_desktop
+        deadline = math.sqrt(t_desktop * t_tablet)  # strictly between
+
+        on_desktop = run_eas(desktop_characterization, desktop, deadline)
+        on_tablet = run_eas(tablet_characterization, tablet, deadline)
+        assert on_desktop.decisions[-1].exit_path != EXIT_DEADLINE_INFEASIBLE
+        assert on_tablet.decisions[-1].exit_path == EXIT_DEADLINE_INFEASIBLE
+
+    def test_faulty_gpu_with_deadline_still_degrades_cleanly(
+            self, desktop, desktop_characterization):
+        """A dead GPU (every launch faults) plus a tight budget: the
+        fault pipeline owns the exit and the run drains on the CPU -
+        the deadline machinery must not mask or crash it."""
+        scheduler = EnergyAwareScheduler(
+            desktop_characterization, ConstrainedMetric.constrain(EDP, 1e-9))
+        faulty = FaultySoC(IntegratedProcessor(desktop),
+                           FaultConfig(seed=1, gpu_launch_failure_prob=1.0))
+        result = ConcordRuntime(faulty).parallel_for(
+            make_kernel("dead-gpu"), N_ITEMS, scheduler)
+        assert result.cpu_items + result.gpu_items == pytest.approx(
+            N_ITEMS, rel=1e-6)
+        assert scheduler.decisions
+        assert all(d.exit_path in ALL_EXIT_PATHS
+                   for d in scheduler.decisions)
+
+
+def _invocation_time(spec, scheduler, kernel=None):
+    processor = IntegratedProcessor(spec)
+    ConcordRuntime(processor).parallel_for(
+        kernel or make_kernel(), N_ITEMS, scheduler)
+    return processor.now
+
+
+# -- Table-1 acceptance sweep -----------------------------------------------------
+
+def _profiled_model_and_curve(spec, characterization, workload):
+    """One profiling round on a fresh SoC -> (time model, power curve)."""
+    processor = IntegratedProcessor(spec)
+    runtime = ConcordRuntime(processor)
+    kernel = workload.make_kernel()
+    biggest = max(workload.invocations(), key=lambda i: i.n_items)
+    launch = KernelLaunch(processor, kernel, biggest.n_items,
+                          runtime._cost_profile(kernel))
+    chunk = min(float(spec.gpu_profile_size), biggest.n_items * 0.5)
+    observation = launch.profile_chunk(chunk)
+    category = OnlineClassifier().classify(ClassificationInputs(
+        l3_misses=observation.counters.l3_misses,
+        loadstore_instructions=observation.counters.loadstore_instructions,
+        cpu_throughput=observation.cpu_throughput,
+        gpu_throughput=observation.gpu_throughput,
+        remaining_items=launch.remaining_items))
+    model = ExecutionTimeModel(
+        cpu_throughput=observation.cpu_throughput,
+        gpu_throughput=observation.gpu_throughput,
+        n_items=launch.remaining_items)
+    return model, characterization.curve_for(category)
+
+
+def _cells():
+    cells = []
+    for platform, tablet in (("desktop", False), ("tablet", True)):
+        for workload in suite_workloads(tablet=tablet):
+            cells.append((platform, workload.abbrev))
+    return cells
+
+
+@pytest.mark.parametrize("platform,abbrev", _cells())
+class TestTable1ConstrainedArgmin:
+    """Acceptance: on every Table-1 workload x platform the constrained
+    search returns the brute-force feasible-set argmin, and flags
+    infeasibility when the budget is unattainable."""
+
+    def _setup(self, platform, abbrev, desktop_characterization,
+               tablet_characterization):
+        tablet = platform == "tablet"
+        spec = baytrail_tablet() if tablet else haswell_desktop()
+        characterization = (tablet_characterization if tablet
+                            else desktop_characterization)
+        workload = next(w for w in suite_workloads(tablet=tablet)
+                        if w.abbrev == abbrev)
+        return spec, _profiled_model_and_curve(spec, characterization,
+                                               workload)
+
+    def test_feasible_argmin_matches_brute_force(
+            self, platform, abbrev, desktop_characterization,
+            tablet_characterization):
+        _, (model, curve) = self._setup(
+            platform, abbrev, desktop_characterization,
+            tablet_characterization)
+        times = {a: model.total_time(a) for a in alpha_grid(0.1)}
+        min_t = min(t for t in times.values() if math.isfinite(t))
+        deadline = 1.2 * min_t  # loose enough for a non-trivial set
+        feasible = [a for a, t in times.items() if t <= deadline]
+        assert feasible
+        expected = min(feasible,
+                       key=lambda a: EDP.value(curve.power(a), times[a]))
+        alpha, obj, ok = AlphaOptimizer(EDP, 0.1).best_alpha_constrained(
+            curve, model, deadline)
+        assert ok
+        assert alpha == expected
+        assert obj == pytest.approx(
+            EDP.value(curve.power(alpha), times[alpha]))
+
+    def test_unattainable_budget_flags_infeasible_min_t(
+            self, platform, abbrev, desktop_characterization,
+            tablet_characterization):
+        _, (model, curve) = self._setup(
+            platform, abbrev, desktop_characterization,
+            tablet_characterization)
+        times = {a: model.total_time(a) for a in alpha_grid(0.1)
+                 if math.isfinite(model.total_time(a))}
+        min_t = min(times.values())
+        alpha, _, ok = AlphaOptimizer(EDP, 0.1).best_alpha_constrained(
+            curve, model, 0.5 * min_t)
+        assert not ok
+        assert times[alpha] == min_t

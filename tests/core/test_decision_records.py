@@ -14,6 +14,7 @@ from repro.errors import GpuFaultError
 from repro.obs import ALL_EXIT_PATHS, Observer
 from repro.obs.records import (
     EXIT_COOLDOWN,
+    EXIT_DEADLINE_INFEASIBLE,
     EXIT_DEGRADED,
     EXIT_FAULT_DEGRADED,
     EXIT_GPU_BUSY,
@@ -190,11 +191,13 @@ class TestExitPaths:
         assert d.fault_events
 
     def test_every_exit_path_is_reachable(self):
-        """The table in repro.obs.records is the closed set these
-        tests walk: no path untested, no test outside the set."""
+        """The table in repro.obs.records is the closed set the
+        decision-record tests walk: no path untested, no test outside
+        the set (deadline-infeasible is exercised in
+        tests/core/test_constrained_scheduling.py)."""
         tested = {EXIT_PROFILED, EXIT_TABLE_HIT, EXIT_SMALL_N,
                   EXIT_GPU_BUSY, EXIT_DEGRADED, EXIT_COOLDOWN,
-                  EXIT_FAULT_DEGRADED}
+                  EXIT_FAULT_DEGRADED, EXIT_DEADLINE_INFEASIBLE}
         assert tested == set(ALL_EXIT_PATHS)
 
 

@@ -1,9 +1,16 @@
-"""Energy metrics: E, EDP, ED2 and custom objectives."""
+"""Energy metrics: E, EDP, ED2, custom and deadline-constrained."""
 
 import pytest
 
-from repro.core.metrics import ED2, EDP, ENERGY, EnergyMetric, metric_by_name
-from repro.errors import SchedulingError
+from repro.core.metrics import (
+    ED2,
+    EDP,
+    ENERGY,
+    ConstrainedMetric,
+    EnergyMetric,
+    metric_by_name,
+)
+from repro.errors import SchedulingError, UnknownNameError
 
 
 class TestStandardMetrics:
@@ -24,6 +31,15 @@ class TestStandardMetrics:
     def test_from_energy_rejects_zero_time(self):
         with pytest.raises(SchedulingError):
             ENERGY.from_energy(10.0, 0.0)
+
+    def test_value_rejects_zero_time(self):
+        """Regression: ``value`` accepted time_s == 0 while
+        ``from_energy`` rejected it - the two must agree on the
+        degenerate-input contract."""
+        with pytest.raises(SchedulingError):
+            ENERGY.value(10.0, 0.0)
+        with pytest.raises(SchedulingError):
+            EDP.value(10.0, -1.0)
 
     def test_value_rejects_negative_inputs(self):
         with pytest.raises(SchedulingError):
@@ -49,6 +65,17 @@ class TestCustomMetrics:
         with pytest.raises(SchedulingError):
             EnergyMetric(name="bogus", delay_exponent=0.5)
 
+    @pytest.mark.parametrize("name", ["edp", "EDP", "energy", "ed2"])
+    def test_custom_fn_rejects_standard_name_collision(self, name):
+        """Regression: a custom_fn metric named "edp" silently aliased
+        the standard EDP in name-keyed lookups and cache keys."""
+        with pytest.raises(SchedulingError):
+            EnergyMetric(name=name, custom_fn=lambda p, t: p)
+
+    def test_custom_fn_with_distinct_name_is_fine(self):
+        metric = EnergyMetric(name="battery2", custom_fn=lambda p, t: p)
+        assert metric.value(3.0, 1.0) == 3.0
+
 
 class TestRegistry:
     @pytest.mark.parametrize("name,metric", [
@@ -60,3 +87,66 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(SchedulingError):
             metric_by_name("nonsense")
+
+
+class TestConstrainedMetric:
+    def test_constrain_builds_canonical_name(self):
+        metric = ConstrainedMetric.constrain(EDP, 2.0)
+        assert metric.name == "edp@2"
+        assert metric.base_name == "edp"
+        assert metric.deadline_s == 2.0
+        assert metric.delay_exponent == EDP.delay_exponent
+
+    def test_name_round_trips_through_registry(self):
+        """The canonical name is the wire format: scheduler specs,
+        cache keys, and JobSpecs all rebuild the metric by name."""
+        for metric in (ConstrainedMetric.constrain(EDP, 2.0),
+                       ConstrainedMetric.constrain(ENERGY, 0.5),
+                       ConstrainedMetric.constrain(ED2, 40.0)):
+            rebuilt = metric_by_name(metric.name)
+            assert isinstance(rebuilt, ConstrainedMetric)
+            assert rebuilt == metric
+
+    def test_registry_parses_constrained_spelling(self):
+        metric = metric_by_name("edp@2")
+        assert isinstance(metric, ConstrainedMetric)
+        assert metric.deadline_s == 2.0
+        assert metric_by_name("energy@0.5").deadline_s == 0.5
+
+    def test_value_is_the_base_objective(self):
+        """The constraint lives in the feasible-set search, not in
+        the objective arithmetic."""
+        metric = ConstrainedMetric.constrain(EDP, 2.0)
+        assert metric.value(10.0, 3.0) == EDP.value(10.0, 3.0)
+
+    def test_feasibility_budget_is_inclusive(self):
+        metric = ConstrainedMetric.constrain(EDP, 2.0)
+        assert metric.feasible(2.0)
+        assert metric.feasible(1.0)
+        assert not metric.feasible(2.0000001)
+
+    def test_unknown_base_raises_unknown_name(self):
+        with pytest.raises(UnknownNameError):
+            metric_by_name("watts@2")
+
+    def test_bad_deadline_text_raises(self):
+        with pytest.raises(SchedulingError):
+            metric_by_name("edp@soon")
+
+    @pytest.mark.parametrize("deadline", [0.0, -1.0, float("nan"),
+                                          float("inf"), None, "2"])
+    def test_rejects_bad_deadlines(self, deadline):
+        with pytest.raises(SchedulingError):
+            ConstrainedMetric.constrain(EDP, deadline)
+
+    def test_rejects_custom_fn_base(self):
+        custom = EnergyMetric(name="batt", custom_fn=lambda p, t: p)
+        with pytest.raises(SchedulingError):
+            ConstrainedMetric.constrain(custom, 2.0)
+
+    def test_constraining_a_constrained_metric_rebases(self):
+        """edp@2 under a new 5 s budget is edp@5, not edp@2@5."""
+        metric = ConstrainedMetric.constrain(
+            ConstrainedMetric.constrain(EDP, 2.0), 5.0)
+        assert metric.name == "edp@5"
+        assert metric.deadline_s == 5.0

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.metrics import EDP, ENERGY
+from repro.core.metrics import EDP, ENERGY, ConstrainedMetric
 from repro.core.optimizer import (
     AlphaOptimizer,
     alpha_grid,
@@ -38,6 +38,21 @@ class TestGrid:
             alpha_grid(0.0)
         with pytest.raises(SchedulingError):
             alpha_grid(1.5)
+
+    def test_non_divisor_step_keeps_pure_gpu_endpoint(self):
+        """Regression: step=0.3 rounded to {0, 0.3, 0.6, 0.9} and
+        silently dropped alpha=1.0 from the search, excluding the
+        pure-GPU split for GPU-dominant kernels."""
+        grid = alpha_grid(0.3)
+        assert grid[-1] == 1.0
+        assert grid == sorted(set(grid))
+
+    @pytest.mark.parametrize("step", [0.3, 0.7, 0.15, 1.0, 0.4])
+    def test_grid_is_closed_for_awkward_steps(self, step):
+        grid = alpha_grid(step)
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+        assert len(grid) == len(set(grid))
 
 
 class TestBestAlpha:
@@ -94,6 +109,107 @@ class TestBestAlpha:
             value = EDP.value(curve.power(candidate),
                               model.total_time(candidate))
             assert objective <= value * (1 + 1e-12)
+
+
+class TestConstrainedSearch:
+    """Feasible-set search: min metric over {a : T(a) <= deadline}."""
+
+    def _setup(self):
+        # alpha_perf = 0.75 with these rates; energy optimum sits at
+        # a different grid point under the steep curve.
+        model = ExecutionTimeModel(100.0, 300.0, 1e5)
+        curve = linear_curve(30.0, 60.0)
+        return AlphaOptimizer(EDP, 0.1), curve, model
+
+    def test_loose_deadline_matches_unconstrained(self):
+        optimizer, curve, model = self._setup()
+        free_alpha, free_obj = optimizer.best_alpha(curve, model)
+        alpha, obj, feasible = optimizer.best_alpha_constrained(
+            curve, model, deadline_s=1e9)
+        assert feasible
+        assert (alpha, obj) == (free_alpha, free_obj)
+
+    def test_tight_deadline_restricts_to_feasible_set(self):
+        optimizer, curve, model = self._setup()
+        evals = optimizer.evaluate(curve, model)
+        times = sorted(e.predicted_time_s for e in evals)
+        # A budget between the two fastest grid points leaves exactly
+        # one feasible alpha; the search must return it.
+        deadline = (times[0] + times[1]) / 2.0
+        alpha, obj, feasible = optimizer.best_alpha_constrained(
+            curve, model, deadline)
+        assert feasible
+        chosen = [e for e in evals if e.alpha == alpha]
+        assert chosen[0].predicted_time_s <= deadline
+
+    def test_deadline_exactly_on_grid_point_is_feasible(self):
+        """The budget is inclusive: T(alpha) == deadline qualifies."""
+        optimizer, curve, model = self._setup()
+        evals = optimizer.evaluate(curve, model)
+        fastest = min(evals, key=lambda e: e.predicted_time_s)
+        alpha, _, feasible = optimizer.best_alpha_constrained(
+            curve, model, fastest.predicted_time_s)
+        assert feasible
+        assert alpha == fastest.alpha
+
+    def test_infeasible_falls_back_to_min_time(self):
+        optimizer, curve, model = self._setup()
+        evals = optimizer.evaluate(curve, model)
+        fastest = min(evals, key=lambda e: e.predicted_time_s)
+        alpha, obj, feasible = optimizer.best_alpha_constrained(
+            curve, model, fastest.predicted_time_s * 0.5)
+        assert not feasible
+        assert alpha == fastest.alpha
+        assert obj == pytest.approx(fastest.objective)
+
+    def test_dead_gpu_with_deadline_skips_stalled_endpoint(self):
+        """alpha=1 is infinitely slow on a dead GPU; neither the
+        feasible search nor the min-T fallback may pick it."""
+        optimizer = AlphaOptimizer(EDP, 0.1)
+        curve = flat_curve()
+        model = ExecutionTimeModel(100.0, 0.0, 1e5)
+        alpha, obj, feasible = optimizer.best_alpha_constrained(
+            curve, model, deadline_s=1e9)
+        assert feasible and alpha < 1.0
+        alpha, _, feasible = optimizer.best_alpha_constrained(
+            curve, model, deadline_s=1e-9)
+        assert not feasible and alpha < 1.0
+
+    def test_both_devices_stalled_raises(self):
+        class StalledModel:
+            def total_time(self, alpha):
+                return float("inf")
+
+        optimizer = AlphaOptimizer(EDP, 0.1)
+        with pytest.raises(SchedulingError):
+            optimizer.best_alpha_constrained(flat_curve(), StalledModel(),
+                                             1.0)
+
+    def test_best_alpha_delegates_for_constrained_metric(self):
+        """AlphaOptimizer(ConstrainedMetric).best_alpha honors the
+        deadline without callers opting in."""
+        _, curve, model = self._setup()
+        evals = AlphaOptimizer(EDP, 0.1).evaluate(curve, model)
+        fastest = min(evals, key=lambda e: e.predicted_time_s)
+        deadline = fastest.predicted_time_s * 1.001
+        constrained = AlphaOptimizer(
+            ConstrainedMetric.constrain(EDP, deadline), 0.1)
+        alpha, _ = constrained.best_alpha(curve, model)
+        assert model.total_time(alpha) <= deadline
+
+    def test_best_alpha_for_respects_deadline(self):
+        # Measured landscape: EDP minimum at 0.7, but 0.7 misses the
+        # deadline; the fastest point is 0.2.
+        times = {round(a, 1): 10.0 + abs(a - 0.2) * 10
+                 for a in alpha_grid(0.1)}
+        metric = ConstrainedMetric.constrain(EDP, 12.0)
+        alpha = best_alpha_for(metric, power_fn=lambda a: 40.0 - 30.0 * a,
+                               time_fn=lambda a: times[round(a, 1)])
+        assert times[round(alpha, 1)] <= 12.0
+        tight = ConstrainedMetric.constrain(EDP, 5.0)
+        alpha = best_alpha_for(tight, power_fn=lambda a: 40.0,
+                               time_fn=lambda a: times[round(a, 1)])
+        assert alpha == pytest.approx(0.2)  # min-T fallback
 
 
 class TestFunctionalHelper:

@@ -1,0 +1,151 @@
+"""Race-to-idle: sprint at alpha_PERF, then idle out the budget.
+
+The classic alternative to EAS's ride-the-optimal-point answer; the
+``objectives`` figure compares the two (docs/OBJECTIVES.md).
+"""
+
+import pytest
+
+from repro.core.baselines import ProfiledPerfScheduler, RaceToIdleScheduler
+from repro.errors import HarnessError, SchedulingError, ServiceError
+from repro.harness.engine import RunSpec, SchedulerSpec, execute_spec
+from repro.runtime.kernel import Kernel
+from repro.runtime.runtime import ConcordRuntime
+from repro.service.jobs import JobSpec
+from repro.soc.cost_model import KernelCostModel
+from repro.soc.simulator import IntegratedProcessor
+from repro.soc.spec import haswell_desktop
+
+N_ITEMS = 2_000_000.0
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(name="race-k", cost=KernelCostModel(
+        name="race-k", instructions_per_item=500.0,
+        loadstore_fraction=0.2, l3_miss_rate=0.0,
+        cpu_simd_efficiency=0.5, gpu_simd_efficiency=0.5))
+
+
+def sprint_time(desktop, kernel):
+    processor = IntegratedProcessor(desktop)
+    ConcordRuntime(processor).parallel_for(kernel, N_ITEMS,
+                                           ProfiledPerfScheduler())
+    return processor.now
+
+
+class TestSprintAndIdle:
+    def test_no_deadline_degenerates_to_pure_sprint(self, desktop, kernel):
+        processor = IntegratedProcessor(desktop)
+        ConcordRuntime(processor).parallel_for(kernel, N_ITEMS,
+                                               RaceToIdleScheduler())
+        assert processor.now == pytest.approx(sprint_time(desktop, kernel))
+
+    def test_loose_deadline_idles_out_the_budget(self, desktop, kernel):
+        budget = 2.0 * sprint_time(desktop, kernel)
+        processor = IntegratedProcessor(desktop)
+        scheduler = RaceToIdleScheduler(deadline_s=budget)
+        result = ConcordRuntime(processor).parallel_for(kernel, N_ITEMS,
+                                                        scheduler)
+        # The idle tail is literal: the invocation's software-visible
+        # window covers the whole budget.
+        assert processor.now == pytest.approx(budget)
+        assert "race-to-idle" in result.notes
+        assert any(n.startswith("idle-slack:") for n in result.notes)
+
+    def test_idle_tail_costs_idle_power_not_sprint_power(self, desktop,
+                                                         kernel):
+        sprint = IntegratedProcessor(desktop)
+        sprint_run = ConcordRuntime(sprint).parallel_for(
+            kernel, N_ITEMS, RaceToIdleScheduler())
+
+        budget = 2.0 * sprint.now
+        raced = IntegratedProcessor(desktop)
+        raced_run = ConcordRuntime(raced).parallel_for(
+            kernel, N_ITEMS, RaceToIdleScheduler(deadline_s=budget))
+        # Energy grows by the idle-floor draw over the slack window -
+        # far less than doubling despite doubling the time.
+        assert raced_run.energy_j > sprint_run.energy_j
+        assert raced_run.energy_j < 2.0 * sprint_run.energy_j
+        assert raced_run.duration_s == pytest.approx(
+            2.0 * sprint_run.duration_s)
+
+    def test_overrun_budget_is_noted_without_idling(self, desktop, kernel):
+        tight = 0.5 * sprint_time(desktop, kernel)
+        processor = IntegratedProcessor(desktop)
+        result = ConcordRuntime(processor).parallel_for(
+            kernel, N_ITEMS, RaceToIdleScheduler(deadline_s=tight))
+        assert "deadline-overrun" in result.notes
+        assert processor.now == pytest.approx(
+            sprint_time(desktop, kernel))
+
+    def test_table_g_reuse_survives_the_subclass(self, desktop, kernel):
+        scheduler = RaceToIdleScheduler()
+        runtime = ConcordRuntime(IntegratedProcessor(desktop))
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        runtime.parallel_for(kernel, N_ITEMS, scheduler)
+        assert scheduler.table.lookup(kernel.key) is not None
+
+    @pytest.mark.parametrize("deadline", [0.0, -1.0, float("nan"),
+                                          float("inf"), True, "2"])
+    def test_rejects_bad_deadlines(self, deadline):
+        with pytest.raises(SchedulingError):
+            RaceToIdleScheduler(deadline_s=deadline)
+
+
+class TestEngineIntegration:
+    def test_scheduler_spec_race_builds_and_runs(self, desktop):
+        spec = RunSpec(platform=haswell_desktop(tick_mode="fast"),
+                       workload="BS",
+                       scheduler=SchedulerSpec.race(0.01))
+        assert isinstance(spec.scheduler.build(), RaceToIdleScheduler)
+        assert spec.scheduler.strategy_name == "RACE"
+        run = execute_spec(spec).payload
+        assert run.time_s > 0.0
+
+    def test_deadline_keys_the_cache(self):
+        platform = haswell_desktop(tick_mode="fast")
+        keys = {RunSpec(platform=platform, workload="BS",
+                        scheduler=SchedulerSpec.race(d)).cache_key()
+                for d in (None, 0.5, 1.0)}
+        assert len(keys) == 3
+
+    def test_deadline_s_is_race_only(self):
+        with pytest.raises(HarnessError):
+            SchedulerSpec(kind="eas", metric="edp", deadline_s=1.0)
+        with pytest.raises(HarnessError):
+            SchedulerSpec(kind="cpu", deadline_s=1.0)
+
+    def test_spec_rejects_bad_deadline(self):
+        with pytest.raises(HarnessError):
+            SchedulerSpec.race(-1.0)
+
+    def test_constrained_eas_spec_round_trips(self, desktop_characterization):
+        spec = SchedulerSpec.eas("edp@2")
+        metric = spec.build(desktop_characterization).metric
+        assert metric.deadline_s == 2.0
+
+
+class TestServiceJobSpec:
+    def test_race_job_round_trips(self):
+        job = JobSpec(workload="BS", scheduler="race", deadline_s=1.5,
+                      tick_mode="fast")
+        again = JobSpec.from_json(job.to_json())
+        assert again == job
+        assert again.scheduler_spec() == SchedulerSpec.race(1.5)
+
+    def test_constrained_metric_job_round_trips(self):
+        job = JobSpec(workload="BS", scheduler="eas", metric="edp@2")
+        assert JobSpec.from_json(job.to_json()) == job
+
+    def test_deadline_on_non_race_job_rejected(self):
+        with pytest.raises(ServiceError):
+            JobSpec(workload="BS", scheduler="eas", deadline_s=1.0)
+
+    def test_bad_metric_rejected_at_submission(self):
+        with pytest.raises(ServiceError):
+            JobSpec(workload="BS", scheduler="eas", metric="edp@soon")
+
+    def test_bad_race_deadline_rejected_at_submission(self):
+        with pytest.raises(ServiceError):
+            JobSpec(workload="BS", scheduler="race", deadline_s=-1.0)

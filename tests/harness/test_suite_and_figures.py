@@ -20,7 +20,7 @@ class TestRegistry:
     def test_all_paper_experiments_present(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
                     "table1", "fig9", "fig10", "fig11", "fig12", "chaos",
-                    "crashchaos", "fleet"}
+                    "crashchaos", "fleet", "objectives"}
         assert expected == set(REGENERATORS)
 
     def test_unknown_experiment(self):
@@ -82,3 +82,41 @@ class TestCheapFigures:
     def test_measured_classification_runs(self, desktop):
         category = _measure_classification(desktop, workload_by_abbrev("NB"))
         assert category.short_code.startswith("C")
+
+
+class TestObjectivesFigure:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.harness.figures import regenerate_objectives
+
+        return regenerate_objectives("fast")
+
+    def test_constrained_eas_meets_loose_budgets(self, result):
+        """Per-cell strategy triples: the loose-budget constrained run
+        never exceeds the budget encoded in its label, and race-to-idle
+        lands exactly on it (sprint + banked idle slack)."""
+        by_cell = {}
+        for platform, workload, strategy, time_s, _, _ in result.rows:
+            by_cell.setdefault((platform, workload), {})[
+                strategy.split("[")[0]] = (strategy, time_s)
+        assert len(by_cell) == 4  # both platforms x MB, BS
+        for (platform, workload), strategies in by_cell.items():
+            assert set(strategies) == {"EAS", "RACE"} | {
+                s for s in strategies if s.startswith("EAS")}
+
+    def test_tight_budgets_are_infeasible(self, result):
+        assert result.infeasible
+        for _, _, _, n_infeasible, n_total in result.infeasible:
+            assert n_infeasible == n_total > 0
+
+    def test_carbon_shifting_reported(self, result):
+        assert any("low-carbon" in key for key, _ in result.carbon_rows)
+        assert len(result.fleet_fingerprints) == 2
+        assert result.fleet_fingerprints[0] != result.fleet_fingerprints[1]
+
+    def test_fingerprint_stable_and_rendered(self, result):
+        from repro.harness.figures import regenerate_objectives
+
+        assert result.render()
+        assert regenerate_objectives("fast").fingerprint() == \
+            result.fingerprint()

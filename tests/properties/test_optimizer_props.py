@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.metrics import ED2, EDP, ENERGY
+from repro.core.metrics import ED2, EDP, ENERGY, ConstrainedMetric
 from repro.core.optimizer import AlphaOptimizer, alpha_grid, best_alpha_for
 from repro.core.power_curve import fit_power_curve
 from repro.core.time_model import ExecutionTimeModel
@@ -79,6 +79,70 @@ class TestGridSearchOptimality:
         alpha_star, obj_star = optimizer.best_alpha(curve, model)
         assert alpha_star < 1.0
         assert math.isfinite(obj_star)
+
+
+class TestGridClosure:
+    @SETTINGS
+    @given(step=st.floats(min_value=1e-3, max_value=1.0,
+                          allow_nan=False, allow_infinity=False))
+    def test_grid_always_contains_both_endpoints(self, step):
+        """Regression property for the non-divisor-step bug: for every
+        valid step the closed grid keeps alpha=1.0 (and 0.0), sorted
+        and duplicate-free."""
+        grid = alpha_grid(step)
+        assert grid[0] == 0.0
+        assert 1.0 in grid
+        assert grid == sorted(grid)
+        assert len(grid) == len(set(grid))
+        assert all(0.0 <= a <= 1.0 for a in grid)
+
+
+class TestConstrainedSearchProperties:
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, metric=metrics,
+           base=base_powers, slope=slopes,
+           deadline=st.floats(min_value=1e-6, max_value=1e9,
+                              allow_nan=False, allow_infinity=False))
+    def test_constrained_argmin_over_feasible_set(self, rc, rg, n,
+                                                  metric, base, slope,
+                                                  deadline):
+        """best_alpha_constrained is the argmin over the feasible set
+        when one exists, and the min-T grid point otherwise."""
+        curve = _curve(base, slope)
+        model = ExecutionTimeModel(rc, rg, n)
+        optimizer = AlphaOptimizer(metric=metric, step=0.1)
+        alpha_star, obj_star, feasible = optimizer.best_alpha_constrained(
+            curve, model, deadline)
+        assert round(alpha_star * 1000) in GRID_KEYS
+        times = {a: model.total_time(a) for a in alpha_grid(0.1)}
+        if feasible:
+            assert times[alpha_star] <= deadline
+            for alpha, t in times.items():
+                if t <= deadline:
+                    obj = metric.value(curve.power(alpha), t)
+                    assert obj_star <= obj * (1.0 + 1e-12)
+        else:
+            finite = {a: t for a, t in times.items() if math.isfinite(t)}
+            assert all(t > deadline for t in finite.values())
+            assert times[alpha_star] == min(finite.values())
+
+    @SETTINGS
+    @given(rc=rates, rg=rates, n=sizes, base=base_powers, slope=slopes,
+           deadline=st.floats(min_value=1e-6, max_value=1e9,
+                              allow_nan=False, allow_infinity=False))
+    def test_constrained_metric_optimizer_meets_deadline_when_possible(
+            self, rc, rg, n, base, slope, deadline):
+        """The ConstrainedMetric-carrying optimizer never returns an
+        over-deadline alpha while any grid point is feasible."""
+        curve = _curve(base, slope)
+        model = ExecutionTimeModel(rc, rg, n)
+        optimizer = AlphaOptimizer(
+            metric=ConstrainedMetric.constrain(EDP, deadline), step=0.1)
+        alpha_star, _ = optimizer.best_alpha(curve, model)
+        any_feasible = any(model.total_time(a) <= deadline
+                           for a in alpha_grid(0.1))
+        if any_feasible:
+            assert model.total_time(alpha_star) <= deadline
 
 
 class TestBestAlphaForHelper:

@@ -5,7 +5,7 @@ import warnings
 import pytest
 
 import repro._compat
-from repro.errors import HarnessError, SchedulingError
+from repro.errors import HarnessError, SchedulingError, SpecError
 from repro.harness.engine import KIND_MULTIPROGRAM, RunSpec, SchedulerSpec
 from repro.runtime.tenancy import TenancySpec, TenantSpec, parse_tenant_specs
 from repro.soc.spec import haswell_desktop
@@ -67,6 +67,39 @@ class TestValidation:
         for text in ("fifo", "fifo;2", "fifo;x;BS,CC"):
             with pytest.raises(SchedulingError):
                 TenancySpec.parse(text)
+
+
+class TestDeadlineValidation:
+    """Regression: the parser accepted negative/zero/NaN/inf deadlines,
+    which corrupt the arbiter's earliest-deadline ordering."""
+
+    @pytest.mark.parametrize("deadline", [-1.0, 0.0, float("nan"),
+                                          float("inf"), -float("inf"),
+                                          True, "40"])
+    def test_tenant_spec_rejects_bad_deadline(self, deadline):
+        with pytest.raises(SpecError):
+            TenantSpec(name="BS-0", workload="BS", deadline_s=deadline)
+
+    @pytest.mark.parametrize("text", ["BS:0:-1", "BS:0:0", "BS:0:nan",
+                                      "BS:0:inf", "BS:0:-inf",
+                                      "BS,CC:5:-40"])
+    def test_parse_rejects_bad_deadline_text(self, text):
+        with pytest.raises(SpecError) as excinfo:
+            parse_tenant_specs(text)
+        # The error names the offending entry, not just the field.
+        assert "bad tenant entry" in str(excinfo.value)
+
+    def test_spec_error_is_a_repro_error(self):
+        # Catchable via the package-wide base class.
+        from repro.errors import ReproError
+
+        assert issubclass(SpecError, ReproError)
+
+    def test_valid_deadline_round_trips(self):
+        spec = TenancySpec(tenants=parse_tenant_specs("BS:0:40,CC"))
+        assert spec.tenants[0].deadline_s == 40.0
+        assert spec.tenants[1].deadline_s is None
+        assert TenancySpec.parse(spec.legacy_text()) == spec
 
 
 class TestCacheKey:

@@ -27,10 +27,11 @@ EXPECTED_API = sorted([
     # schedulers
     "EnergyAwareScheduler", "SchedulerConfig", "EasConfig",
     "HintedEnergyAwareScheduler", "CpuOnlyScheduler", "GpuOnlyScheduler",
-    "StaticAlphaScheduler", "ProfiledPerfScheduler",
-    # characterization & metrics
+    "StaticAlphaScheduler", "ProfiledPerfScheduler", "RaceToIdleScheduler",
+    # characterization & metrics (docs/OBJECTIVES.md)
     "PlatformCharacterization", "get_characterization",
     "EnergyMetric", "ENERGY", "EDP", "ED2", "metric_by_name",
+    "ConstrainedMetric",
     # workloads
     "Workload", "InvocationSpec", "all_workloads", "workload_by_abbrev",
     # harness
@@ -68,6 +69,8 @@ EXPECTED_API = sorted([
     # streaming fleet dispatch (docs/FLEET.md, "Streaming dispatch")
     "DISPATCH_MODES", "dispatch_stream", "FleetStreamResult",
     "LatencySketch",
+    # carbon-aware scheduling (docs/OBJECTIVES.md)
+    "CarbonSpec", "CarbonTrace",
 ])
 
 
